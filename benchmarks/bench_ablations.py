@@ -1,0 +1,42 @@
+"""Ablation-study benchmarks (extensions; DESIGN.md §4 `abl-*`).
+
+Times two representative ablations at reduced scale and prints their
+rows; the full set runs via ``python -m repro.experiments ablations``.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import bonus_card_ablation, vc_count_ablation
+
+FAST = dict(width=8, cycles=1500, warmup=400)
+
+
+def test_bonus_card_ablation(benchmark):
+    result = run_once(benchmark, lambda: bonus_card_ablation(load=0.4, **FAST))
+    print()
+    print(result.render())
+    for row in result.rows:
+        assert row["thr_base"] > 0 and row["thr_cards"] > 0
+        # The cards never cost much; typically they help (paper §4).
+        assert row["thr_cards"] >= 0.9 * row["thr_base"]
+
+
+def test_vc_count_ablation(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: vc_count_ablation(
+            load=0.4,
+            algorithms=("nhop", "minimal-adaptive"),
+            vc_counts=(13, 24),
+            **FAST,
+        ),
+    )
+    print()
+    print(result.render())
+    by_key = {(r["algorithm"], r["vcs"]): r for r in result.rows}
+    # More VCs never hurt accepted throughput materially ("the amount of
+    # saturation throughput is affected by the number of VCs").
+    for alg in ("nhop", "minimal-adaptive"):
+        lo = by_key[(alg, 13)]["throughput"]
+        hi = by_key[(alg, 24)]["throughput"]
+        assert hi >= 0.9 * lo

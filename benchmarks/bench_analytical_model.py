@@ -1,0 +1,66 @@
+"""Benchmark + validation of the analytical latency model (extension).
+
+Times the exact channel-load computation and validates the model against
+the flit-level simulator: exact agreement of the zero-load pipeline term
+and an optimistic-but-ordered saturation bound.
+"""
+
+import math
+
+from conftest import run_once
+
+from repro.analysis.channel_load import ChannelLoadMap
+from repro.analysis.latency_model import AnalyticalLatencyModel
+from repro.routing.registry import make_algorithm
+from repro.simulator.config import SimConfig
+from repro.simulator.engine import Simulation
+from repro.topology.mesh import Mesh2D
+
+
+def test_channel_load_map_construction(benchmark):
+    """Exact all-pairs fluid flows on the paper's 10x10 mesh."""
+    loads = benchmark.pedantic(
+        ChannelLoadMap, args=(Mesh2D(10),), rounds=3, iterations=1
+    )
+    # Flow conservation: total flow per node equals the mean distance.
+    assert abs(loads.total_flow_check() - 20 / 3) < 1e-6
+
+
+def test_model_vs_simulation(benchmark):
+    """Model validation sweep against the simulator."""
+    mesh = Mesh2D(8)
+    length = 8
+    model = AnalyticalLatencyModel(mesh, length)
+
+    def run_validation():
+        rows = []
+        for frac in (0.2, 0.6):
+            rate = frac * model.saturation_rate()
+            cfg = SimConfig(
+                width=8, vcs_per_channel=24, message_length=length,
+                injection_rate=rate, cycles=3000, warmup=800, seed=9,
+            )
+            sim = Simulation(cfg, make_algorithm("minimal-adaptive"))
+            r = sim.run()
+            rows.append((rate, model.predict(rate).latency, r.avg_latency))
+        return rows
+
+    rows = run_once(benchmark, run_validation)
+    print()
+    print("rate      model   simulated")
+    for rate, pred, meas in rows:
+        print(f"{rate:.5f}  {pred:6.1f}  {meas:9.1f}")
+        assert math.isfinite(pred)
+        # The model must be in the right ballpark below saturation.
+        assert 0.5 * meas <= pred <= 2.0 * meas
+
+    # Saturation ordering: the measured accepted message rate cannot
+    # exceed the model's fluid bound (the bottleneck channel's capacity).
+    rate_beyond = 1.5 * model.saturation_rate()
+    cfg = SimConfig(
+        width=8, vcs_per_channel=24, message_length=length,
+        injection_rate=rate_beyond, cycles=3000, warmup=800, seed=9,
+    )
+    sim = Simulation(cfg, make_algorithm("minimal-adaptive"))
+    r = sim.run()
+    assert r.message_rate <= model.saturation_rate() * 1.1

@@ -1,0 +1,24 @@
+"""Figure 1 regeneration benchmark: throughput vs injection rate.
+
+Times the fault-free rate sweep (smoke scale) and prints the throughput
+series per algorithm, i.e. the rows behind the paper's Figure 1.
+Full scale: ``python -m repro.experiments fig1 --profile paper``.
+"""
+
+from conftest import BENCH_ALGORITHMS, run_once
+
+from repro.experiments.fig_sweep import print_fig1, run_sweep
+
+
+def test_fig1_rate_sweep(benchmark, smoke_profile):
+    result = run_once(benchmark, run_sweep, smoke_profile, BENCH_ALGORITHMS)
+    print()
+    print(print_fig1(result))
+    # Robust shape checks: throughput grows from the lowest offered load
+    # to the best point, and the accepted throughput is positive at every
+    # swept rate for every algorithm.
+    for alg, thr in result.throughput.items():
+        assert all(t > 0 for t in thr), f"{alg} delivered nothing at some rate"
+        assert max(thr) > thr[0], f"{alg} throughput never grew with load"
+        # Accepted throughput can never exceed the per-node capacity.
+        assert max(thr) <= 1.0

@@ -1,0 +1,27 @@
+"""Figure 2 regeneration benchmark: latency vs injection rate.
+
+Times the same fault-free sweep as Figure 1 (they share data in the
+paper too) and prints the latency series and saturation onsets.
+Full scale: ``python -m repro.experiments fig2 --profile paper``.
+"""
+
+import math
+
+from conftest import BENCH_ALGORITHMS, run_once
+
+from repro.experiments.fig_sweep import print_fig2, run_sweep
+
+
+def test_fig2_latency_sweep(benchmark, smoke_profile):
+    result = run_once(benchmark, run_sweep, smoke_profile, BENCH_ALGORITHMS)
+    print()
+    print(print_fig2(result))
+    for alg, lats in result.latency.items():
+        finite = [v for v in lats if not math.isnan(v)]
+        assert finite, f"{alg} delivered nothing at every rate"
+        # Latency rises from the zero-load point to the deepest point.
+        assert finite[-1] > finite[0], f"{alg} latency never rose with load"
+        # Zero-load latency is at least the pipeline bound: mean distance
+        # plus message length cycles.
+        cfg = smoke_profile.config
+        assert finite[0] >= cfg.message_length

@@ -1,0 +1,31 @@
+"""Figure 3 regeneration benchmark: per-VC utilization at ~5% faults.
+
+Times the VC-usage study (smoke scale) and prints both panels.  Shape
+checks encode the paper's Figure 3 observations: hop-class algorithms
+skew usage toward low VC indices, free-choice algorithms stay flat, and
+the Boppana-Chalasani ring VCs are exercised when faults are present.
+Full scale: ``python -m repro.experiments fig3 --profile paper``.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig_vc_usage import print_fig3, run_vc_usage
+from repro.metrics.vc_usage import usage_imbalance
+
+ALGS = ("phop", "nhop", "minimal-adaptive", "duato-nbc")
+
+
+def test_fig3_vc_usage(benchmark, smoke_profile):
+    result = run_once(benchmark, run_vc_usage, smoke_profile, ALGS)
+    print()
+    print(print_fig3(result))
+
+    # Ring VCs (last four indices) carry traffic in the faulty network.
+    for alg in ALGS:
+        usage = result.usage[alg]
+        assert sum(usage[-4:]) > 0, f"{alg} never used the ring VCs"
+
+    # PHop's hop classes are more unbalanced than Minimal-Adaptive's
+    # free pool (the paper's central Figure 3 contrast).
+    imb = {a: usage_imbalance(result.usage[a][:-4]) for a in ALGS}
+    assert imb["phop"] > imb["minimal-adaptive"]

@@ -1,0 +1,23 @@
+"""Figure 4 regeneration benchmark: normalized throughput vs fault %.
+
+Times the full-load fault study (smoke scale) and prints the Figure 4
+rows.  Shape check: adding faults does not *improve* throughput.
+Full scale: ``python -m repro.experiments fig4 --profile paper``.
+"""
+
+from conftest import BENCH_ALGORITHMS, run_once
+
+from repro.experiments.fig_faults import print_fig4, run_fault_study
+
+
+def test_fig4_fault_throughput(benchmark, smoke_profile):
+    result = run_once(benchmark, run_fault_study, smoke_profile, BENCH_ALGORITHMS)
+    print()
+    print(print_fig4(result))
+    for alg, pts in result.points.items():
+        thr = [p.throughput for p in pts]
+        assert all(t > 0 for t in thr), f"{alg} delivered nothing in a case"
+        # Faults cost throughput (allow a small stochastic tolerance).
+        assert thr[-1] <= thr[0] * 1.10, (
+            f"{alg}: throughput rose with faults ({thr[0]:.3f} -> {thr[-1]:.3f})"
+        )

@@ -1,0 +1,22 @@
+"""Figure 5 regeneration benchmark: normalized latency vs fault %.
+
+Times the full-load fault study (shared with Figure 4 in the paper) and
+prints the Figure 5 rows.  Shape check: faults do not reduce latency.
+Full scale: ``python -m repro.experiments fig5 --profile paper``.
+"""
+
+from conftest import BENCH_ALGORITHMS, run_once
+
+from repro.experiments.fig_faults import print_fig5, run_fault_study
+
+
+def test_fig5_fault_latency(benchmark, smoke_profile):
+    result = run_once(benchmark, run_fault_study, smoke_profile, BENCH_ALGORITHMS)
+    print()
+    print(print_fig5(result))
+    for alg, pts in result.points.items():
+        lats = [p.latency for p in pts]
+        assert all(v == v for v in lats), f"{alg} has NaN latency in a case"
+        assert lats[-1] >= lats[0] * 0.90, (
+            f"{alg}: latency fell with faults ({lats[0]:.0f} -> {lats[-1]:.0f})"
+        )

@@ -1,0 +1,26 @@
+"""Figure 6 regeneration benchmark: traffic load around fault rings.
+
+Times the f-ring load study on the paper's fixed 2x3 + 1x1 + 1x1 layout
+and prints the Figure 6 bars.  Shape check (the paper's Section 5.2
+conclusion): with faults present, f-ring nodes run hotter than the rest
+of the network.
+Full scale: ``python -m repro.experiments fig6 --profile paper``.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig_fring import print_fig6, run_fring_study
+
+ALGS = ("phop", "nbc", "duato-nbc")
+
+
+def test_fig6_fring_load(benchmark, smoke_profile):
+    result = run_once(benchmark, run_fring_study, smoke_profile, ALGS)
+    print()
+    print(print_fig6(result))
+    for alg, cases in result.splits.items():
+        faulty = cases["faulty"]
+        assert faulty.ring_load_pct > faulty.other_load_pct, (
+            f"{alg}: f-ring nodes are not hotter than the rest"
+        )
+        assert faulty.hotspot_ratio > 1.0

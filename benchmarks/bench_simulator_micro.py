@@ -1,0 +1,105 @@
+"""Micro-benchmarks of the simulator substrate.
+
+These time the kernels the figure sweeps spend their cycles in — the
+per-cycle engine step at a fixed load, fault-pattern generation, f-ring
+construction — so performance regressions show up without running a full
+figure.
+"""
+
+import random
+
+from repro.faults.generator import generate_block_fault_pattern
+from repro.faults.pattern import FaultPattern
+from repro.faults.regions import block_closure
+from repro.routing.registry import make_algorithm
+from repro.simulator.config import SimConfig
+from repro.simulator.engine import Simulation
+from repro.topology.mesh import Mesh2D
+
+
+def _warm_simulation(algorithm: str, rate: float) -> Simulation:
+    cfg = SimConfig(
+        width=10,
+        vcs_per_channel=24,
+        message_length=16,
+        injection_rate=rate,
+        cycles=10_000,
+        warmup=0,
+        seed=5,
+        on_deadlock="drain",
+    )
+    sim = Simulation(cfg, make_algorithm(algorithm))
+    sim.step(500)  # fill the network to steady state
+    return sim
+
+
+def test_engine_step_moderate_load(benchmark):
+    """1000 engine cycles at a pre-saturation load (NHop)."""
+    sim = _warm_simulation("nhop", rate=0.01)
+    benchmark.pedantic(sim.step, args=(1000,), rounds=3, iterations=1)
+    assert sim.total_delivered > 0
+
+
+def test_engine_step_saturated(benchmark):
+    """1000 engine cycles deep in saturation (Duato-Nbc)."""
+    sim = _warm_simulation("duato-nbc", rate=0.05)
+    benchmark.pedantic(sim.step, args=(1000,), rounds=3, iterations=1)
+    assert sim.total_delivered > 0
+
+
+def test_fault_pattern_generation(benchmark):
+    """Drawing a 10-fault block pattern on a 10x10 mesh."""
+    mesh = Mesh2D(10)
+    seeds = iter(range(10_000))
+
+    def draw():
+        return generate_block_fault_pattern(
+            mesh, 10, random.Random(next(seeds))
+        )
+
+    pattern = benchmark(draw)
+    assert pattern.n_faulty == 10
+
+
+def test_block_closure(benchmark):
+    """Block closure of a scattered 12-node faulty set."""
+    mesh = Mesh2D(16)
+    rng = random.Random(1)
+    nodes = set(rng.sample(range(mesh.n_nodes), 12))
+
+    closed = benchmark(block_closure, mesh, nodes)
+    assert nodes <= closed
+
+
+def test_simulation_construction(benchmark):
+    """Fabric construction cost for the paper configuration."""
+    cfg = SimConfig(width=10, vcs_per_channel=24, message_length=100)
+
+    def build():
+        return Simulation(cfg, make_algorithm("duato-nbc"))
+
+    sim = benchmark(build)
+    assert sim.mesh.n_nodes == 100
+
+
+def test_routing_candidates(benchmark):
+    """Candidate-tier generation for a hop scheme with cards."""
+    cfg = SimConfig(width=10, vcs_per_channel=24, message_length=16)
+    sim = Simulation(cfg, make_algorithm("nbc"))
+    msg = sim.submit_message(0, 99)
+
+    alg = sim.algorithm
+    result = benchmark(alg.candidate_tiers, msg, 0)
+    assert result
+
+
+def test_fault_pattern_queries(benchmark):
+    """Hot-path fault queries: mask lookups over the whole mesh."""
+    mesh = Mesh2D(10)
+    pattern = generate_block_fault_pattern(mesh, 10, random.Random(3))
+
+    def sweep():
+        mask = pattern.faulty_mask
+        return sum(1 for n in range(mesh.n_nodes) if mask[n])
+
+    assert benchmark(sweep) == 10

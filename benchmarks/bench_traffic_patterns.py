@@ -1,0 +1,60 @@
+"""Extension bench: traffic-pattern sensitivity of the routing schemes.
+
+The paper evaluates only uniform traffic; this extension runs the same
+machinery under the classic adversarial patterns (transpose, hotspot)
+and checks the textbook expectations:
+
+* deterministic XY is competitive under *uniform* traffic but loses to
+  adaptive routing under *transpose* (where XY funnels all flows through
+  the diagonal),
+* a hotspot pattern reduces everyone's accepted throughput.
+"""
+
+from conftest import run_once
+
+from repro.core.evaluator import Evaluator
+from repro.simulator.config import SimConfig
+from repro.traffic.patterns import HotspotTraffic, TransposeTraffic, UniformTraffic
+
+ALGS = ("ecube", "duato-nbc", "minimal-adaptive")
+PATTERNS = {
+    "uniform": UniformTraffic,
+    "transpose": TransposeTraffic,
+    "hotspot": lambda: HotspotTraffic(fraction=0.15),
+}
+
+
+def _grid():
+    cfg = SimConfig(
+        width=8,
+        vcs_per_channel=24,
+        message_length=8,
+        cycles=2500,
+        warmup=600,
+    )
+    rate = 0.5 / cfg.message_length
+    out = {}
+    for pname, factory in PATTERNS.items():
+        evaluator = Evaluator(cfg, seed=17, pattern_factory=factory)
+        case = evaluator.fault_case(0, 1)
+        out[pname] = {
+            alg: evaluator.run_case(alg, case, injection_rate=rate).throughput
+            for alg in ALGS
+        }
+    return out
+
+
+def test_traffic_pattern_grid(benchmark):
+    grid = run_once(benchmark, _grid)
+    print()
+    print(f"{'pattern':10s}" + "".join(f"{a:>18s}" for a in ALGS))
+    for pname, row in grid.items():
+        print(f"{pname:10s}" + "".join(f"{row[a]:18.4f}" for a in ALGS))
+
+    # Adaptivity wins on transpose...
+    assert grid["transpose"]["duato-nbc"] > grid["transpose"]["ecube"]
+    # ...while XY is at least competitive on uniform.
+    assert grid["uniform"]["ecube"] >= 0.9 * grid["uniform"]["duato-nbc"]
+    # Hotspot traffic costs everyone throughput vs uniform.
+    for alg in ALGS:
+        assert grid["hotspot"][alg] < grid["uniform"][alg]

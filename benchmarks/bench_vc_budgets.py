@@ -1,0 +1,37 @@
+"""Sections 3-4 budget table benchmark.
+
+Regenerates the virtual-channel budget table (a pure computation) and
+verifies the paper's stated numbers for the 10x10 mesh: PHop needs 19
+buffer classes, NHop 10, everyone totals 24 VCs with 4 ring VCs.
+"""
+
+from repro.experiments.budgets_table import budget_rows, print_budgets
+from repro.routing.registry import make_algorithm
+from repro.topology.mesh import Mesh2D
+
+
+def test_budget_table(benchmark):
+    rows = benchmark(budget_rows, 10, None, 24)
+    print()
+    print(print_budgets(10, 24))
+    by_name = {row[0]: row for row in rows}
+    # paper Section 3: PHop needs n(k-1)+1 = 19 classes, NHop 10.
+    assert by_name["PHop"][1] == 19
+    assert by_name["NHop"][1] == 10
+    # paper Section 5: every algorithm runs with 24 VCs, 4 of them rings.
+    for row in rows:
+        assert row[5] == 4, f"{row[0]} ring VCs != 4"
+        assert row[6] == 24, f"{row[0]} total != 24"
+    # Duato-Nbc has more adaptive (class I) VCs than Duato-Pbc (Section 4.1).
+    assert by_name["Duato-Nbc"][3] > by_name["Duato-Pbc"][3]
+
+
+def test_budget_construction_speed(benchmark):
+    """Micro-benchmark: budget construction for the largest scheme."""
+    mesh = Mesh2D(10)
+
+    def build():
+        return make_algorithm("duato-pbc").build_budget(mesh, 24)
+
+    budget = benchmark(build)
+    assert budget.total == 24

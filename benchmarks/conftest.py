@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_*`` module regenerates one of the paper's figures at the
+*smoke* scale inside a ``pytest-benchmark`` measurement (one round — the
+workloads are seconds-long simulations, not microseconds) and prints the
+figure's rows, so ``pytest benchmarks/ --benchmark-only -s`` both times
+the reproduction and shows the series.  The full-scale figures come from
+``python -m repro.experiments <fig> --profile paper``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.profiles import SMOKE_PROFILE
+
+#: A representative subset spanning the paper's two categories: a rigid
+#: hop scheme, its bonus-card variant, a Duato hybrid, and a free-choice
+#: algorithm.
+BENCH_ALGORITHMS = ("phop", "nbc", "duato-nbc", "fully-adaptive")
+
+
+@pytest.fixture(scope="session")
+def smoke_profile():
+    return SMOKE_PROFILE
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark a seconds-long workload with a single measured round."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,62 @@
+"""Analytical model vs flit-level simulation (the paper's future work).
+
+The paper's conclusion proposes "driving an analytical modeling approach"
+as future work; `repro.analysis` builds that model for the fault-free
+adaptive case.  This example sweeps the injection rate with both the
+model and the simulator and prints them side by side, including the
+model's saturation bound from the busiest channel.
+
+Run:  python examples/analytical_model.py
+"""
+
+from repro.analysis import AnalyticalLatencyModel
+from repro.core import Evaluator
+from repro.simulator import SimConfig
+from repro.topology import Mesh2D
+
+MESSAGE_LENGTH = 16
+mesh = Mesh2D(10)
+
+model = AnalyticalLatencyModel(mesh, MESSAGE_LENGTH, vcs_per_direction=20)
+sat_bound = model.saturation_rate()
+print(f"Mean distance (uniform traffic): {model.mean_distance:.2f} hops")
+print(f"Busiest channel: {model.loads.bottleneck_channel()} "
+      f"(unit flow {model.loads.max_unit_flow():.2f})")
+print(f"Model saturation bound: rate {sat_bound:.5f} msgs/node/cycle "
+      f"({sat_bound * MESSAGE_LENGTH:.3f} flits/node/cycle offered)\n")
+
+config = SimConfig(
+    width=10,
+    vcs_per_channel=24,
+    message_length=MESSAGE_LENGTH,
+    cycles=4_000,
+    warmup=1_000,
+)
+evaluator = Evaluator(config, seed=21)
+
+rates = [f * sat_bound for f in (0.1, 0.3, 0.5, 0.7, 0.85)]
+print("rate      model latency  simulated latency (minimal-adaptive)")
+for rate in rates:
+    predicted = model.predict(rate).latency
+    run = evaluator.run_case(
+        "minimal-adaptive", evaluator.fault_case(0, 1), injection_rate=rate
+    )
+    print(f"{rate:.5f}  {predicted:13.1f}  {run.latency:17.1f}")
+
+print(
+    "\nExpected shape: close agreement at low rates (the pipeline term is\n"
+    "exact), model optimistic as the bound is approached -- the fluid\n"
+    "model ignores burstiness and switch contention."
+)
+
+# Faulty extension: the fluid bound predicts the Figure 4 degradation.
+import random
+
+from repro.analysis import fault_throughput_bound
+from repro.faults import FaultPattern, generate_block_fault_pattern
+
+print("\nAnalytical throughput bounds vs faults (Figure 4's shape):")
+print(f"  0 faults:  {fault_throughput_bound(FaultPattern.fault_free(mesh), MESSAGE_LENGTH):.3f} flits/node/cycle")
+for n in (5, 10):
+    p = generate_block_fault_pattern(mesh, n, random.Random(3))
+    print(f"  {n} faults: {fault_throughput_bound(p, MESSAGE_LENGTH):.3f} flits/node/cycle")

@@ -1,0 +1,58 @@
+"""Define and run a simulation campaign with crash-safe resume.
+
+Campaigns are the way to run big custom grids (beyond the built-in
+figure drivers): declare the cross product once, run it — rerunning the
+script skips everything already computed — and read the results back as
+plain dicts.  The manifest written next to the results captures the
+exact config and fault layouts for reproducibility.
+
+Run:  python examples/campaign_runner.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.experiments.campaign import CampaignRunner, CampaignSpec, load_campaign
+from repro.simulator import SimConfig
+
+spec = CampaignSpec(
+    name="bonus-card-faulty-grid",
+    algorithms=("phop", "pbc", "nhop", "nbc"),
+    config=SimConfig(
+        width=8,
+        vcs_per_channel=24,
+        message_length=8,
+        cycles=1_500,
+        warmup=400,
+    ),
+    rates=(0.01, 0.04),
+    fault_counts=(0, 3),
+    fault_sets=2,
+    seed=11,
+)
+print(f"Campaign '{spec.name}': {spec.n_jobs} jobs")
+
+out_dir = Path(tempfile.mkdtemp(prefix="repro_campaign_"))
+runner = CampaignRunner(spec, out_dir)
+executed = runner.run(progress=lambda s: print(" ", s))
+print(f"\nExecuted {executed} jobs -> {out_dir}/results.jsonl")
+
+# Re-running resumes: nothing left to do.
+assert runner.run() == 0
+print("Re-run executed 0 jobs (resume works).")
+
+# Read back and summarize: mean throughput per algorithm at the high
+# rate with faults present.
+_, rows = load_campaign(out_dir)
+print("\nThroughput at rate 0.04 with 3 faults (mean over fault sets):")
+for alg in spec.algorithms:
+    vals = [
+        r["throughput"]
+        for r in rows
+        if r["algorithm"] == alg and r["rate"] == 0.04 and r["n_faults"] == 3
+    ]
+    print(f"  {alg:6s} {sum(vals) / len(vals):.4f}")
+print(
+    "\nExpected shape: the bonus-card variants (pbc/nbc) at or above\n"
+    "their base schemes, as in the paper's Section 4."
+)

@@ -1,0 +1,55 @@
+"""Quickstart: simulate one routing algorithm on a faulty mesh.
+
+Builds a 10x10 wormhole-switched mesh with 5% failed nodes, routes
+uniform traffic with the Duato-Nbc algorithm (the paper's overall
+winner), and prints the headline statistics.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro.faults import generate_block_fault_pattern
+from repro.routing import make_algorithm
+from repro.simulator import SimConfig, Simulation
+from repro.topology import Mesh2D
+
+# 1. A 10x10 mesh (the paper's configuration).
+mesh = Mesh2D(10)
+
+# 2. A random block-fault pattern: 5 failed nodes, coalesced into
+#    rectangular regions, guaranteed not to disconnect the network.
+faults = generate_block_fault_pattern(mesh, n_faults=5, rng=random.Random(42))
+print(f"Fault regions: {[(r.width, r.height) for r in faults.regions]}")
+print(f"f-ring nodes:  {sorted(faults.ring_nodes)}")
+
+# 3. Simulation parameters: 24 virtual channels per physical channel,
+#    exponential arrivals, fixed-length messages.  (The paper uses
+#    100-flit messages and 30k cycles; this demo is scaled down to run
+#    in a few seconds.)
+config = SimConfig(
+    width=10,
+    vcs_per_channel=24,
+    message_length=32,
+    injection_rate=0.003,  # messages per node per cycle
+    cycles=8_000,
+    warmup=2_000,
+    seed=1,
+    on_deadlock="drain",  # recovery policy for faulty networks
+)
+
+# 4. Pick an algorithm by name.  All eleven of the paper's algorithms
+#    are registered: phop, nhop, pbc, nbc, duato, duato-pbc, duato-nbc,
+#    minimal-adaptive, fully-adaptive, boura, boura-ft.
+algorithm = make_algorithm("duato-nbc")
+
+# 5. Run.
+sim = Simulation(config, algorithm, faults=faults)
+result = sim.run()
+
+print(f"\nAlgorithm:            {result.algorithm}")
+print(f"Messages delivered:   {result.delivered}")
+print(f"Average latency:      {result.avg_latency:.1f} cycles")
+print(f"Average hops:         {result.avg_hops:.2f}")
+print(f"Throughput:           {result.throughput:.4f} flits/node/cycle")
+print(f"Deadlock recoveries:  {result.dropped_deadlock}")

@@ -1,0 +1,46 @@
+"""Reproduction of the IPPS 2007 comparative study of adaptive
+fault-tolerant wormhole routing algorithms for 2-D meshes.
+
+Top-level re-exports cover the common workflow::
+
+    import random
+    import repro
+
+    mesh = repro.Mesh2D(10)
+    faults = repro.generate_block_fault_pattern(mesh, 5, random.Random(1))
+    sim = repro.Simulation(
+        repro.SimConfig(width=10, injection_rate=0.002, on_deadlock="drain"),
+        repro.make_algorithm("duato-nbc"),
+        faults=faults,
+    )
+    result = sim.run()
+
+The full surface lives in the subpackages: :mod:`repro.topology`,
+:mod:`repro.faults`, :mod:`repro.simulator`, :mod:`repro.routing`,
+:mod:`repro.traffic`, :mod:`repro.metrics`, :mod:`repro.core`,
+:mod:`repro.analysis` and :mod:`repro.experiments`.
+"""
+
+from repro.core.evaluator import Evaluator
+from repro.faults.generator import generate_block_fault_pattern
+from repro.faults.pattern import FaultPattern
+from repro.routing.registry import ALGORITHM_NAMES, PAPER_ORDER, make_algorithm
+from repro.simulator.config import SimConfig
+from repro.simulator.engine import Simulation, SimulationResult
+from repro.topology.mesh import Mesh2D
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHM_NAMES",
+    "Evaluator",
+    "FaultPattern",
+    "Mesh2D",
+    "PAPER_ORDER",
+    "SimConfig",
+    "Simulation",
+    "SimulationResult",
+    "__version__",
+    "generate_block_fault_pattern",
+    "make_algorithm",
+]

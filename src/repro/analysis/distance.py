@@ -1,0 +1,58 @@
+"""Exact hop-distance statistics for uniform traffic on a 2-D mesh.
+
+Uniform traffic picks a destination uniformly among the *other* healthy
+nodes, so the distance distribution is the exact enumeration over ordered
+pairs.  These feed the latency model's pipeline term and the per-hop
+waiting weights.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+
+from repro.topology.mesh import Mesh2D
+
+
+def distance_distribution(
+    mesh: Mesh2D, nodes: Iterable[int] | None = None
+) -> dict[int, float]:
+    """P(distance = d) over ordered pairs of distinct nodes.
+
+    Restricted to *nodes* when given (the healthy nodes of a fault
+    pattern); otherwise all mesh nodes.
+    """
+    pool = list(nodes) if nodes is not None else list(mesh.nodes())
+    if len(pool) < 2:
+        raise ValueError("need at least two nodes")
+    counts: Counter[int] = Counter()
+    # Count per-axis offset distributions separately and convolve: the
+    # Manhattan distance splits over the two axes.  O(width^2+height^2)
+    # instead of O(N^2) -- exact for the full-mesh case.
+    if nodes is None:
+        xs = Counter()
+        for a in range(mesh.width):
+            for b in range(mesh.width):
+                xs[abs(a - b)] += 1
+        ys = Counter()
+        for a in range(mesh.height):
+            for b in range(mesh.height):
+                ys[abs(a - b)] += 1
+        for dx, cx in xs.items():
+            for dy, cy in ys.items():
+                counts[dx + dy] += cx * cy
+        counts[0] -= mesh.n_nodes  # remove self-pairs
+        total = mesh.n_nodes * (mesh.n_nodes - 1)
+    else:
+        for a in pool:
+            for b in pool:
+                if a != b:
+                    counts[mesh.distance(a, b)] += 1
+        total = len(pool) * (len(pool) - 1)
+    return {d: c / total for d, c in sorted(counts.items()) if c > 0}
+
+
+def mean_distance(mesh: Mesh2D, nodes: Iterable[int] | None = None) -> float:
+    """Mean minimal-path length of uniform traffic."""
+    dist = distance_distribution(mesh, nodes)
+    return sum(d * p for d, p in dist.items())

@@ -1,0 +1,136 @@
+"""Fluid channel loads on *faulty* meshes.
+
+Extends :mod:`repro.analysis.channel_load` to fault patterns: flows are
+routed over the shortest paths of the **healthy subgraph** (BFS
+distances), splitting equally over every shortest-path next hop at each
+node.  This is the natural fluid model of an idealized fault-tolerant
+adaptive algorithm — real schemes detour along f-rings, which visit the
+same neighborhoods the shortest faulty-graph paths do — and yields an
+analytical counterpart to the paper's Figure 4: the throughput bound
+from the busiest channel drops as faults concentrate flows around the
+fault regions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.faults.pattern import FaultPattern
+from repro.topology.directions import DIRECTIONS
+from repro.topology.mesh import Mesh2D
+
+
+class FaultyChannelLoadMap:
+    """Unit channel flows for uniform traffic on a faulty mesh.
+
+    Only healthy nodes generate and sink traffic ("messages are destined
+    only to fault-free nodes"); channels touching faulty nodes carry
+    nothing.
+    """
+
+    def __init__(self, pattern: FaultPattern) -> None:
+        self.pattern = pattern
+        self.mesh = pattern.mesh
+        mesh = self.mesh
+        healthy = pattern.healthy_nodes
+        if len(healthy) < 2:
+            raise ValueError("need at least two healthy nodes")
+        faulty = pattern.faulty_mask
+        self._unit = {
+            (node, d): 0.0
+            for node, d, dst in mesh.channels()
+            if not faulty[node] and not faulty[dst]
+        }
+        weight = 1.0 / (len(healthy) - 1)
+
+        # One BFS per destination gives dist(v, dst) for all v, which
+        # defines the shortest-path DAG into dst for every source at once.
+        for dst in healthy:
+            dist = self._bfs_from(dst)
+            for src in healthy:
+                if src == dst or dist[src] < 0:
+                    continue
+                self._propagate(src, dst, dist, weight)
+
+    def _bfs_from(self, start: int) -> list[int]:
+        mesh, faulty = self.mesh, self.pattern.faulty_mask
+        dist = [-1] * mesh.n_nodes
+        dist[start] = 0
+        queue = deque([start])
+        while queue:
+            node = queue.popleft()
+            for nb in mesh.neighbor_table(node):
+                if nb >= 0 and not faulty[nb] and dist[nb] < 0:
+                    dist[nb] = dist[node] + 1
+                    queue.append(nb)
+        return dist
+
+    def _propagate(self, src: int, dst: int, dist: list[int], weight: float) -> None:
+        """Push one flow unit down the shortest-path DAG src -> dst."""
+        mesh = self.mesh
+        unit = self._unit
+        flow = {src: weight}
+        # Process nodes in decreasing distance-to-dst (i.e. path order).
+        frontier = [src]
+        seen = {src}
+        order = [src]
+        while frontier:
+            nxt_frontier = []
+            for node in frontier:
+                for d in DIRECTIONS:
+                    nb = mesh.neighbor(node, d)
+                    if (
+                        nb >= 0
+                        and dist[nb] == dist[node] - 1
+                        and (node, d) in unit
+                        and nb not in seen
+                    ):
+                        seen.add(nb)
+                        nxt_frontier.append(nb)
+                        order.append(nb)
+            frontier = nxt_frontier
+        for node in order:
+            if node == dst:
+                continue
+            downs = [
+                d
+                for d in DIRECTIONS
+                if (nb := mesh.neighbor(node, d)) >= 0
+                and dist[nb] == dist[node] - 1
+                and (node, d) in unit
+            ]
+            share = flow.get(node, 0.0) / len(downs)
+            if share == 0.0:
+                continue
+            for d in downs:
+                nb = mesh.neighbor(node, d)
+                unit[(node, d)] += share
+                flow[nb] = flow.get(nb, 0.0) + share
+
+    # ------------------------------------------------------------------
+    @property
+    def unit_flows(self) -> dict[tuple[int, int], float]:
+        return dict(self._unit)
+
+    def unit_flow(self, node: int, direction: int) -> float:
+        return self._unit[(node, direction)]
+
+    def max_unit_flow(self) -> float:
+        return max(self._unit.values())
+
+    def saturation_rate(self, message_length: int) -> float:
+        """Rate bound from the busiest healthy channel."""
+        return 1.0 / (self.max_unit_flow() * message_length)
+
+    def total_flow_check(self) -> float:
+        """Sum of flows per healthy node = mean healthy-graph distance."""
+        return sum(self._unit.values()) / len(self.pattern.healthy_nodes)
+
+
+def fault_throughput_bound(
+    pattern: FaultPattern, message_length: int
+) -> float:
+    """Analytical counterpart of a Figure 4 point: the fluid bound on
+    accepted flits/node/cycle for this fault pattern."""
+    loads = FaultyChannelLoadMap(pattern)
+    return loads.saturation_rate(message_length) * message_length

@@ -1,0 +1,13 @@
+"""The comparative-evaluation framework (the paper's contribution).
+
+The paper's contribution is not a new algorithm but the *controlled
+comparison*: ten adaptive routing algorithms, equalized at 24 virtual
+channels per physical channel, fortified with the same fault-ring scheme,
+driven by the same traffic and fault processes.  :class:`Evaluator`
+packages that methodology: it owns the deadlock-policy decisions, the
+fault-set averaging, and the rate sweeps the figures are built from.
+"""
+
+from repro.core.evaluator import Evaluator, FaultCase, deadlock_policy
+
+__all__ = ["Evaluator", "FaultCase", "deadlock_policy"]

@@ -1,0 +1,6 @@
+"""``python -m repro.experiments`` — see :mod:`repro.experiments.cli`."""
+
+from repro.experiments.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,206 @@
+"""Ablation studies over the design choices the paper singles out.
+
+Each study isolates one knob the paper discusses qualitatively and
+measures it:
+
+* ``vc_count``      — "the amount of saturation throughput is affected by
+  the number of virtual channels" (Section 5): throughput/latency vs
+  VCs per physical channel.
+* ``bonus_cards``   — the Section 4 modification: PHop vs Pbc and NHop vs
+  Nbc under identical budgets.
+* ``misroute_limit`` — Fully-Adaptive's misroute bound (the paper fixes
+  it at 10): sweep the cap.
+* ``buffer_depth``  — flit buffer depth per VC (a knob the paper leaves
+  implicit).
+* ``message_length`` — 32/64/100-flit messages, "commonly considered in
+  the literature" (Section 5).
+* ``mesh_size``     — radix scaling (the hop-based budgets grow with the
+  diameter).
+
+All studies run fault-free at a configurable offered load and return
+plain row dicts so the CLI and benchmarks can render them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.ascii_plot import table
+from repro.routing.freeform import FullyAdaptive
+from repro.routing.registry import make_algorithm
+from repro.simulator.config import SimConfig
+from repro.simulator.engine import Simulation
+
+
+@dataclass
+class AblationResult:
+    """Rows of one ablation study."""
+
+    study: str
+    knob: str
+    rows: list[dict] = field(default_factory=list)
+
+    def to_payload(self) -> dict:
+        return {"experiment": f"ablation-{self.study}", "rows": self.rows}
+
+    def render(self) -> str:
+        if not self.rows:
+            return f"Ablation {self.study}: no rows"
+        headers = list(self.rows[0])
+        body = [[row[h] for h in headers] for row in self.rows]
+        return table(headers, body, title=f"Ablation: {self.study} (knob: {self.knob})")
+
+
+def _run(cfg: SimConfig, algorithm) -> dict:
+    alg = make_algorithm(algorithm) if isinstance(algorithm, str) else algorithm
+    sim = Simulation(cfg, alg)
+    r = sim.run()
+    return {
+        "throughput": round(r.throughput, 4),
+        "latency": round(r.avg_latency, 1) if r.delivered else float("nan"),
+        "delivered": r.delivered,
+    }
+
+
+def _base_config(load: float, **overrides) -> SimConfig:
+    defaults = dict(
+        width=10,
+        vcs_per_channel=24,
+        message_length=16,
+        cycles=4_000,
+        warmup=1_000,
+        seed=31,
+        on_deadlock="drain",
+    )
+    defaults.update(overrides)
+    cfg = SimConfig(**defaults)
+    return cfg.with_(injection_rate=load / cfg.message_length)
+
+
+def vc_count_ablation(
+    load: float = 0.5,
+    algorithms: tuple[str, ...] = ("nhop", "duato-nbc", "minimal-adaptive"),
+    vc_counts: tuple[int, ...] = (15, 18, 24, 32),
+    **overrides,
+) -> AblationResult:
+    """Throughput/latency vs VCs per physical channel.
+
+    The floor of 15 comes from the 10x10 hop budgets (NHop needs
+    10 classes + 4 ring + 1).
+    """
+    result = AblationResult("vc-count", "vcs_per_channel")
+    for v in vc_counts:
+        for alg in algorithms:
+            cfg = _base_config(load, vcs_per_channel=v, **overrides)
+            try:
+                row = _run(cfg, alg)
+            except Exception as exc:  # budget too small for this scheme
+                row = {"throughput": float("nan"), "latency": float("nan"),
+                       "delivered": 0, "note": type(exc).__name__}
+            result.rows.append({"vcs": v, "algorithm": alg, **row})
+    return result
+
+
+def bonus_card_ablation(
+    load: float = 0.5, **overrides
+) -> AblationResult:
+    """PHop vs Pbc and NHop vs Nbc at identical hardware budgets."""
+    result = AblationResult("bonus-cards", "cards on/off")
+    for base, carded in (("phop", "pbc"), ("nhop", "nbc")):
+        cfg = _base_config(load, **overrides)
+        r_base = _run(cfg, base)
+        r_card = _run(cfg, carded)
+        gain = (
+            100.0 * (r_card["throughput"] / r_base["throughput"] - 1.0)
+            if r_base["throughput"]
+            else float("nan")
+        )
+        result.rows.append(
+            {
+                "pair": f"{base}->{carded}",
+                "thr_base": r_base["throughput"],
+                "thr_cards": r_card["throughput"],
+                "thr_gain_%": round(gain, 1),
+                "lat_base": r_base["latency"],
+                "lat_cards": r_card["latency"],
+            }
+        )
+    return result
+
+
+def misroute_limit_ablation(
+    load: float = 0.5,
+    limits: tuple[int, ...] = (0, 2, 10, 50),
+    **overrides,
+) -> AblationResult:
+    """Fully-Adaptive with different misroute caps (the paper uses 10)."""
+    result = AblationResult("misroute-limit", "max_misroutes")
+    for limit in limits:
+        alg = FullyAdaptive()
+        alg.max_misroutes = limit
+        cfg = _base_config(load, **overrides)
+        row = _run(cfg, alg)
+        result.rows.append({"max_misroutes": limit, **row})
+    return result
+
+
+def buffer_depth_ablation(
+    load: float = 0.5,
+    depths: tuple[int, ...] = (1, 2, 4, 8),
+    algorithm: str = "duato-nbc",
+    **overrides,
+) -> AblationResult:
+    """Flit-buffer depth per VC."""
+    result = AblationResult("buffer-depth", "buffer_depth")
+    for depth in depths:
+        cfg = _base_config(load, buffer_depth=depth, **overrides)
+        result.rows.append({"depth": depth, **_run(cfg, algorithm)})
+    return result
+
+
+def message_length_ablation(
+    load: float = 0.5,
+    lengths: tuple[int, ...] = (32, 64, 100),
+    algorithm: str = "nhop",
+    **overrides,
+) -> AblationResult:
+    """The literature's common message lengths (32/64/100 flits)."""
+    result = AblationResult("message-length", "message_length")
+    for length in lengths:
+        cfg = _base_config(load, message_length=length, **overrides)
+        result.rows.append({"length": length, **_run(cfg, algorithm)})
+    return result
+
+
+def mesh_size_ablation(
+    load: float = 0.5,
+    radices: tuple[int, ...] = (6, 8, 10, 12),
+    algorithm: str = "nhop",
+    **overrides,
+) -> AblationResult:
+    """Radix scaling; the hop budgets grow with the diameter."""
+    result = AblationResult("mesh-size", "width=height")
+    for k in radices:
+        cfg = _base_config(load, width=k, **overrides)
+        result.rows.append({"radix": k, **_run(cfg, algorithm)})
+    return result
+
+
+ABLATIONS = {
+    "vc-count": vc_count_ablation,
+    "bonus-cards": bonus_card_ablation,
+    "misroute-limit": misroute_limit_ablation,
+    "buffer-depth": buffer_depth_ablation,
+    "message-length": message_length_ablation,
+    "mesh-size": mesh_size_ablation,
+}
+
+
+def run_ablation(name: str, **kwargs) -> AblationResult:
+    """Run an ablation study by name."""
+    try:
+        fn = ABLATIONS[name]
+    except KeyError:
+        known = ", ".join(sorted(ABLATIONS))
+        raise ValueError(f"unknown ablation {name!r}; known: {known}") from None
+    return fn(**kwargs)

@@ -1,0 +1,60 @@
+"""The Sections 3-4 virtual-channel budget table.
+
+Regenerates the paper's stated budgets: on a 10x10 mesh PHop needs 19
+buffer classes and NHop 10 (``n(k-1)+1`` and ``1+floor(n(k-1)/2)``), all
+algorithms are equalized at 24 VCs per physical channel, and 4 of those
+are the Boppana-Chalasani ring channels.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ascii_plot import table
+from repro.routing.registry import display_name, make_algorithm
+from repro.simulator.config import SimConfig
+from repro.topology.mesh import Mesh2D
+
+
+def budget_rows(
+    width: int = 10, height: int | None = None, total_vcs: int = 24
+) -> list[list[object]]:
+    """One row per algorithm: class/adaptive/escape/ring VC counts."""
+    mesh = Mesh2D(width, height)
+    rows: list[list[object]] = []
+    from repro.routing.registry import PAPER_ORDER
+
+    for name in PAPER_ORDER:
+        alg = make_algorithm(name)
+        budget = alg.build_budget(mesh, total_vcs)
+        n_class_vcs = sum(len(v) for v in budget.class_vcs)
+        rows.append(
+            [
+                display_name(name),
+                budget.n_classes,
+                n_class_vcs,
+                len(budget.adaptive_vcs),
+                len(budget.escape_vcs),
+                len(budget.ring_vcs),
+                budget.total,
+            ]
+        )
+    return rows
+
+
+def print_budgets(width: int = 10, total_vcs: int = 24) -> str:
+    head = [
+        "algorithm",
+        "hop classes",
+        "class VCs",
+        "adaptive VCs",
+        "escape VCs",
+        "ring VCs",
+        "total",
+    ]
+    return table(
+        head,
+        budget_rows(width, total_vcs=total_vcs),
+        title=(
+            f"Virtual-channel budgets on a {width}x{width} mesh with "
+            f"{total_vcs} VCs/channel (paper Sections 3-4)"
+        ),
+    )

@@ -1,0 +1,235 @@
+"""Campaign runner: manifest-driven simulation grids with resume.
+
+A *campaign* is the cross product of algorithms × injection rates ×
+fault cases × repeats, described by a JSON-safe :class:`CampaignSpec`.
+The runner executes every cell, appends one JSON line per finished run
+to ``results.jsonl`` (so partial campaigns survive interruption and
+resume for free), and writes a ``manifest.json`` capturing the exact
+inputs — config, spec, and the drawn fault patterns — via
+:mod:`repro.util.serialization`.
+
+Example::
+
+    spec = CampaignSpec(
+        name="vc-study",
+        algorithms=("nhop", "duato-nbc"),
+        config=SimConfig(width=10, message_length=16, cycles=4000, warmup=1000),
+        rates=(0.005, 0.02),
+        fault_counts=(0, 5),
+        fault_sets=2,
+    )
+    runner = CampaignRunner(spec, out_dir="campaigns/vc-study")
+    runner.run()
+    rows = runner.load_results()
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.evaluator import Evaluator
+from repro.simulator.config import SimConfig
+from repro.util.serialization import (
+    config_from_dict,
+    config_to_dict,
+    pattern_to_dict,
+)
+
+_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Declarative description of a simulation campaign."""
+
+    name: str
+    algorithms: tuple[str, ...]
+    config: SimConfig
+    rates: tuple[float, ...]
+    fault_counts: tuple[int, ...] = (0,)
+    fault_sets: int = 1
+    repeats: int = 1
+    seed: int = 2007
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("campaign needs a name")
+        if not self.algorithms:
+            raise ValueError("campaign needs at least one algorithm")
+        if not self.rates:
+            raise ValueError("campaign needs at least one injection rate")
+        if self.fault_sets < 1 or self.repeats < 1:
+            raise ValueError("fault_sets and repeats must be positive")
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "kind": "campaign-spec",
+            "schema": _SCHEMA_VERSION,
+            "name": self.name,
+            "algorithms": list(self.algorithms),
+            "config": config_to_dict(self.config),
+            "rates": list(self.rates),
+            "fault_counts": list(self.fault_counts),
+            "fault_sets": self.fault_sets,
+            "repeats": self.repeats,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> CampaignSpec:
+        if payload.get("kind") != "campaign-spec":
+            raise ValueError("payload is not a campaign-spec")
+        if payload.get("schema") != _SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported campaign schema {payload.get('schema')!r}"
+            )
+        return cls(
+            name=payload["name"],
+            algorithms=tuple(payload["algorithms"]),
+            config=config_from_dict(payload["config"]),
+            rates=tuple(payload["rates"]),
+            fault_counts=tuple(payload.get("fault_counts", (0,))),
+            fault_sets=payload.get("fault_sets", 1),
+            repeats=payload.get("repeats", 1),
+            seed=payload.get("seed", 2007),
+        )
+
+    # ------------------------------------------------------------------
+    def job_keys(self) -> list[dict]:
+        """All grid cells, as order-stable JSON-safe key dicts."""
+        keys = []
+        for alg in self.algorithms:
+            for rate in self.rates:
+                for n_faults in self.fault_counts:
+                    n_sets = self.fault_sets if n_faults else 1
+                    for set_idx in range(n_sets):
+                        for repeat in range(self.repeats):
+                            keys.append(
+                                {
+                                    "algorithm": alg,
+                                    "rate": rate,
+                                    "n_faults": n_faults,
+                                    "fault_set": set_idx,
+                                    "repeat": repeat,
+                                }
+                            )
+        return keys
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.job_keys())
+
+
+def _key_id(key: dict) -> str:
+    return (
+        f"{key['algorithm']}/r{key['rate']:.9f}/f{key['n_faults']}"
+        f"/s{key['fault_set']}/x{key['repeat']}"
+    )
+
+
+class CampaignRunner:
+    """Executes a :class:`CampaignSpec` with crash-safe resume."""
+
+    def __init__(self, spec: CampaignSpec, out_dir: Path | str) -> None:
+        self.spec = spec
+        self.out_dir = Path(out_dir)
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        self.results_path = self.out_dir / "results.jsonl"
+        self.manifest_path = self.out_dir / "manifest.json"
+        self._evaluator = Evaluator(spec.config, seed=spec.seed)
+        # Draw the fault cases once; they are part of the manifest.
+        self._cases = {
+            n: self._evaluator.fault_case(n, spec.fault_sets if n else 1)
+            for n in spec.fault_counts
+        }
+
+    # ------------------------------------------------------------------
+    def write_manifest(self) -> None:
+        manifest = {
+            "kind": "campaign-manifest",
+            "schema": _SCHEMA_VERSION,
+            "spec": self.spec.to_dict(),
+            "fault_patterns": {
+                str(n): [pattern_to_dict(p) for p in case.patterns]
+                for n, case in self._cases.items()
+            },
+        }
+        self.manifest_path.write_text(json.dumps(manifest, indent=2))
+
+    def completed_ids(self) -> set[str]:
+        """Ids of jobs already present in ``results.jsonl``."""
+        if not self.results_path.exists():
+            return set()
+        done = set()
+        for line in self.results_path.read_text().splitlines():
+            if not line.strip():
+                continue
+            try:
+                done.add(json.loads(line)["id"])
+            except (json.JSONDecodeError, KeyError):
+                continue  # torn final line from a crash: re-run that job
+        return done
+
+    def run(self, *, resume: bool = True, progress=None) -> int:
+        """Run every (remaining) job; returns how many were executed."""
+        self.write_manifest()
+        done = self.completed_ids() if resume else set()
+        executed = 0
+        with self.results_path.open("a" if resume else "w") as sink:
+            for key in self.spec.job_keys():
+                job_id = _key_id(key)
+                if job_id in done:
+                    continue
+                row = self._run_job(key)
+                row["id"] = job_id
+                sink.write(json.dumps(row) + "\n")
+                sink.flush()
+                executed += 1
+                if progress:
+                    progress(f"[{self.spec.name}] {job_id}")
+        return executed
+
+    def _run_job(self, key: dict) -> dict:
+        case = self._cases[key["n_faults"]]
+        faults = case.patterns[key["fault_set"]]
+        result = self._evaluator.run_single(
+            key["algorithm"],
+            faults,
+            injection_rate=key["rate"],
+            set_index=key["fault_set"] * 1000 + key["repeat"],
+        )
+        return {
+            **key,
+            "throughput": result.throughput,
+            "latency": result.avg_latency,
+            "network_latency": result.avg_network_latency,
+            "delivered": result.delivered,
+            "dropped": result.dropped_deadlock + result.dropped_livelock,
+            "avg_hops": result.avg_hops,
+        }
+
+    # ------------------------------------------------------------------
+    def load_results(self) -> list[dict]:
+        """All completed rows, in file order."""
+        if not self.results_path.exists():
+            return []
+        rows = []
+        for line in self.results_path.read_text().splitlines():
+            if line.strip():
+                try:
+                    rows.append(json.loads(line))
+                except json.JSONDecodeError:
+                    continue
+        return rows
+
+
+def load_campaign(out_dir: Path | str) -> tuple[CampaignSpec, list[dict]]:
+    """Rebuild a campaign's spec and results from its output directory."""
+    out_dir = Path(out_dir)
+    manifest = json.loads((out_dir / "manifest.json").read_text())
+    spec = CampaignSpec.from_dict(manifest["spec"])
+    runner = CampaignRunner(spec, out_dir)
+    return spec, runner.load_results()

@@ -1,0 +1,187 @@
+"""Command-line entry point: regenerate any figure of the paper.
+
+Examples::
+
+    python -m repro.experiments budgets
+    python -m repro.experiments fig1 --profile quick
+    python -m repro.experiments fig6 --profile paper --out results/
+    python -m repro.experiments all --algorithms nhop phop duato-nbc
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.ablations import ABLATIONS, run_ablation
+from repro.experiments.budgets_table import print_budgets
+from repro.experiments.fig_faults import print_fig4, print_fig5, run_fault_study
+from repro.experiments.fig_fring import print_fig6, run_fring_study
+from repro.experiments.fig_sweep import print_fig1, print_fig2, run_sweep
+from repro.experiments.fig_vc_usage import print_fig3, run_vc_usage
+from repro.experiments.profiles import PROFILES, get_profile
+
+EXPERIMENTS = ("budgets", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6")
+ABLATION_COMMANDS = tuple(f"ablation-{name}" for name in sorted(ABLATIONS))
+
+
+def _dump(out_dir: Path | None, name: str, payload: dict) -> None:
+    if out_dir is None:
+        return
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2))
+    print(f"[saved {path}]")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the figures of the IPPS 2007 routing study.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=EXPERIMENTS
+        + ABLATION_COMMANDS
+        + ("all", "ablations", "report", "campaign"),
+        help="which figure or ablation study to regenerate ('report' "
+        "renders saved JSON from --out as markdown; 'campaign' runs a "
+        "--spec manifest)",
+    )
+    parser.add_argument(
+        "--spec",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="campaign spec JSON (required by the 'campaign' command)",
+    )
+    parser.add_argument(
+        "--profile",
+        default="quick",
+        choices=sorted(PROFILES),
+        help="simulation scale (default: quick; 'paper' is full scale)",
+    )
+    parser.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="restrict to a subset of algorithm names",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2007, help="master seed (default 2007)"
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="also dump raw series as JSON into DIR",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-algorithm progress"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size for the fig1/2 and fig4/5 grids "
+        "(registered profiles only; default 1)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "report":
+        from repro.experiments.report import summarize_directory
+
+        print(summarize_directory(args.out or Path("results")))
+        return 0
+
+    if args.experiment == "campaign":
+        from repro.experiments.campaign import CampaignRunner, CampaignSpec
+
+        if args.spec is None:
+            parser.error("campaign requires --spec FILE")
+        spec = CampaignSpec.from_dict(json.loads(args.spec.read_text()))
+        out_dir = args.out or Path("campaigns") / spec.name
+        runner = CampaignRunner(spec, out_dir)
+        progress_cb = None if args.quiet else (
+            lambda s: print(s, file=sys.stderr)
+        )
+        executed = runner.run(progress=progress_cb)
+        rows = runner.load_results()
+        print(
+            f"campaign {spec.name!r}: {executed} jobs executed, "
+            f"{len(rows)} total results in {out_dir}"
+        )
+        return 0
+
+    profile = get_profile(args.profile)
+    algorithms = tuple(args.algorithms) if args.algorithms else None
+    progress = None if args.quiet else lambda s: print(s, file=sys.stderr)
+    if args.experiment == "all":
+        wanted: tuple[str, ...] = EXPERIMENTS
+    elif args.experiment == "ablations":
+        wanted = ABLATION_COMMANDS
+    else:
+        wanted = (args.experiment,)
+    t0 = time.time()
+
+    for command in wanted:
+        if not command.startswith("ablation-"):
+            continue
+        name = command.removeprefix("ablation-")
+        if progress:
+            progress(f"[ablation] {name}: running")
+        result = run_ablation(name)
+        _dump(args.out, f"ablation_{name}", result.to_payload())
+        print(result.render())
+        print()
+
+    if "budgets" in wanted:
+        print(print_budgets(profile.config.width, profile.config.vcs_per_channel))
+        print()
+    if "fig1" in wanted or "fig2" in wanted:
+        sweep = run_sweep(
+            profile, algorithms, seed=args.seed, progress=progress,
+            workers=args.workers,
+        )
+        _dump(args.out, f"sweep_{profile.name}", sweep.to_payload())
+        if "fig1" in wanted:
+            print(print_fig1(sweep))
+            print()
+        if "fig2" in wanted:
+            print(print_fig2(sweep))
+            print()
+    if "fig3" in wanted:
+        usage = run_vc_usage(profile, algorithms, seed=args.seed, progress=progress)
+        _dump(args.out, f"fig3_{profile.name}", usage.to_payload())
+        print(print_fig3(usage))
+        print()
+    if "fig4" in wanted or "fig5" in wanted:
+        study = run_fault_study(
+            profile, algorithms, seed=args.seed, progress=progress,
+            workers=args.workers,
+        )
+        _dump(args.out, f"faults_{profile.name}", study.to_payload())
+        if "fig4" in wanted:
+            print(print_fig4(study))
+            print()
+        if "fig5" in wanted:
+            print(print_fig5(study))
+            print()
+    if "fig6" in wanted:
+        fring = run_fring_study(profile, algorithms, seed=args.seed, progress=progress)
+        _dump(args.out, f"fig6_{profile.name}", fring.to_payload())
+        print(print_fig6(fring))
+        print()
+
+    if progress:
+        progress(f"[total {time.time() - t0:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,168 @@
+"""Figures 4 and 5: performance vs fault percentage at full load.
+
+The paper simulates 0%, 5% and 10% faulty nodes at "100% traffic load"
+(offered 1 flit/node/cycle), averaging each faulty case over several
+randomly drawn fault sets, and reports normalized throughput (Figure 4)
+and normalized message latency (Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.evaluator import Evaluator, FaultCase
+from repro.experiments.ascii_plot import line_chart, table
+from repro.experiments.profiles import Profile
+from repro.metrics.aggregate import AggregateResult
+from repro.routing.registry import display_name
+
+
+@dataclass
+class FaultStudyResult:
+    """Data behind Figures 4 and 5."""
+
+    profile: str
+    fault_counts: tuple[int, ...]
+    fault_percents: tuple[float, ...]
+    points: dict[str, list[AggregateResult]] = field(default_factory=dict)
+
+    def to_payload(self) -> dict:
+        return {
+            "experiment": "fig4-fig5",
+            "profile": self.profile,
+            "fault_counts": list(self.fault_counts),
+            "fault_percents": list(self.fault_percents),
+            "throughput": {
+                a: [p.throughput for p in pts] for a, pts in self.points.items()
+            },
+            "latency": {
+                a: [p.network_latency for p in pts] for a, pts in self.points.items()
+            },
+            "dropped": {
+                a: [p.dropped for p in pts] for a, pts in self.points.items()
+            },
+        }
+
+
+def run_fault_study(
+    profile: Profile,
+    algorithms: tuple[str, ...] | None = None,
+    *,
+    seed: int = 2007,
+    progress=None,
+    workers: int = 1,
+) -> FaultStudyResult:
+    """Run the full-load fault sweep behind Figures 4 and 5.
+
+    ``workers > 1`` fans algorithms out to a process pool (registered
+    profiles only, as in :func:`repro.experiments.fig_sweep.run_sweep`).
+    """
+    algorithms = algorithms or profile.algorithms
+    evaluator = Evaluator(profile.config, seed=seed)
+    n_nodes = evaluator.mesh.n_nodes
+    result = FaultStudyResult(
+        profile=profile.name,
+        fault_counts=tuple(profile.fault_counts),
+        fault_percents=tuple(100.0 * n / n_nodes for n in profile.fault_counts),
+    )
+    if workers > 1 and len(algorithms) > 1:
+        from repro.experiments.parallel import _fault_worker, parallel_map
+        from repro.experiments.profiles import get_profile
+
+        if get_profile(profile.name) != profile:
+            raise ValueError(
+                "workers > 1 requires a registered profile (the pool "
+                "rebuilds it by name); run custom profiles with workers=1"
+            )
+        jobs = [
+            (profile.name, alg, seed, tuple(profile.fault_counts),
+             profile.fault_sets)
+            for alg in algorithms
+        ]
+        for alg, pts in parallel_map(
+            _fault_worker, jobs, workers, progress, label="fig4/5"
+        ):
+            result.points[alg] = pts
+        return result
+    cases: list[FaultCase] = [
+        evaluator.fault_case(n, profile.fault_sets) for n in profile.fault_counts
+    ]
+    rate = profile.full_load_rate
+    for alg in algorithms:
+        pts = [
+            evaluator.run_case(alg, case, injection_rate=rate) for case in cases
+        ]
+        result.points[alg] = pts
+        if progress:
+            progress(f"[fig4/5] {alg}: done ({len(pts)} fault cases)")
+    return result
+
+
+def print_fig4(result: FaultStudyResult) -> str:
+    """Figure 4: normalized throughput vs percentage of faults."""
+    rows = [
+        [display_name(alg)] + [f"{p.throughput:.3f}" for p in pts]
+        for alg, pts in result.points.items()
+    ]
+    head = ["algorithm"] + [f"{p:g}%" for p in result.fault_percents]
+    out = [
+        table(
+            head,
+            rows,
+            title=(
+                "Figure 4 - normalized throughput (flits/node/cycle) vs "
+                "percentage of faulty nodes, 100% offered load"
+            ),
+        ),
+        line_chart(
+            {
+                display_name(a): (
+                    list(result.fault_percents),
+                    [p.throughput for p in pts],
+                )
+                for a, pts in result.points.items()
+            },
+            title="Figure 4 (shape)",
+            xlabel="% faulty nodes",
+            ylabel="throughput",
+        ),
+    ]
+    return "\n\n".join(out)
+
+
+def print_fig5(result: FaultStudyResult) -> str:
+    """Figure 5: normalized message latency vs percentage of faults."""
+    rows = [
+        [display_name(alg)]
+        + [
+            f"{p.network_latency:.0f}"
+            if p.network_latency == p.network_latency
+            else "-"
+            for p in pts
+        ]
+        for alg, pts in result.points.items()
+    ]
+    head = ["algorithm"] + [f"{p:g}%" for p in result.fault_percents]
+    out = [
+        table(
+            head,
+            rows,
+            title=(
+                "Figure 5 - normalized message latency (flit cycles) vs "
+                "percentage of faulty nodes, 100% offered load"
+            ),
+        ),
+        line_chart(
+            {
+                display_name(a): (
+                    list(result.fault_percents),
+                    [p.network_latency for p in pts],
+                )
+                for a, pts in result.points.items()
+            },
+            title="Figure 5 (shape)",
+            xlabel="% faulty nodes",
+            ylabel="latency (cycles)",
+        ),
+    ]
+    return "\n\n".join(out)

@@ -1,0 +1,143 @@
+"""Figure 6: traffic-load distribution around fault rings.
+
+The paper fixes one fault layout — a 2x3 block fault plus two 1x1 block
+faults whose f-rings overlap in a row — and compares the mean traffic
+load of f-ring nodes against all other nodes, for every algorithm, with
+the faults present and absent (same node positions).  Loads are reported
+as a percentage of the busiest node's load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.evaluator import Evaluator
+from repro.experiments.ascii_plot import bar_chart, table
+from repro.experiments.profiles import Profile
+from repro.faults.generator import figure6_fault_pattern
+from repro.faults.pattern import FaultPattern
+from repro.metrics.traffic_load import (
+    TrafficLoadSplit,
+    ring_corner_split,
+    traffic_load_split,
+)
+from repro.routing.registry import display_name
+
+
+@dataclass
+class FRingResult:
+    """Data behind Figure 6: per-algorithm load splits at 0% and ~10%."""
+
+    profile: str
+    n_faults: int
+    #: ``splits[alg] = {"0%": TrafficLoadSplit, "faulty": TrafficLoadSplit}``
+    splits: dict[str, dict[str, TrafficLoadSplit]] = field(default_factory=dict)
+    #: Corner-vs-side load ratio of the faulty run (Section 5.2's
+    #: "bottlenecks especially at the corners of fault rings").
+    corner_ratios: dict[str, float] = field(default_factory=dict)
+
+    def to_payload(self) -> dict:
+        return {
+            "experiment": "fig6",
+            "profile": self.profile,
+            "n_faults": self.n_faults,
+            "splits": {
+                alg: {
+                    label: {
+                        "ring_pct": s.ring_load_pct,
+                        "other_pct": s.other_load_pct,
+                        "peak": s.peak_load_flits_per_cycle,
+                    }
+                    for label, s in cases.items()
+                }
+                for alg, cases in self.splits.items()
+            },
+        }
+
+
+def run_fring_study(
+    profile: Profile,
+    algorithms: tuple[str, ...] | None = None,
+    *,
+    seed: int = 2007,
+    progress=None,
+) -> FRingResult:
+    """Run the Figure 6 traffic-load study."""
+    algorithms = algorithms or profile.algorithms
+    evaluator = Evaluator(profile.config, seed=seed)
+    faulty = figure6_fault_pattern(evaluator.mesh)
+    fault_free = FaultPattern.fault_free(evaluator.mesh)
+    ring_nodes = faulty.ring_nodes
+    rate = profile.full_load_rate
+    result = FRingResult(profile=profile.name, n_faults=faulty.n_faulty)
+    for alg in algorithms:
+        cases: dict[str, TrafficLoadSplit] = {}
+        for label, fp in (("0%", fault_free), ("faulty", faulty)):
+            run = evaluator.run_single(
+                alg, fp, injection_rate=rate, collect_node_stats=True
+            )
+            cases[label] = traffic_load_split(
+                run, ring_nodes, exclude=fp.faulty
+            )
+            if label == "faulty":
+                result.corner_ratios[alg] = ring_corner_split(
+                    run, faulty
+                ).corner_ratio
+        result.splits[alg] = cases
+        if progress:
+            progress(f"[fig6] {alg}: done")
+    return result
+
+
+def print_fig6(result: FRingResult) -> str:
+    """Figure 6 as a table plus grouped bars."""
+    rows = []
+    for alg, cases in result.splits.items():
+        ff, fy = cases["0%"], cases["faulty"]
+        corner = result.corner_ratios.get(alg, float("nan"))
+        rows.append(
+            [
+                display_name(alg),
+                f"{ff.ring_load_pct:.1f}",
+                f"{ff.other_load_pct:.1f}",
+                f"{fy.ring_load_pct:.1f}",
+                f"{fy.other_load_pct:.1f}",
+                f"{fy.hotspot_ratio:.2f}",
+                f"{corner:.2f}" if corner == corner else "-",
+            ]
+        )
+    head = [
+        "algorithm",
+        "f-ring% (0%)",
+        "other% (0%)",
+        "f-ring% (faulty)",
+        "other% (faulty)",
+        "hotspot ratio",
+        "corner/side",
+    ]
+    out = [
+        table(
+            head,
+            rows,
+            title=(
+                f"Figure 6 - traffic load on f-ring nodes vs other nodes "
+                f"(% of peak node load), {result.n_faults} faulty nodes in "
+                "the 2x3 + 1x1 + 1x1 layout"
+            ),
+        ),
+        bar_chart(
+            [
+                (
+                    display_name(alg),
+                    {
+                        "f-ring(faulty)": cases["faulty"].ring_load_pct,
+                        "other (faulty)": cases["faulty"].other_load_pct,
+                    },
+                )
+                for alg, cases in result.splits.items()
+            ],
+            title="Figure 6 (faulty case, shape)",
+            unit="%",
+        ),
+    ]
+    return "\n\n".join(out)

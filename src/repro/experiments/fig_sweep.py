@@ -1,0 +1,168 @@
+"""Figures 1 and 2: throughput and latency vs traffic generation rate.
+
+Both figures come from one fault-free rate sweep over all algorithms
+(10x10 mesh, 24 VCs, fixed-length messages, uniform traffic), exactly the
+configuration of the paper's Section 5.  Figure 1 plots saturation
+throughput, Figure 2 average message latency; the Section 5.1 saturation
+onsets and peak throughputs are derived from the same data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.evaluator import Evaluator
+from repro.experiments.ascii_plot import line_chart, table
+from repro.experiments.profiles import Profile
+from repro.metrics.saturation import SaturationPoint, find_saturation, peak_throughput
+from repro.routing.registry import display_name
+
+
+@dataclass
+class SweepResult:
+    """Data behind Figures 1 and 2."""
+
+    profile: str
+    loads: tuple[float, ...]
+    rates: tuple[float, ...]
+    throughput: dict[str, list[float]] = field(default_factory=dict)
+    latency: dict[str, list[float]] = field(default_factory=dict)
+
+    def saturation_points(self) -> dict[str, SaturationPoint | None]:
+        return {
+            alg: find_saturation(self.rates, lats)
+            for alg, lats in self.latency.items()
+        }
+
+    def peaks(self) -> dict[str, tuple[float, float]]:
+        return {
+            alg: peak_throughput(self.rates, thr)
+            for alg, thr in self.throughput.items()
+        }
+
+    def to_payload(self) -> dict:
+        return {
+            "experiment": "fig1-fig2",
+            "profile": self.profile,
+            "loads": list(self.loads),
+            "rates": list(self.rates),
+            "throughput": self.throughput,
+            "latency": self.latency,
+        }
+
+
+def run_sweep(
+    profile: Profile,
+    algorithms: tuple[str, ...] | None = None,
+    *,
+    seed: int = 2007,
+    progress=None,
+    workers: int = 1,
+) -> SweepResult:
+    """Run the fault-free rate sweep behind Figures 1 and 2.
+
+    ``workers > 1`` fans the per-algorithm sweeps out to a process pool
+    (identical results — seeding is per-algorithm).  The parallel path
+    rebuilds the profile by name in each worker, so it requires one of
+    the registered profiles; custom :class:`Profile` objects run in
+    process with ``workers=1``.
+    """
+    algorithms = algorithms or profile.algorithms
+    result = SweepResult(
+        profile=profile.name, loads=profile.sweep_loads, rates=profile.sweep_rates
+    )
+    if workers > 1 and len(algorithms) > 1:
+        from repro.experiments.parallel import _sweep_worker, parallel_map
+        from repro.experiments.profiles import get_profile
+
+        if get_profile(profile.name) != profile:
+            raise ValueError(
+                "workers > 1 requires a registered profile (the pool "
+                "rebuilds it by name); run custom profiles with workers=1"
+            )
+        jobs = [(profile.name, alg, seed) for alg in algorithms]
+        for alg, thr, lat in parallel_map(
+            _sweep_worker, jobs, workers, progress, label="fig1/2"
+        ):
+            result.throughput[alg] = thr
+            result.latency[alg] = lat
+        return result
+    evaluator = Evaluator(profile.config, seed=seed)
+    for alg in algorithms:
+        points = evaluator.rate_sweep(alg, profile.sweep_rates)
+        result.throughput[alg] = [p.throughput for p in points]
+        result.latency[alg] = [p.network_latency for p in points]
+        if progress:
+            progress(f"[fig1/2] {alg}: done ({len(points)} rates)")
+    return result
+
+
+def print_fig1(result: SweepResult) -> str:
+    """Figure 1: saturation throughput vs traffic generation rate."""
+    rows = []
+    peaks = result.peaks()
+    for alg, thr in result.throughput.items():
+        rows.append(
+            [display_name(alg)]
+            + [f"{t:.3f}" for t in thr]
+            + [f"{peaks[alg][1]:.3f}"]
+        )
+    head = ["algorithm"] + [f"{r:.4g}" for r in result.rates] + ["peak"]
+    out = [
+        table(
+            head,
+            rows,
+            title=(
+                "Figure 1 - normalized accepted throughput (flits/node/cycle) "
+                "vs injection rate (messages/node/cycle)"
+            ),
+        )
+    ]
+    out.append(
+        line_chart(
+            {
+                display_name(a): (list(result.rates), t)
+                for a, t in result.throughput.items()
+            },
+            title="Figure 1 (shape)",
+            xlabel="injection rate (msgs/node/cycle)",
+            ylabel="throughput (flits/node/cycle)",
+        )
+    )
+    return "\n\n".join(out)
+
+
+def print_fig2(result: SweepResult) -> str:
+    """Figure 2: average message latency vs traffic generation rate."""
+    rows = []
+    sats = result.saturation_points()
+    for alg, lats in result.latency.items():
+        sat = sats[alg]
+        rows.append(
+            [display_name(alg)]
+            + [f"{latv:.0f}" if latv == latv else "-" for latv in lats]
+            + [f"{sat.rate:.4g}" if sat else ">max"]
+        )
+    head = ["algorithm"] + [f"{r:.4g}" for r in result.rates] + ["sat@"]
+    out = [
+        table(
+            head,
+            rows,
+            title=(
+                "Figure 2 - average message latency (flit cycles) vs "
+                "injection rate (messages/node/cycle)"
+            ),
+        )
+    ]
+    out.append(
+        line_chart(
+            {
+                display_name(a): (list(result.rates), lats)
+                for a, lats in result.latency.items()
+            },
+            title="Figure 2 (shape)",
+            xlabel="injection rate (msgs/node/cycle)",
+            ylabel="latency (cycles)",
+        )
+    )
+    return "\n\n".join(out)

@@ -1,0 +1,113 @@
+"""Figure 3: virtual-channel utilization under 5% faults.
+
+The paper plots, per algorithm, the average usage of each VC index
+(VC0..VC23) in a 10x10 mesh with 5% node failures, split over two panels:
+(a) the basic routing algorithms, (b) the modified/fault-tolerant ones.
+The headline observations we reproduce: free-choice (category 1)
+algorithms spread usage almost evenly, hop-class (category 2) algorithms
+skew toward low VC indices, and the 4 Boppana-Chalasani ring VCs (the
+last four indices) light up only when faults are present.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.evaluator import Evaluator
+from repro.experiments.ascii_plot import table
+from repro.experiments.profiles import Profile
+from repro.metrics.vc_usage import usage_imbalance, vc_usage_percent
+from repro.routing.registry import display_name
+
+#: The paper's two panels.
+PANEL_A = ("fully-adaptive", "pbc", "minimal-adaptive", "nhop", "phop", "boura")
+PANEL_B = ("nbc", "duato", "duato-pbc", "duato-nbc", "boura-ft")
+
+
+@dataclass
+class VcUsageResult:
+    """Data behind Figure 3."""
+
+    profile: str
+    n_faults: int
+    usage: dict[str, list[float]] = field(default_factory=dict)
+
+    def imbalance(self) -> dict[str, float]:
+        return {a: usage_imbalance(u) for a, u in self.usage.items()}
+
+    def to_payload(self) -> dict:
+        return {
+            "experiment": "fig3",
+            "profile": self.profile,
+            "n_faults": self.n_faults,
+            "usage": self.usage,
+        }
+
+
+def run_vc_usage(
+    profile: Profile,
+    algorithms: tuple[str, ...] | None = None,
+    *,
+    seed: int = 2007,
+    progress=None,
+) -> VcUsageResult:
+    """Run the VC-utilization study behind Figure 3."""
+    algorithms = algorithms or profile.algorithms
+    evaluator = Evaluator(profile.config, seed=seed)
+    case = evaluator.fault_case(profile.vc_usage_faults, 1)
+    rate = profile.rate(profile.vc_usage_load)
+    result = VcUsageResult(profile=profile.name, n_faults=profile.vc_usage_faults)
+    for alg in algorithms:
+        run = evaluator.run_single(
+            alg,
+            case.patterns[0],
+            injection_rate=rate,
+            collect_vc_stats=True,
+        )
+        result.usage[alg] = vc_usage_percent(run)
+        if progress:
+            progress(f"[fig3] {alg}: done")
+    return result
+
+
+def _panel(result: VcUsageResult, names: tuple[str, ...], label: str) -> str:
+    present = [a for a in names if a in result.usage]
+    if not present:
+        return f"Figure 3{label}: (no algorithms run)"
+    n_vcs = len(next(iter(result.usage.values())))
+    rows = []
+    imb = result.imbalance()
+    for alg in present:
+        u = result.usage[alg]
+        rows.append(
+            [display_name(alg)]
+            + [f"{x:.2f}" for x in u]
+            + [f"{imb[alg]:.2f}"]
+        )
+    head = ["algorithm"] + [f"VC{i}" for i in range(n_vcs)] + ["imbalance"]
+    return table(
+        head,
+        rows,
+        title=(
+            f"Figure 3{label} - average VC usage (% of channel-cycles busy), "
+            f"{result.n_faults} faulty nodes"
+        ),
+    )
+
+
+def print_fig3(result: VcUsageResult) -> str:
+    """Both panels of Figure 3 plus the ring-VC summary."""
+    parts = [_panel(result, PANEL_A, "a"), _panel(result, PANEL_B, "b")]
+    ring_rows = []
+    for alg, u in result.usage.items():
+        ring = sum(u[-4:])
+        normal = sum(u[:-4])
+        ring_rows.append([display_name(alg), f"{normal:.2f}", f"{ring:.2f}"])
+    parts.append(
+        table(
+            ["algorithm", "sum non-ring VC %", "sum ring VC %"],
+            ring_rows,
+            title="Ring-VC (Boppana-Chalasani) share of utilization",
+        )
+    )
+    return "\n\n".join(parts)

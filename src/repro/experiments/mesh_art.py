@@ -1,0 +1,85 @@
+"""ASCII rendering of meshes: fault maps and load heatmaps.
+
+Terminal-friendly companions to the Figure 6 analysis — render a fault
+pattern with its f-rings, or a per-node load heatmap, without any
+plotting dependency.
+
+Legend for :func:`render_faults`:
+
+* ``#`` faulty node
+* ``o`` node on exactly one f-ring
+* ``@`` node on two or more (overlapping) f-rings
+* ``u`` unsafe node (when a labeling is supplied)
+* ``.`` ordinary healthy node
+
+Rows are printed with y increasing upward (row ``y = height-1`` first),
+matching the coordinate convention of :mod:`repro.topology`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.faults.pattern import FaultPattern
+
+
+def render_faults(
+    pattern: FaultPattern, unsafe: Sequence[bool] | None = None
+) -> str:
+    """Render a fault pattern (and optional unsafe labeling) as text."""
+    mesh = pattern.mesh
+    rows = []
+    for y in range(mesh.height - 1, -1, -1):
+        cells = []
+        for x in range(mesh.width):
+            node = mesh.node_id(x, y)
+            if pattern.is_faulty(node):
+                cells.append("#")
+            elif unsafe is not None and unsafe[node]:
+                cells.append("u")
+            else:
+                n_rings = len(pattern.rings_at(node))
+                cells.append("." if n_rings == 0 else "o" if n_rings == 1 else "@")
+        rows.append(f"{y:>2} " + " ".join(cells))
+    footer = "   " + " ".join(str(x % 10) for x in range(mesh.width))
+    return "\n".join(rows + [footer])
+
+
+_SHADES = " .:-=+*#%@"
+
+
+def render_heatmap(
+    pattern: FaultPattern, node_values: Sequence[float], *, title: str = ""
+) -> str:
+    """Render per-node values (e.g. loads) as a density map.
+
+    Faulty nodes render as ``X``; healthy nodes map linearly onto ten
+    shade characters from the minimum to the maximum healthy value.
+    """
+    mesh = pattern.mesh
+    if len(node_values) != mesh.n_nodes:
+        raise ValueError(
+            f"need {mesh.n_nodes} node values, got {len(node_values)}"
+        )
+    healthy_vals = [
+        node_values[n] for n in mesh.nodes() if not pattern.is_faulty(n)
+    ]
+    lo, hi = min(healthy_vals), max(healthy_vals)
+    span = hi - lo
+    rows = [title] if title else []
+    for y in range(mesh.height - 1, -1, -1):
+        cells = []
+        for x in range(mesh.width):
+            node = mesh.node_id(x, y)
+            if pattern.is_faulty(node):
+                cells.append("X")
+            elif span == 0:
+                cells.append(_SHADES[0])
+            else:
+                level = (node_values[node] - lo) / span
+                idx = min(int(level * (len(_SHADES) - 1) + 0.5), len(_SHADES) - 1)
+                cells.append(_SHADES[idx])
+        rows.append(f"{y:>2} " + " ".join(cells))
+    rows.append("   " + " ".join(str(x % 10) for x in range(mesh.width)))
+    rows.append(f"   scale: '{_SHADES[0]}'={lo:.3g} .. '@'={hi:.3g}, X=faulty")
+    return "\n".join(rows)

@@ -1,0 +1,120 @@
+"""Experiment profiles: how much simulation to spend per figure.
+
+The *paper* profile reproduces the paper's configuration (10x10 mesh,
+100-flit messages, 24 VCs, 30k cycles with 10k warm-up, 10 fault sets).
+The *quick* profile keeps the mesh radix and VC budget but shortens
+messages and runs so a full figure regenerates in minutes; *smoke* is for
+the test suite.  Sweep points are specified as **offered flit loads**
+(flits/node/cycle) so profiles with different message lengths sample the
+same physical operating points; the injection rate passed to the engine
+is ``load / message_length``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.routing.registry import PAPER_ORDER
+from repro.simulator.config import SimConfig
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Scaling knobs for the experiment drivers."""
+
+    name: str
+    config: SimConfig
+    #: Offered loads (flits/node/cycle) for the Figure 1/2 rate sweeps.
+    sweep_loads: tuple[float, ...]
+    #: Fault counts for Figures 4/5 (the paper's 0%, 5%, 10% on 100 nodes).
+    fault_counts: tuple[int, ...]
+    #: Independent random fault sets averaged per faulty point.
+    fault_sets: int
+    #: Fault count for the Figure 3 VC-usage study (paper: 5%).
+    vc_usage_faults: int
+    #: Offered load used for the fixed-load figures (paper: "100% traffic
+    #: load" = 1 flit/node/cycle).
+    full_load: float
+    #: Offered load for the Figure 3 VC-usage study (near saturation).
+    vc_usage_load: float
+    #: Algorithms, in the paper's legend order.
+    algorithms: tuple[str, ...] = PAPER_ORDER
+
+    def rate(self, load: float) -> float:
+        """Injection rate (messages/node/cycle) for an offered flit load."""
+        return load / self.config.message_length
+
+    @property
+    def sweep_rates(self) -> tuple[float, ...]:
+        return tuple(self.rate(load) for load in self.sweep_loads)
+
+    @property
+    def full_load_rate(self) -> float:
+        return self.rate(self.full_load)
+
+
+PAPER_PROFILE = Profile(
+    name="paper",
+    config=SimConfig(
+        width=10,
+        vcs_per_channel=24,
+        message_length=100,
+        cycles=30_000,
+        warmup=10_000,
+    ),
+    # The paper's x axis spans 0.0001..0.0251 messages/node/cycle with
+    # 100-flit messages, i.e. offered loads 0.01..2.51 flits/node/cycle;
+    # sampling is denser below saturation (~0.4).
+    sweep_loads=(0.01, 0.06, 0.11, 0.16, 0.21, 0.31, 0.41, 0.51, 0.76, 1.01, 1.51, 2.51),
+    fault_counts=(0, 5, 10),
+    fault_sets=10,
+    vc_usage_faults=5,
+    full_load=1.0,
+    vc_usage_load=0.35,
+)
+
+QUICK_PROFILE = Profile(
+    name="quick",
+    config=SimConfig(
+        width=10,
+        vcs_per_channel=24,
+        message_length=16,
+        cycles=5_000,
+        warmup=1_500,
+    ),
+    sweep_loads=(0.01, 0.06, 0.11, 0.16, 0.21, 0.31, 0.41, 0.51, 1.01),
+    fault_counts=(0, 5, 10),
+    fault_sets=3,
+    vc_usage_faults=5,
+    full_load=1.0,
+    vc_usage_load=0.35,
+)
+
+SMOKE_PROFILE = Profile(
+    name="smoke",
+    config=SimConfig(
+        width=8,
+        vcs_per_channel=24,
+        message_length=8,
+        cycles=1_500,
+        warmup=400,
+    ),
+    sweep_loads=(0.02, 0.2, 0.6),
+    fault_counts=(0, 3),
+    fault_sets=2,
+    vc_usage_faults=3,
+    full_load=1.0,
+    vc_usage_load=0.3,
+)
+
+PROFILES: dict[str, Profile] = {
+    p.name: p for p in (PAPER_PROFILE, QUICK_PROFILE, SMOKE_PROFILE)
+}
+
+
+def get_profile(name: str) -> Profile:
+    try:
+        return PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(PROFILES))
+        raise ValueError(f"unknown profile {name!r}; known: {known}") from None

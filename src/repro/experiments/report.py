@@ -1,0 +1,159 @@
+"""Markdown report generation from saved experiment JSON.
+
+Every driver dumps its raw series as JSON when the CLI runs with
+``--out DIR``; :func:`summarize_directory` turns a directory of those
+payloads back into a compact markdown report (the skeleton of
+EXPERIMENTS.md's measured columns).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+from repro.routing.registry import display_name
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "–"
+        return f"{value:.3f}" if abs(value) < 10 else f"{value:.0f}"
+    return str(value)
+
+
+def _md_table(headers: list[str], rows: list[list]) -> str:
+    lines = ["| " + " | ".join(headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(_fmt(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+def summarize_sweep(payload: dict) -> str:
+    rates = payload["rates"]
+    rows = []
+    for alg, thr in payload["throughput"].items():
+        lats = payload["latency"][alg]
+        peak = max(thr)
+        zero_load = next((v for v in lats if not math.isnan(v)), float("nan"))
+        rows.append([display_name(alg), _fmt(zero_load), _fmt(peak)])
+    header = (
+        f"### Figures 1–2 sweep ({payload['profile']} profile, "
+        f"{len(rates)} rates)\n\n"
+    )
+    return header + _md_table(
+        ["algorithm", "zero-load latency", "peak throughput"], rows
+    )
+
+
+def summarize_faults(payload: dict) -> str:
+    pct = payload["fault_percents"]
+    rows = []
+    for alg, thr in payload["throughput"].items():
+        lats = payload["latency"][alg]
+        rows.append(
+            [display_name(alg)]
+            + [_fmt(t) for t in thr]
+            + [_fmt(v) for v in lats]
+        )
+    headers = (
+        ["algorithm"]
+        + [f"thr @{p:g}%" for p in pct]
+        + [f"lat @{p:g}%" for p in pct]
+    )
+    header = f"### Figures 4–5 fault study ({payload['profile']} profile)\n\n"
+    return header + _md_table(headers, rows)
+
+
+def summarize_vc_usage(payload: dict) -> str:
+    rows = []
+    for alg, usage in payload["usage"].items():
+        non_ring = usage[:-4]
+        ring = usage[-4:]
+        mean = sum(non_ring) / len(non_ring)
+        var = sum((u - mean) ** 2 for u in non_ring) / len(non_ring)
+        imbalance = (var**0.5 / mean) if mean else float("nan")
+        rows.append(
+            [display_name(alg), _fmt(max(non_ring)), _fmt(imbalance), _fmt(sum(ring))]
+        )
+    header = (
+        f"### Figure 3 VC usage ({payload['profile']} profile, "
+        f"{payload['n_faults']} faults)\n\n"
+    )
+    return header + _md_table(
+        ["algorithm", "busiest VC %", "imbalance", "ring VC % (sum)"], rows
+    )
+
+
+def summarize_fring(payload: dict) -> str:
+    rows = []
+    for alg, cases in payload["splits"].items():
+        ff, fy = cases["0%"], cases["faulty"]
+        ratio = (
+            fy["ring_pct"] / fy["other_pct"] if fy["other_pct"] else float("nan")
+        )
+        rows.append(
+            [
+                display_name(alg),
+                _fmt(ff["ring_pct"]),
+                _fmt(fy["ring_pct"]),
+                _fmt(fy["other_pct"]),
+                _fmt(ratio),
+            ]
+        )
+    header = (
+        f"### Figure 6 f-ring loads ({payload['profile']} profile, "
+        f"{payload['n_faults']} faults)\n\n"
+    )
+    return header + _md_table(
+        ["algorithm", "ring% (0%)", "ring% (faulty)", "other% (faulty)", "ratio"],
+        rows,
+    )
+
+
+def summarize_ablation(payload: dict) -> str:
+    rows = payload["rows"]
+    if not rows:
+        return f"### {payload['experiment']}\n\n(no rows)"
+    headers = list(rows[0])
+    body = [[row.get(h, "") for h in headers] for row in rows]
+    return f"### {payload['experiment']}\n\n" + _md_table(headers, body)
+
+
+_SUMMARIZERS = {
+    "fig1-fig2": summarize_sweep,
+    "fig4-fig5": summarize_faults,
+    "fig3": summarize_vc_usage,
+    "fig6": summarize_fring,
+}
+
+
+def summarize_payload(payload: dict) -> str:
+    """Markdown summary of one saved experiment payload."""
+    kind = payload.get("experiment", "")
+    if kind.startswith("ablation-"):
+        return summarize_ablation(payload)
+    try:
+        fn = _SUMMARIZERS[kind]
+    except KeyError:
+        raise ValueError(f"unknown experiment payload {kind!r}") from None
+    return fn(payload)
+
+
+def summarize_directory(directory: Path | str) -> str:
+    """Markdown report over every ``*.json`` payload in *directory*."""
+    directory = Path(directory)
+    parts = [f"# Experiment report — {directory}"]
+    found = False
+    for path in sorted(directory.glob("*.json")):
+        try:
+            payload = json.loads(path.read_text())
+            parts.append(summarize_payload(payload))
+            found = True
+        except (ValueError, KeyError):
+            parts.append(f"### {path.name}\n\n(unrecognized payload, skipped)")
+    if not found:
+        parts.append("(no experiment payloads found)")
+    return "\n\n".join(parts)

@@ -1,0 +1,44 @@
+"""Fault models for mesh networks.
+
+Implements the paper's fault assumptions (Section 2.2):
+
+* only *node* failures (links of a failed node are failed with it),
+* faults are static, non-malicious, and never disconnect the network,
+* adjacent faults coalesce into rectangular **block (convex) fault
+  regions**,
+* each region is surrounded by a **fault ring** (f-ring) of fault-free
+  nodes — or an open **fault chain** (f-chain) when the region touches the
+  mesh boundary — used by the Boppana–Chalasani scheme to route messages
+  around the region.
+"""
+
+from repro.faults.connectivity import is_connected, reachable_from
+from repro.faults.generator import (
+    FaultPatternError,
+    figure6_fault_pattern,
+    generate_block_fault_pattern,
+    pattern_from_nodes,
+    pattern_from_rectangles,
+)
+from repro.faults.labeling import NodeStatus, boura_labeling
+from repro.faults.pattern import FaultPattern
+from repro.faults.regions import FaultRegion, block_closure, coalesce_regions
+from repro.faults.rings import FaultRing, build_ring
+
+__all__ = [
+    "FaultPattern",
+    "FaultPatternError",
+    "FaultRegion",
+    "FaultRing",
+    "NodeStatus",
+    "block_closure",
+    "boura_labeling",
+    "build_ring",
+    "coalesce_regions",
+    "figure6_fault_pattern",
+    "generate_block_fault_pattern",
+    "is_connected",
+    "pattern_from_nodes",
+    "pattern_from_rectangles",
+    "reachable_from",
+]

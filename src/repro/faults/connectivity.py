@@ -1,0 +1,39 @@
+"""Connectivity checks among fault-free nodes.
+
+The paper assumes fault patterns "do not disconnect the network": every
+pair of non-faulty nodes must be joined by a fault-free path.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.topology.mesh import Mesh2D
+
+
+def reachable_from(mesh: Mesh2D, faulty: set[int], start: int) -> set[int]:
+    """Non-faulty nodes reachable from *start* over fault-free links."""
+    if start in faulty:
+        raise ValueError(f"start node {start} is faulty")
+    seen = {start}
+    queue = deque([start])
+    while queue:
+        node = queue.popleft()
+        for nb in mesh.neighbor_table(node):
+            if nb >= 0 and nb not in faulty and nb not in seen:
+                seen.add(nb)
+                queue.append(nb)
+    return seen
+
+
+def is_connected(mesh: Mesh2D, faulty: set[int]) -> bool:
+    """Whether the fault-free part of the mesh is one connected component.
+
+    A mesh with fewer than two healthy nodes is considered disconnected
+    (it cannot carry any traffic).
+    """
+    healthy = mesh.n_nodes - len(faulty)
+    if healthy < 2:
+        return False
+    start = next(n for n in mesh.nodes() if n not in faulty)
+    return len(reachable_from(mesh, faulty, start)) == healthy

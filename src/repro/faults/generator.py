@@ -1,0 +1,120 @@
+"""Random and deterministic fault-pattern generators.
+
+The paper randomly generates faulty nodes "subject to the fault model"
+(block regions, network stays connected).  :func:`generate_block_fault_pattern`
+implements that: nodes are drawn uniformly one at a time; after each draw
+the set is block-closed; draws whose closure would overshoot the target
+fault count (or disconnect the mesh) are rejected and redrawn.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.faults.connectivity import is_connected
+from repro.faults.pattern import FaultPattern
+from repro.faults.regions import FaultRegion, block_closure
+from repro.topology.mesh import Mesh2D
+
+
+class FaultPatternError(RuntimeError):
+    """Raised when a requested fault pattern cannot be generated."""
+
+
+def generate_block_fault_pattern(
+    mesh: Mesh2D,
+    n_faults: int,
+    rng: random.Random,
+    *,
+    max_tries: int = 10_000,
+) -> FaultPattern:
+    """Draw a random block-model pattern with exactly *n_faults* faulty nodes.
+
+    Parameters
+    ----------
+    mesh:
+        Target mesh.
+    n_faults:
+        Exact number of faulty nodes in the returned pattern.  ``0`` yields
+        the fault-free pattern.
+    rng:
+        Source of randomness (a seeded :class:`random.Random` for
+        reproducible fault sets).
+    max_tries:
+        Total rejected draws allowed before giving up with
+        :class:`FaultPatternError`.
+    """
+    if n_faults < 0:
+        raise ValueError("n_faults must be non-negative")
+    if n_faults == 0:
+        return FaultPattern.fault_free(mesh)
+    if n_faults > mesh.n_nodes - 2:
+        raise FaultPatternError(
+            f"cannot leave a connected healthy sub-mesh with {n_faults} "
+            f"faults in a mesh of {mesh.n_nodes} nodes"
+        )
+
+    faulty: set[int] = set()
+    tries = 0
+    while len(faulty) < n_faults:
+        if tries >= max_tries:
+            raise FaultPatternError(
+                f"failed to build a {n_faults}-fault block pattern after "
+                f"{max_tries} rejected draws"
+            )
+        candidate = rng.randrange(mesh.n_nodes)
+        if candidate in faulty:
+            tries += 1
+            continue
+        closed = block_closure(mesh, faulty | {candidate})
+        if len(closed) > n_faults or not is_connected(mesh, closed):
+            tries += 1
+            continue
+        faulty = closed
+    return FaultPattern(mesh, faulty)
+
+
+def pattern_from_nodes(mesh: Mesh2D, nodes: set[int]) -> FaultPattern:
+    """Pattern from explicit faulty nodes, block-closing them as needed.
+
+    Unlike the :class:`FaultPattern` constructor this *repairs* the set by
+    taking its block closure instead of rejecting non-block inputs.
+    """
+    return FaultPattern(mesh, frozenset(block_closure(mesh, set(nodes))))
+
+
+def pattern_from_rectangles(
+    mesh: Mesh2D, rectangles: list[FaultRegion]
+) -> FaultPattern:
+    """Pattern covering the given rectangles (coalescing any that touch)."""
+    nodes: set[int] = set()
+    for rect in rectangles:
+        if not (
+            mesh.in_bounds(rect.x0, rect.y0) and mesh.in_bounds(rect.x1, rect.y1)
+        ):
+            raise ValueError(f"rectangle {rect} outside {mesh!r}")
+        nodes.update(rect.nodes(mesh))
+    return pattern_from_nodes(mesh, nodes)
+
+
+def figure6_fault_pattern(mesh: Mesh2D) -> FaultPattern:
+    """The fixed fault layout of the paper's Figure 6.
+
+    The paper describes "three fault regions overlapping in a row ...
+    a block fault region with height 3 and width 2, and two block fault
+    regions with height and width 1".  Exact placement is unspecified
+    [INTERP]: we center the 2x3 block and put the two 1x1 regions in the
+    same rows so that their f-rings overlap the block's f-ring row-wise,
+    keeping every region away from the mesh edge (closed rings).
+    """
+    if mesh.width < 8 or mesh.height < 6:
+        raise ValueError("figure-6 layout needs a mesh of at least 8x6")
+    cx = mesh.width // 2 - 1
+    cy = mesh.height // 2 - 1
+    block = FaultRegion(cx, cy - 1, cx + 1, cy + 1)  # width 2, height 3
+    # The 1x1 regions sit two columns off the block: far enough not to
+    # coalesce with it, close enough that their f-rings share the block
+    # ring's side columns.
+    left = FaultRegion(cx - 2, cy, cx - 2, cy)
+    right = FaultRegion(cx + 3, cy, cx + 3, cy)
+    return pattern_from_rectangles(mesh, [block, left, right])

@@ -1,0 +1,60 @@
+"""Boura–Das node labeling (safe / unsafe / faulty).
+
+Boura & Das [7] identify nodes that "may cause routing difficulty" with a
+labeling rule; messages then route adaptively through the remaining healthy
+region.  The standard rule (used here) is the fixpoint of:
+
+    a non-faulty node is **unsafe** if at least two of its neighbors are
+    faulty or unsafe.
+
+Unsafe nodes still source and sink their own traffic but are avoided as
+intermediate hops by the fault-tolerant Boura algorithm.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+from repro.topology.mesh import Mesh2D
+
+
+class NodeStatus(IntEnum):
+    SAFE = 0
+    UNSAFE = 1
+    FAULTY = 2
+
+
+def boura_labeling(
+    mesh: Mesh2D, faulty: set[int] | frozenset[int]
+) -> list[NodeStatus]:
+    """Per-node status after iterating the unsafe rule to fixpoint."""
+    status = [NodeStatus.SAFE] * mesh.n_nodes
+    for node in faulty:
+        status[node] = NodeStatus.FAULTY
+
+    # Worklist fixpoint: re-examine a node whenever a neighbor degrades.
+    pending = [n for n in mesh.nodes() if status[n] == NodeStatus.SAFE]
+    while pending:
+        next_pending = []
+        changed = False
+        for node in pending:
+            bad = sum(
+                1
+                for nb in mesh.neighbor_table(node)
+                if nb >= 0 and status[nb] != NodeStatus.SAFE
+            )
+            if bad >= 2:
+                status[node] = NodeStatus.UNSAFE
+                changed = True
+            else:
+                next_pending.append(node)
+        if not changed:
+            break
+        pending = next_pending
+    return status
+
+
+def unsafe_nodes(mesh: Mesh2D, faulty: set[int] | frozenset[int]) -> set[int]:
+    """Convenience wrapper returning just the unsafe node ids."""
+    status = boura_labeling(mesh, faulty)
+    return {n for n in mesh.nodes() if status[n] == NodeStatus.UNSAFE}

@@ -1,0 +1,144 @@
+"""The :class:`FaultPattern` — a validated, queryable fault configuration.
+
+A pattern bundles the faulty-node set with its derived structure (block
+regions, f-rings, per-node ring membership) and precomputes the lookups the
+router hot path needs (:attr:`FaultPattern.faulty_mask`).
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+from repro.faults.connectivity import is_connected
+from repro.faults.regions import FaultRegion, block_closure, coalesce_regions
+from repro.faults.rings import FaultRing, build_ring
+from repro.topology.mesh import Mesh2D
+
+
+class FaultPattern:
+    """A static set of faulty nodes satisfying the block fault model.
+
+    Parameters
+    ----------
+    mesh:
+        The mesh the faults live in.
+    faulty:
+        Faulty node ids.  Must already satisfy the block model (every
+        8-connected component fills its bounding rectangle); use
+        :func:`repro.faults.regions.block_closure` or the generators in
+        :mod:`repro.faults.generator` to obtain such a set.
+    check_connected:
+        Verify that the healthy sub-mesh is connected (the paper's
+        standing assumption).  Disable only in tests.
+    """
+
+    __slots__ = (
+        "mesh",
+        "faulty",
+        "regions",
+        "rings",
+        "faulty_mask",
+        "_region_index_of",
+        "_rings_of_node",
+        "__dict__",
+    )
+
+    def __init__(
+        self,
+        mesh: Mesh2D,
+        faulty: set[int] | frozenset[int],
+        *,
+        check_connected: bool = True,
+    ) -> None:
+        faulty = frozenset(faulty)
+        for node in faulty:
+            if not 0 <= node < mesh.n_nodes:
+                raise ValueError(f"faulty node {node} outside the mesh")
+        if block_closure(mesh, set(faulty)) != faulty:
+            raise ValueError(
+                "faulty set violates the block fault model; apply "
+                "block_closure() first"
+            )
+        if check_connected and faulty and not is_connected(mesh, set(faulty)):
+            raise ValueError("fault pattern disconnects the mesh")
+
+        self.mesh = mesh
+        self.faulty = faulty
+        self.regions: tuple[FaultRegion, ...] = tuple(
+            coalesce_regions(mesh, set(faulty))
+        )
+        self.rings: tuple[FaultRing, ...] = tuple(
+            build_ring(mesh, region) for region in self.regions
+        )
+
+        # Hot-path mask: faulty_mask[node] -> bool.
+        mask = [False] * mesh.n_nodes
+        for node in faulty:
+            mask[node] = True
+        self.faulty_mask: list[bool] = mask
+
+        region_index_of: dict[int, int] = {}
+        for i, region in enumerate(self.regions):
+            for node in region.nodes(mesh):
+                region_index_of[node] = i
+        self._region_index_of = region_index_of
+
+        rings_of_node: dict[int, list[int]] = {}
+        for i, ring in enumerate(self.rings):
+            for node in ring.nodes:
+                rings_of_node.setdefault(node, []).append(i)
+        self._rings_of_node: dict[int, tuple[int, ...]] = {
+            node: tuple(idxs) for node, idxs in rings_of_node.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @classmethod
+    def fault_free(cls, mesh: Mesh2D) -> FaultPattern:
+        """The empty (fault-free) pattern."""
+        return cls(mesh, frozenset())
+
+    @property
+    def n_faulty(self) -> int:
+        return len(self.faulty)
+
+    @property
+    def fault_fraction(self) -> float:
+        """Fraction of mesh nodes that are faulty."""
+        return len(self.faulty) / self.mesh.n_nodes
+
+    @cached_property
+    def healthy_nodes(self) -> tuple[int, ...]:
+        """Ids of all non-faulty nodes."""
+        return tuple(n for n in self.mesh.nodes() if not self.faulty_mask[n])
+
+    @cached_property
+    def ring_nodes(self) -> frozenset[int]:
+        """All nodes lying on at least one f-ring/f-chain."""
+        return frozenset(self._rings_of_node)
+
+    def is_faulty(self, node: int) -> bool:
+        return self.faulty_mask[node]
+
+    def region_of(self, faulty_node: int) -> int:
+        """Index (into :attr:`regions`) of the region covering a faulty node."""
+        return self._region_index_of[faulty_node]
+
+    def rings_at(self, node: int) -> tuple[int, ...]:
+        """Indices (into :attr:`rings`) of the rings *node* lies on."""
+        return self._rings_of_node.get(node, ())
+
+    def ring_around(self, faulty_node: int) -> FaultRing:
+        """The ring surrounding the region that covers *faulty_node*."""
+        return self.rings[self._region_index_of[faulty_node]]
+
+    def on_ring_of(self, node: int, faulty_node: int) -> bool:
+        """Whether *node* lies on the ring around *faulty_node*'s region."""
+        return self._region_index_of[faulty_node] in self.rings_at(node)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultPattern({self.mesh!r}, n_faulty={self.n_faulty}, "
+            f"regions={len(self.regions)})"
+        )

@@ -1,0 +1,156 @@
+"""Block (convex) fault regions and their closure.
+
+The paper (and Boppana–Chalasani [1]) use the *block fault model*: the set
+of faulty nodes is a union of completely-filled rectangles, pairwise
+separated by at least one row/column of fault-free nodes so that each
+rectangle has its own fault-free ring around it.
+
+:func:`block_closure` turns an arbitrary faulty-node set into the smallest
+block-model superset: connected components under 8-adjacency (so that
+diagonally-adjacent faults merge, keeping f-rings fault-free) are extended
+to their bounding rectangles, iterating to a fixpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topology.mesh import Mesh2D
+
+
+@dataclass(frozen=True, order=True)
+class FaultRegion:
+    """A rectangular fault region: ``x0 <= x <= x1``, ``y0 <= y <= y1``."""
+
+    x0: int
+    y0: int
+    x1: int
+    y1: int
+
+    def __post_init__(self) -> None:
+        if self.x0 > self.x1 or self.y0 > self.y1:
+            raise ValueError(f"degenerate fault region {self!r}")
+
+    @property
+    def width(self) -> int:
+        return self.x1 - self.x0 + 1
+
+    @property
+    def height(self) -> int:
+        return self.y1 - self.y0 + 1
+
+    @property
+    def n_nodes(self) -> int:
+        return self.width * self.height
+
+    def contains(self, x: int, y: int) -> bool:
+        """Whether coordinate ``(x, y)`` lies inside the region."""
+        return self.x0 <= x <= self.x1 and self.y0 <= y <= self.y1
+
+    def nodes(self, mesh: Mesh2D) -> list[int]:
+        """Node ids covered by the region."""
+        return [
+            mesh.node_id(x, y)
+            for y in range(self.y0, self.y1 + 1)
+            for x in range(self.x0, self.x1 + 1)
+        ]
+
+    def touches_boundary(self, mesh: Mesh2D) -> bool:
+        """Whether the region touches the mesh edge (its ring is a chain)."""
+        return (
+            self.x0 == 0
+            or self.y0 == 0
+            or self.x1 == mesh.width - 1
+            or self.y1 == mesh.height - 1
+        )
+
+    def chebyshev_adjacent(self, other: FaultRegion) -> bool:
+        """Whether the rectangles touch or overlap, diagonals included.
+
+        Regions this close must coalesce: otherwise one region's f-ring
+        would pass through the other region's faulty nodes.
+        """
+        return (
+            self.x0 <= other.x1 + 1
+            and other.x0 <= self.x1 + 1
+            and self.y0 <= other.y1 + 1
+            and other.y0 <= self.y1 + 1
+        )
+
+    def merge(self, other: FaultRegion) -> FaultRegion:
+        """Smallest rectangle covering both regions."""
+        return FaultRegion(
+            min(self.x0, other.x0),
+            min(self.y0, other.y0),
+            max(self.x1, other.x1),
+            max(self.y1, other.y1),
+        )
+
+
+def _components_8adjacent(mesh: Mesh2D, faulty: set[int]) -> list[set[int]]:
+    """Connected components of *faulty* under 8-adjacency (Chebyshev 1)."""
+    remaining = set(faulty)
+    components: list[set[int]] = []
+    while remaining:
+        seed = remaining.pop()
+        component = {seed}
+        frontier = [seed]
+        while frontier:
+            node = frontier.pop()
+            x, y = mesh.coordinates(node)
+            for dy in (-1, 0, 1):
+                for dx in (-1, 0, 1):
+                    if dx == 0 and dy == 0:
+                        continue
+                    nx, ny = x + dx, y + dy
+                    if not mesh.in_bounds(nx, ny):
+                        continue
+                    nb = mesh.node_id(nx, ny)
+                    if nb in remaining:
+                        remaining.discard(nb)
+                        component.add(nb)
+                        frontier.append(nb)
+        components.append(component)
+    return components
+
+
+def _bounding_region(mesh: Mesh2D, nodes: set[int]) -> FaultRegion:
+    xs, ys = zip(*(mesh.coordinates(n) for n in nodes))
+    return FaultRegion(min(xs), min(ys), max(xs), max(ys))
+
+
+def block_closure(mesh: Mesh2D, faulty: set[int]) -> set[int]:
+    """Smallest block-fault-model superset of *faulty*.
+
+    Iterates 8-adjacent component detection + bounding-box fill until
+    stable.  Returns a new set; the input is not modified.
+    """
+    current = set(faulty)
+    while True:
+        grown = set(current)
+        for component in _components_8adjacent(mesh, current):
+            grown.update(_bounding_region(mesh, component).nodes(mesh))
+        if grown == current:
+            return current
+        current = grown
+
+
+def coalesce_regions(mesh: Mesh2D, faulty: set[int]) -> list[FaultRegion]:
+    """Decompose a *block-model* faulty set into its rectangular regions.
+
+    Raises :class:`ValueError` if *faulty* is not already block-closed
+    (i.e. if any component's bounding rectangle is not completely faulty)
+    — callers should apply :func:`block_closure` first.
+    """
+    regions = []
+    for component in _components_8adjacent(mesh, faulty):
+        region = _bounding_region(mesh, component)
+        if region.n_nodes != len(component):
+            raise ValueError(
+                f"faulty set is not block-closed: component bounding box "
+                f"{region} has {region.n_nodes} nodes but only "
+                f"{len(component)} are faulty"
+            )
+        regions.append(region)
+    regions.sort()
+    return regions

@@ -1,0 +1,132 @@
+"""Fault rings (f-rings) and fault chains (f-chains).
+
+The f-ring of a rectangular fault region is the cycle of fault-free nodes
+at Chebyshev distance 1 around the region (Boppana–Chalasani [1]).  When
+the region touches the mesh boundary the cycle is cut open and the result
+is an f-chain.  Consecutive ring nodes are always mesh-adjacent, so a
+message can physically walk the ring.
+
+Ring nodes are stored in **counter-clockwise** order (x to the east,
+y to the north).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.faults.regions import FaultRegion
+from repro.topology.mesh import Mesh2D
+
+
+@dataclass(frozen=True)
+class FaultRing:
+    """An f-ring (``closed=True``) or f-chain (``closed=False``)."""
+
+    region: FaultRegion
+    nodes: tuple[int, ...]
+    closed: bool
+    _index: dict[int, int] = field(repr=False, compare=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._index.update({node: i for i, node in enumerate(self.nodes)})
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._index
+
+    def position(self, node: int) -> int:
+        """Index of *node* in counter-clockwise ring order."""
+        return self._index[node]
+
+    def next_ccw(self, node: int) -> int:
+        """Next ring node counter-clockwise, or ``-1`` past a chain end."""
+        i = self._index[node] + 1
+        if i == len(self.nodes):
+            return self.nodes[0] if self.closed else -1
+        return self.nodes[i]
+
+    def next_cw(self, node: int) -> int:
+        """Next ring node clockwise, or ``-1`` past a chain end."""
+        i = self._index[node] - 1
+        if i < 0:
+            return self.nodes[-1] if self.closed else -1
+        return self.nodes[i]
+
+    def next_node(self, node: int, clockwise: bool) -> int:
+        """Ring successor of *node* in the given orientation (``-1`` = end)."""
+        return self.next_cw(node) if clockwise else self.next_ccw(node)
+
+    def corner_nodes(self, mesh: Mesh2D) -> tuple[int, ...]:
+        """The ring's corner nodes (diagonal to the region's corners).
+
+        The paper's Section 5.2 singles these out: "performance
+        degradation ... is mainly related to some bottlenecks ...
+        especially at the corners of fault rings".  Corners that fall
+        outside the mesh (f-chains) are omitted.
+        """
+        r = self.region
+        corners = []
+        for x, y in (
+            (r.x0 - 1, r.y0 - 1),
+            (r.x1 + 1, r.y0 - 1),
+            (r.x1 + 1, r.y1 + 1),
+            (r.x0 - 1, r.y1 + 1),
+        ):
+            if mesh.in_bounds(x, y):
+                node = mesh.node_id(x, y)
+                if node in self._index:
+                    corners.append(node)
+        return tuple(corners)
+
+
+def _perimeter_ccw(x0: int, y0: int, x1: int, y1: int) -> list[tuple[int, int]]:
+    """Counter-clockwise perimeter cells of rectangle ``[x0..x1]x[y0..y1]``.
+
+    The rectangle always has width, height >= 3 here (a fault region grown
+    by one in every direction), so the four edge runs never degenerate.
+    """
+    cells = [(x, y0) for x in range(x0, x1 + 1)]
+    cells += [(x1, y) for y in range(y0 + 1, y1 + 1)]
+    cells += [(x, y1) for x in range(x1 - 1, x0 - 1, -1)]
+    cells += [(x0, y) for y in range(y1 - 1, y0, -1)]
+    return cells
+
+
+def build_ring(mesh: Mesh2D, region: FaultRegion) -> FaultRing:
+    """Construct the f-ring/f-chain around *region*.
+
+    Raises :class:`ValueError` when the region splits the would-be ring in
+    two (the region spans the full mesh width or height), because such a
+    region disconnects the network and is outside the paper's fault model.
+    """
+    perimeter = _perimeter_ccw(
+        region.x0 - 1, region.y0 - 1, region.x1 + 1, region.y1 + 1
+    )
+    in_bounds = [mesh.in_bounds(x, y) for x, y in perimeter]
+    if all(in_bounds):
+        nodes = tuple(mesh.node_id(x, y) for x, y in perimeter)
+        return FaultRing(region=region, nodes=nodes, closed=True)
+
+    # Open chain: the out-of-bounds cells must form one contiguous run in
+    # the cyclic order; rotate so the surviving arc is contiguous.
+    n = len(perimeter)
+    # Find a transition from out-of-bounds to in-bounds: start of the arc.
+    starts = [
+        i for i in range(n) if in_bounds[i] and not in_bounds[i - 1]
+    ]
+    if len(starts) != 1:
+        raise ValueError(
+            f"fault region {region} splits its ring into {len(starts)} "
+            "chains; the region disconnects the mesh"
+        )
+    start = starts[0]
+    arc = []
+    for k in range(n):
+        i = (start + k) % n
+        if not in_bounds[i]:
+            break
+        arc.append(perimeter[i])
+    nodes = tuple(mesh.node_id(x, y) for x, y in arc)
+    return FaultRing(region=region, nodes=nodes, closed=False)

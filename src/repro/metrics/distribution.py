@@ -1,0 +1,85 @@
+"""Latency-distribution analysis.
+
+Mean latency hides the tail behavior that matters for real systems (the
+paper's Section 5.2 bottleneck discussion is really about tails); these
+helpers work on the per-message samples collected with
+``collect_latency_samples=True``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+
+def percentile(samples: Sequence[float], p: float) -> float:
+    """The *p*-th percentile (0..100) with linear interpolation."""
+    if not samples:
+        return float("nan")
+    if not 0 <= p <= 100:
+        raise ValueError("percentile must be in 0..100")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = p / 100 * (len(ordered) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return float(ordered[lo])
+    return _interp(ordered[lo], ordered[hi], rank - lo)
+
+
+def _interp(a: float, b: float, frac: float) -> float:
+    """Linear interpolation clamped into [a, b] (float-rounding safe)."""
+    return min(max(a + (b - a) * frac, a), b)
+
+
+def percentiles(
+    samples: Sequence[float], ps: Sequence[float] = (50, 90, 99)
+) -> dict[float, float]:
+    """Several percentiles at once (sorting only once)."""
+    if not samples:
+        return {p: float("nan") for p in ps}
+    ordered = sorted(samples)
+    out = {}
+    n = len(ordered)
+    for p in ps:
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in 0..100")
+        rank = p / 100 * (n - 1)
+        lo = math.floor(rank)
+        hi = math.ceil(rank)
+        if lo == hi:
+            out[p] = float(ordered[lo])
+        else:
+            out[p] = _interp(ordered[lo], ordered[hi], rank - lo)
+    return out
+
+
+def histogram(
+    samples: Sequence[float], n_bins: int = 20
+) -> list[tuple[float, float, int]]:
+    """Equal-width histogram: ``(bin_lo, bin_hi, count)`` triples."""
+    if n_bins < 1:
+        raise ValueError("n_bins must be positive")
+    if not samples:
+        return []
+    lo, hi = min(samples), max(samples)
+    if lo == hi:
+        return [(float(lo), float(hi), len(samples))]
+    width = (hi - lo) / n_bins
+    counts = [0] * n_bins
+    for s in samples:
+        idx = min(int((s - lo) / width), n_bins - 1)
+        counts[idx] += 1
+    return [
+        (lo + i * width, lo + (i + 1) * width, c) for i, c in enumerate(counts)
+    ]
+
+
+def tail_ratio(samples: Sequence[float], p: float = 99.0) -> float:
+    """``p``-th percentile over the median — a scale-free tail measure."""
+    ps = percentiles(samples, (50.0, p))
+    if not ps[50.0] or math.isnan(ps[50.0]):
+        return float("nan")
+    return ps[p] / ps[50.0]

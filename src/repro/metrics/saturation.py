@@ -1,0 +1,61 @@
+"""Saturation analysis of rate-sweep curves.
+
+The paper quotes saturation onsets ("NHop starts to saturate after 0.066
+and PHop shows signs of saturation at about 0.045") and peak throughputs
+("NHop and Duato-Nbc achieve their peak throughputs of 0.389 and 0.363").
+These helpers extract both from a ``(rate, latency, throughput)`` sweep.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SaturationPoint:
+    """Where a latency curve takes off."""
+
+    rate: float
+    latency: float
+    zero_load_latency: float
+
+
+def find_saturation(
+    rates: Sequence[float],
+    latencies: Sequence[float],
+    *,
+    factor: float = 3.0,
+) -> SaturationPoint | None:
+    """First injection rate whose latency exceeds *factor* x zero-load.
+
+    The zero-load latency is taken from the lowest-rate point.  Returns
+    ``None`` when the curve never saturates in the swept range.  NaN
+    latencies (no deliveries) are treated as saturated.
+    """
+    if len(rates) != len(latencies):
+        raise ValueError("rates and latencies must have equal length")
+    if not rates:
+        return None
+    pairs = sorted(zip(rates, latencies))
+    zero_load = pairs[0][1]
+    if math.isnan(zero_load):
+        return None
+    threshold = factor * zero_load
+    for rate, lat in pairs:
+        if math.isnan(lat) or lat > threshold:
+            return SaturationPoint(rate=rate, latency=lat, zero_load_latency=zero_load)
+    return None
+
+
+def peak_throughput(
+    rates: Sequence[float], throughputs: Sequence[float]
+) -> tuple[float, float]:
+    """``(rate, throughput)`` of the sweep's best accepted throughput."""
+    if len(rates) != len(throughputs):
+        raise ValueError("rates and throughputs must have equal length")
+    if not rates:
+        raise ValueError("empty sweep")
+    best = max(zip(throughputs, rates))
+    return best[1], best[0]

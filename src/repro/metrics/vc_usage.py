@@ -1,0 +1,52 @@
+"""Per-virtual-channel utilization (the paper's Figure 3).
+
+The engine counts, for every VC index, how many (network channel, cycle)
+slots held that VC busy during the measurement window.  Figure 3 plots
+"average usage of virtual channels per node" as a percentage per VC
+index; we normalize busy-slot counts by the number of directed network
+channels and measured cycles.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.simulator.engine import SimulationResult
+from repro.topology.mesh import Mesh2D
+
+
+def vc_usage_percent(result: SimulationResult) -> list[float]:
+    """Average busy percentage of each VC index across network channels.
+
+    ``usage[v]`` is the mean over all directed mesh channels of the
+    fraction of measured cycles VC ``v`` was busy, as a percentage.
+    Requires the run to have been collected with
+    ``collect_vc_stats=True``.
+    """
+    if not any(result.vc_busy) and result.delivered:
+        raise ValueError(
+            "vc_busy is empty; run the simulation with collect_vc_stats=True"
+        )
+    cfg = result.config
+    mesh = Mesh2D(cfg.width, cfg.height)
+    denom = mesh.n_channels * result.measured_cycles
+    if denom == 0:
+        return [float("nan")] * cfg.vcs_per_channel
+    return [100.0 * busy / denom for busy in result.vc_busy]
+
+
+def usage_imbalance(usage: Sequence[float]) -> float:
+    """Coefficient of variation of the per-VC usage.
+
+    A large value means the algorithm loads a few VCs heavily (the
+    paper's "unbalanced use of the virtual channels", e.g. PHop); values
+    near 0 mean the free-choice algorithms' flat profiles.
+    """
+    vals = [u for u in usage if u == u]  # drop NaN
+    if not vals:
+        return float("nan")
+    m = sum(vals) / len(vals)
+    if m == 0:
+        return 0.0
+    var = sum((v - m) ** 2 for v in vals) / len(vals)
+    return var**0.5 / m

@@ -1,0 +1,53 @@
+"""The ten adaptive fault-tolerant routing algorithms of the paper.
+
+All algorithms are *minimal fully adaptive* in the fault-free case and are
+fortified with the Boppana–Chalasani fault-ring scheme (4 dedicated ring
+virtual channels per physical channel); they differ in how they supervise
+the remaining virtual channels:
+
+======================  ====================================================
+``phop``                Positive-Hop: VC class = hops taken
+``nhop``                Negative-Hop: VC class = negative hops taken
+``pbc``                 PHop with bonus cards
+``nbc``                 NHop with bonus cards
+``duato``               Duato's methodology, XY escape channels
+``duato-pbc``           Duato's methodology, Pbc escape layer
+``duato-nbc``           Duato's methodology, Nbc escape layer
+``minimal-adaptive``    any free VC on any minimal direction
+``fully-adaptive``      minimal-adaptive + bounded misrouting (10)
+``boura``               Boura's 3-class partition ("Boura (Adaptive)")
+``boura-ft``            same + unsafe-node labeling ("Boura (Fault-Tolerant)")
+======================  ====================================================
+
+Use :func:`repro.routing.registry.make_algorithm` (or
+:data:`ALGORITHM_NAMES`) to instantiate by name.
+"""
+
+from repro.routing.base import RoutingAlgorithm, RoutingError
+from repro.routing.budgets import VcBudget, VcBudgetError
+from repro.routing.boura import BouraAdaptive, BouraFaultTolerant
+from repro.routing.duato import DuatoNbc, DuatoPbc, DuatoXY
+from repro.routing.freeform import FullyAdaptive, MinimalAdaptive
+from repro.routing.hop_based import Nbc, NHop, Pbc, PHop
+from repro.routing.registry import ALGORITHM_NAMES, PAPER_ORDER, make_algorithm
+
+__all__ = [
+    "ALGORITHM_NAMES",
+    "PAPER_ORDER",
+    "BouraAdaptive",
+    "BouraFaultTolerant",
+    "DuatoNbc",
+    "DuatoPbc",
+    "DuatoXY",
+    "FullyAdaptive",
+    "MinimalAdaptive",
+    "Nbc",
+    "NHop",
+    "Pbc",
+    "PHop",
+    "RoutingAlgorithm",
+    "RoutingError",
+    "VcBudget",
+    "VcBudgetError",
+    "make_algorithm",
+]

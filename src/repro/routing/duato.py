@@ -1,0 +1,72 @@
+"""Duato's methodology: adaptive class I over a deadlock-free class II.
+
+A header first tries any class-I (adaptive) VC on any fault-free minimal
+direction; only when all of those are busy does it request its class-II
+escape VC.  Per Duato's theory the escape layer must itself be
+deadlock-free; the paper never names it for the standalone "Duato's
+routing", so we use dimension-order XY (canonical choice, see DESIGN.md
+§3.3).  Duato-Pbc and Duato-Nbc use the bonus-card hop schemes as the
+escape layer, which is exactly how the paper builds them: "the best
+performance is achieved when class II contains minimum required virtual
+channels and extra virtual channels are allocated to class I".
+"""
+
+from __future__ import annotations
+
+from repro.routing.base import RoutingAlgorithm, Tier
+from repro.routing.budgets import VcBudget, adaptive_escape_budget, hop_class_budget
+from repro.routing.hop_based import Nbc, Pbc
+from repro.simulator.message import Message
+from repro.topology.directions import EAST, WEST
+from repro.topology.mesh import Mesh2D
+
+
+class DuatoXY(RoutingAlgorithm):
+    """Duato's routing with 2 XY dimension-order escape VCs."""
+
+    name = "duato"
+    escape_count = 2
+
+    def build_budget(self, mesh: Mesh2D, total_vcs: int) -> VcBudget:
+        return adaptive_escape_budget(total_vcs, escape=self.escape_count)
+
+    def tiers_for(self, msg: Message, node: int, dirs: tuple[int, ...]) -> list[Tier]:
+        adaptive = self.budget.adaptive_vcs
+        tier1: Tier = [(d, adaptive) for d in dirs]
+        # Escape: dimension order prefers correcting x first.
+        # minimal_directions() lists the x direction first when present,
+        # so dirs[0] is the XY choice among the fault-free directions.
+        tier2: Tier = [(dirs[0], self.budget.escape_vcs)]
+        return [tier1, tier2]
+
+
+class _DuatoHop:
+    """Mixin turning a hop scheme into Duato class II under adaptive VCs."""
+
+    def tiers_for(self, msg: Message, node: int, dirs: tuple[int, ...]) -> list[Tier]:
+        adaptive = self.budget.adaptive_vcs
+        tier1: Tier = [(d, adaptive) for d in dirs]
+        tier2 = self.class_tier(msg, node, dirs)
+        return [tier1, tier2]
+
+
+class DuatoPbc(_DuatoHop, Pbc):
+    """Duato's methodology with Pbc as the escape layer."""
+
+    name = "duato-pbc"
+
+    def build_budget(self, mesh: Mesh2D, total_vcs: int) -> VcBudget:
+        n_classes = self.n_classes(mesh)
+        adaptive = total_vcs - n_classes - 4
+        return hop_class_budget(n_classes, total_vcs, adaptive=adaptive)
+
+
+class DuatoNbc(_DuatoHop, Nbc):
+    """Duato's methodology with Nbc as the escape layer."""
+
+    name = "duato-nbc"
+
+    def build_budget(self, mesh: Mesh2D, total_vcs: int) -> VcBudget:
+        n_classes = self.n_classes(mesh)
+        adaptive = total_vcs - n_classes - 4
+        return hop_class_budget(n_classes, total_vcs, adaptive=adaptive)

@@ -1,0 +1,34 @@
+"""Deterministic e-cube (XY dimension-order) routing.
+
+Not one of the paper's ten algorithms, but the canonical baseline the
+Boppana–Chalasani fault-ring scheme was originally defined for
+(TC'95 [1]): correct the X offset fully, then the Y offset.  Dimension
+order makes the channel dependency graph acyclic, so XY is deadlock-free
+with any number of VCs per channel; here the non-ring pool is shared
+freely among messages on the single XY-permitted direction.
+
+Included as an extension baseline: the paper's adaptive algorithms should
+beat it under congestion (adaptivity) while matching it at zero load.
+"""
+
+from __future__ import annotations
+
+from repro.routing.base import RoutingAlgorithm, Tier
+from repro.routing.budgets import VcBudget, free_pool_budget
+from repro.simulator.message import Message
+from repro.topology.mesh import Mesh2D
+
+
+class ECube(RoutingAlgorithm):
+    """Deterministic XY routing with B-C fault rings."""
+
+    name = "ecube"
+
+    def build_budget(self, mesh: Mesh2D, total_vcs: int) -> VcBudget:
+        return free_pool_budget(total_vcs)
+
+    def tiers_for(self, msg: Message, node: int, dirs: tuple[int, ...]) -> list[Tier]:
+        # minimal_directions lists X before Y; the e-cube choice is the
+        # first fault-free entry (X unless the X-way neighbor is faulty,
+        # in which case the paper's fortification detours via Y/rings).
+        return [[(dirs[0], self.budget.adaptive_vcs)]]

@@ -1,0 +1,61 @@
+"""Minimal-Adaptive and Fully-Adaptive routing.
+
+The paper's "first category": algorithms that are completely free in
+choosing virtual channels — every VC in the pool is equivalent and the
+algorithm applies no supervision.  Neither scheme is deadlock-free;
+simulations run them with the engine's drain-recovery watchdog (the paper
+does not state how its simulator coped — DESIGN.md §3.6).
+
+**Fully-Adaptive** additionally misroutes: when every VC on every
+fault-free minimal direction is busy, the header may take a non-minimal
+hop, at most :attr:`FullyAdaptive.max_misroutes` times per message
+(paper: "the number of the misroutes is limited and is set to 10").
+"""
+
+from __future__ import annotations
+
+from repro.routing.base import RoutingAlgorithm, Tier
+from repro.routing.budgets import VcBudget, free_pool_budget
+from repro.simulator.message import Message
+from repro.topology.directions import DIRECTIONS
+from repro.topology.mesh import Mesh2D
+
+
+class MinimalAdaptive(RoutingAlgorithm):
+    """Any free VC on any fault-free minimal direction; no supervision."""
+
+    name = "minimal-adaptive"
+    deadlock_free = False
+
+    def build_budget(self, mesh: Mesh2D, total_vcs: int) -> VcBudget:
+        return free_pool_budget(total_vcs)
+
+    def tiers_for(self, msg: Message, node: int, dirs: tuple[int, ...]) -> list[Tier]:
+        adaptive = self.budget.adaptive_vcs
+        return [[(d, adaptive) for d in dirs]]
+
+
+class FullyAdaptive(MinimalAdaptive):
+    """Minimal-Adaptive plus bounded misrouting."""
+
+    name = "fully-adaptive"
+    max_misroutes = 10
+
+    def tiers_for(self, msg: Message, node: int, dirs: tuple[int, ...]) -> list[Tier]:
+        adaptive = self.budget.adaptive_vcs
+        tiers = [[(d, adaptive) for d in dirs]]
+        if msg.misroutes < self.max_misroutes:
+            neighbors = self.mesh.neighbor_table(node)
+            faulty = self.faults.faulty_mask
+            detour = [
+                (d, adaptive)
+                for d in DIRECTIONS
+                if d not in dirs and neighbors[d] >= 0 and not faulty[neighbors[d]]
+            ]
+            if detour:
+                tiers.append(detour)
+        return tiers
+
+    def _account(self, msg: Message, node: int, direction: int, vc: int) -> None:
+        if direction not in self.mesh.minimal_directions(node, msg.dst):
+            msg.misroutes += 1

@@ -1,0 +1,82 @@
+"""Algorithm registry: instantiate any of the paper's algorithms by name."""
+
+from __future__ import annotations
+
+from repro.routing.base import RoutingAlgorithm
+from repro.routing.boura import BouraAdaptive, BouraFaultTolerant
+from repro.routing.duato import DuatoNbc, DuatoPbc, DuatoXY
+from repro.routing.ecube import ECube
+from repro.routing.freeform import FullyAdaptive, MinimalAdaptive
+from repro.routing.hop_based import Nbc, NHop, Pbc, PHop
+from repro.routing.turn_model import WestFirst
+
+_REGISTRY: dict[str, type[RoutingAlgorithm]] = {
+    cls.name: cls
+    for cls in (
+        PHop,
+        NHop,
+        Pbc,
+        Nbc,
+        DuatoXY,
+        DuatoPbc,
+        DuatoNbc,
+        MinimalAdaptive,
+        FullyAdaptive,
+        BouraAdaptive,
+        BouraFaultTolerant,
+        # Extension baselines (not part of the paper's ten):
+        ECube,
+        WestFirst,
+    )
+}
+
+#: All registered algorithm names, in the order the paper's figures list
+#: them (Boura appears twice: the adaptive variant and the fault-tolerant
+#: one are separate curves in every figure).
+PAPER_ORDER: tuple[str, ...] = (
+    "duato",
+    "boura",
+    "fully-adaptive",
+    "nbc",
+    "nhop",
+    "phop",
+    "pbc",
+    "duato-pbc",
+    "duato-nbc",
+    "minimal-adaptive",
+    "boura-ft",
+)
+
+ALGORITHM_NAMES: tuple[str, ...] = tuple(_REGISTRY)
+
+#: Figure-legend labels used by the paper.
+DISPLAY_NAMES: dict[str, str] = {
+    "phop": "PHop",
+    "nhop": "NHop",
+    "pbc": "Pbc",
+    "nbc": "Nbc",
+    "duato": "Duato's routing",
+    "duato-pbc": "Duato-Pbc",
+    "duato-nbc": "Duato-Nbc",
+    "minimal-adaptive": "Minimal-Adaptive",
+    "fully-adaptive": "Fully-Adaptive",
+    "boura": "Boura (Adaptive)",
+    "boura-ft": "Boura (Fault-Tolerant)",
+    "ecube": "E-cube (XY, baseline)",
+    "west-first": "West-First (turn model, baseline)",
+}
+
+
+def make_algorithm(name: str) -> RoutingAlgorithm:
+    """A fresh instance of the algorithm registered under *name*."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown algorithm {name!r}; known: {known}") from None
+    return cls()
+
+
+def display_name(name: str) -> str:
+    """The paper's legend label for algorithm *name*."""
+    return DISPLAY_NAMES.get(name, name)

@@ -1,0 +1,40 @@
+"""Turn-model routing: West-First (Glass & Ni) as an extension baseline.
+
+The turn model achieves deadlock freedom *without* virtual-channel
+classes by forbidding two of the eight turns: in West-First, a message
+makes all of its westward hops first; once it has turned off the west
+direction it may route adaptively east/north/south but never turn back
+west.  The two forbidden turns (N->W and S->W) break every abstract
+cycle, so any number of VCs may be used freely.
+
+This is a *partially* adaptive algorithm — messages with a westward
+offset are fully deterministic until the offset is corrected — which
+makes it an instructive midpoint between the deterministic e-cube
+baseline and the paper's fully adaptive schemes.  Fault tolerance comes
+from the shared Boppana–Chalasani ring overlay of the base class.
+"""
+
+from __future__ import annotations
+
+from repro.routing.base import RoutingAlgorithm, Tier
+from repro.routing.budgets import VcBudget, free_pool_budget
+from repro.simulator.message import Message
+from repro.topology.directions import WEST
+from repro.topology.mesh import Mesh2D
+
+
+class WestFirst(RoutingAlgorithm):
+    """West-First turn-model routing with B-C fault rings."""
+
+    name = "west-first"
+
+    def build_budget(self, mesh: Mesh2D, total_vcs: int) -> VcBudget:
+        return free_pool_budget(total_vcs)
+
+    def tiers_for(self, msg: Message, node: int, dirs: tuple[int, ...]) -> list[Tier]:
+        adaptive = self.budget.adaptive_vcs
+        if WEST in dirs:
+            # All westward hops come first; no adaptivity while a west
+            # offset remains (the defining West-First restriction).
+            return [[(WEST, adaptive)]]
+        return [[(d, adaptive) for d in dirs]]

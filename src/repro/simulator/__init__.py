@@ -1,0 +1,39 @@
+"""Flit-level wormhole-switched network simulator.
+
+Implements the router model of Section 5 of the paper: virtual-channel
+wormhole routers with a full crossbar ("multiple messages may traverse a
+node simultaneously"), one cycle per hop, credit-based backpressure, and
+random resolution of output-channel conflicts.
+
+The engine is cycle-driven but visits only *busy* virtual channels, so the
+per-cycle cost scales with traffic, not with network size.
+"""
+
+from repro.simulator.config import SimConfig
+from repro.simulator.engine import Simulation, SimulationResult
+from repro.simulator.deadlock import DeadlockError
+from repro.simulator.message import (
+    BODY,
+    HEAD,
+    RING_EW,
+    RING_NS,
+    RING_SN,
+    RING_WE,
+    TAIL,
+    Message,
+)
+
+__all__ = [
+    "BODY",
+    "HEAD",
+    "RING_EW",
+    "RING_NS",
+    "RING_SN",
+    "RING_WE",
+    "TAIL",
+    "DeadlockError",
+    "Message",
+    "SimConfig",
+    "Simulation",
+    "SimulationResult",
+]

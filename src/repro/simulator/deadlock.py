@@ -1,0 +1,105 @@
+"""Deadlock detection support.
+
+Two mechanisms:
+
+* The engine's **watchdog** (in :mod:`repro.simulator.engine`): a header
+  continuously blocked past ``deadlock_timeout`` cycles triggers the
+  configured action.  For deadlock-free algorithms the default action is
+  to raise :class:`DeadlockError`, which doubles as a correctness oracle
+  in the test suite; for Minimal-/Fully-Adaptive the experiments use
+  drain-recovery.
+* :func:`find_dependency_cycle` — an exact wait-for-graph analysis used
+  for diagnostics and tests: it distinguishes a true circular wait from
+  mere congestion.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simulator.engine import Simulation
+
+
+class DeadlockError(RuntimeError):
+    """A header exceeded the deadlock timeout under the 'raise' policy."""
+
+    def __init__(self, message: str, cycle: int, details: str = "") -> None:
+        super().__init__(message)
+        self.cycle = cycle
+        self.details = details
+
+
+def find_dependency_cycle(sim: "Simulation") -> list[tuple[int, int, int]] | None:
+    """Search the VC wait-for graph for a cycle.
+
+    Nodes of the graph are *busy input VCs*; there is an edge from input
+    VC ``a`` to input VC ``b`` when ``a``'s header is waiting for an
+    output VC currently owned by ``b``.  Returns the cycle as a list of
+    ``(node, port, vc)`` triples, or ``None`` if the graph is acyclic
+    (in which case any stall is congestion, not deadlock).
+    """
+    # Map each blocked header to the owners of every VC it could use.
+    edges: dict[int, set[int]] = {}
+    key = {}
+    for invc in sim.iter_blocked_headers():
+        msg = invc.msg
+        if invc.node == msg.dst:
+            wanted = [(4, v) for v in range(sim.config.vcs_per_channel)]
+        else:
+            tiers = sim.algorithm.candidate_tiers(msg, invc.node)
+            wanted = [(d, v) for tier in tiers for (d, vcs) in tier for v in vcs]
+        srcs = id(invc)
+        key[srcs] = invc
+        deps = set()
+        for d, v in wanted:
+            ovc = sim.output_vc(invc.node, d, v)
+            if ovc.owner is not None and ovc.owner is not invc:
+                deps.add(id(ovc.owner))
+                key[id(ovc.owner)] = ovc.owner
+        edges[srcs] = deps
+    # Also: an input VC holding an allocated output VC depends on the
+    # downstream input VC's front message draining (credit chain).
+    for invc in sim.iter_active_vcs():
+        ovc = invc.out_ovc
+        if ovc is None or ovc.is_ejection or ovc.down_invc is None:
+            continue
+        down = ovc.down_invc
+        if down.msg is not None:
+            edges.setdefault(id(invc), set()).add(id(down))
+            key[id(invc)] = invc
+            key[id(down)] = down
+
+    # Iterative DFS cycle detection.
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = dict.fromkeys(edges, WHITE)
+    for root in edges:
+        if color[root] != WHITE:
+            continue
+        stack = [(root, iter(edges.get(root, ())))]
+        color[root] = GREY
+        path = [root]
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in edges:
+                    continue
+                c = color.get(nxt, WHITE)
+                if c == GREY:
+                    i = path.index(nxt)
+                    cycle = path[i:]
+                    return [
+                        (key[n].node, key[n].port, key[n].vc) for n in cycle
+                    ]
+                if c == WHITE:
+                    color[nxt] = GREY
+                    stack.append((nxt, iter(edges.get(nxt, ()))))
+                    path.append(nxt)
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+                path.pop()
+    return None

@@ -1,0 +1,713 @@
+"""The cycle-driven flit-level simulation engine.
+
+Router model (DESIGN.md §3.1): per cycle, every router performs
+
+1. **routing + VC allocation** — header flits at buffer heads ask the
+   routing algorithm for candidate output VCs (in tiers) and grab a free
+   one, chosen uniformly at random among the free candidates; contention
+   between headers is randomized by shuffling the service order,
+2. **switch allocation** — allocated input VCs with a flit and a credit
+   bid for the crossbar; at most one flit per input port and one per
+   output port per cycle, winners picked in random order,
+3. **traversal** — winning flits move to the downstream buffer (arriving
+   next cycle), credits flow back, tail flits release channels.
+
+Only busy virtual channels are visited, so cost scales with traffic.
+All randomness is seeded from ``SimConfig.seed`` (a ``random.Random``
+for choices plus a NumPy generator for the hot per-cycle service-order
+permutations — ~3x faster than ``random.shuffle`` at saturation); busy
+sets are insertion-ordered dicts, so runs are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+from repro.faults.pattern import FaultPattern
+from repro.simulator.config import SimConfig
+from repro.simulator.deadlock import DeadlockError
+from repro.simulator.message import BODY, HEAD, TAIL, Message
+from repro.topology.directions import LOCAL, OPPOSITE
+from repro.topology.mesh import Mesh2D
+from repro.traffic.patterns import TrafficPattern, UniformTraffic
+from repro.traffic.process import ExponentialArrivals
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.routing.base import RoutingAlgorithm
+
+_WATCHDOG_INTERVAL = 128
+
+
+class InputVC:
+    """One virtual channel on the input side of a router port."""
+
+    __slots__ = ("node", "port", "vc", "buffer", "msg", "out_ovc", "up_ovc",
+                 "blocked_since")
+
+    def __init__(self, node: int, port: int, vc: int) -> None:
+        self.node = node
+        self.port = port
+        self.vc = vc
+        self.buffer: deque = deque()
+        self.msg: Message | None = None  # message whose flit is at the front
+        self.out_ovc: OutputVC | None = None  # allocated output VC
+        self.up_ovc: OutputVC | None = None  # upstream output VC feeding us
+        self.blocked_since = -1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"InputVC(node={self.node}, port={self.port}, vc={self.vc})"
+
+
+class OutputVC:
+    """One virtual channel on the output side of a router port."""
+
+    __slots__ = ("node", "port", "vc", "credits", "owner", "down_invc",
+                 "is_ejection")
+
+    def __init__(self, node: int, port: int, vc: int, credits: int,
+                 is_ejection: bool) -> None:
+        self.node = node
+        self.port = port
+        self.vc = vc
+        self.credits = credits
+        self.owner: InputVC | None = None
+        self.down_invc: InputVC | None = None
+        self.is_ejection = is_ejection
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OutputVC(node={self.node}, port={self.port}, vc={self.vc})"
+
+
+class _Stream:
+    """A message being fed from a PE into an injection VC."""
+
+    __slots__ = ("invc", "msg", "sent")
+
+    def __init__(self, invc: InputVC, msg: Message) -> None:
+        self.invc = invc
+        self.msg = msg
+        self.sent = 0
+
+
+@dataclass
+class SimulationResult:
+    """Statistics from one run's measurement window (post-warmup)."""
+
+    algorithm: str
+    config: SimConfig
+    n_faulty: int
+    n_healthy: int
+    measured_cycles: int
+    generated: int = 0
+    delivered: int = 0
+    delivered_flits: int = 0
+    dropped_deadlock: int = 0
+    dropped_livelock: int = 0
+    deadlock_suspects: int = 0
+    latency_sum: int = 0
+    latency_sq_sum: int = 0
+    latency_max: int = 0
+    network_latency_sum: int = 0
+    hops_sum: int = 0
+    class_caps: int = 0
+    vc_busy: list[int] = field(default_factory=list)
+    node_load: list[int] = field(default_factory=list)
+    latency_samples: list[int] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def avg_latency(self) -> float:
+        """Mean generation-to-delivery latency in cycles."""
+        return self.latency_sum / self.delivered if self.delivered else float("nan")
+
+    @property
+    def avg_network_latency(self) -> float:
+        """Mean injection-to-delivery latency in cycles."""
+        return (
+            self.network_latency_sum / self.delivered
+            if self.delivered
+            else float("nan")
+        )
+
+    @property
+    def latency_std(self) -> float:
+        if self.delivered < 2:
+            return float("nan")
+        mean = self.avg_latency
+        var = self.latency_sq_sum / self.delivered - mean * mean
+        return max(var, 0.0) ** 0.5
+
+    @property
+    def avg_hops(self) -> float:
+        return self.hops_sum / self.delivered if self.delivered else float("nan")
+
+    @property
+    def throughput(self) -> float:
+        """Normalized accepted throughput: flits/node/cycle in [0, 1].
+
+        This is the paper's scale (peak values like 0.389 for NHop): the
+        injection/ejection links move at most one flit per node per cycle,
+        so 1.0 is the per-node capacity.
+        """
+        denom = self.n_healthy * self.measured_cycles
+        return self.delivered_flits / denom if denom else float("nan")
+
+    @property
+    def message_rate(self) -> float:
+        """Delivered messages per node per cycle."""
+        denom = self.n_healthy * self.measured_cycles
+        return self.delivered / denom if denom else float("nan")
+
+    @property
+    def offered_load(self) -> float:
+        """Offered traffic in flits/node/cycle (rate x message length)."""
+        return self.config.injection_rate * self.config.message_length
+
+
+class Simulation:
+    """One simulation run binding a config, algorithm and fault pattern."""
+
+    def __init__(
+        self,
+        config: SimConfig,
+        algorithm: RoutingAlgorithm,
+        faults: FaultPattern | None = None,
+        pattern: TrafficPattern | None = None,
+    ) -> None:
+        self.config = config
+        self.mesh = Mesh2D(config.width, config.height)
+        self.faults = (
+            faults if faults is not None else FaultPattern.fault_free(self.mesh)
+        )
+        if self.faults.mesh != self.mesh:
+            raise ValueError("fault pattern mesh does not match config mesh")
+        self.algorithm = algorithm
+        algorithm.prepare(self.mesh, self.faults, config.vcs_per_channel)
+        self.pattern = pattern if pattern is not None else UniformTraffic()
+        self.pattern.prepare(self.mesh, self.faults)
+
+        self.rng = random.Random(config.seed)
+        # Dedicated fast generator for the per-cycle service-order
+        # permutations (the hottest RNG call at saturation); seeded from
+        # the run seed so runs stay exactly reproducible.
+        self._perm_rng = np.random.default_rng(config.seed ^ 0x5EED)
+        self.cycle = 0
+        self._msg_counter = 0
+        self._hop_cap = config.max_hops_factor * self.mesh.diameter
+        self._timeout = (
+            config.deadlock_timeout
+            if config.deadlock_timeout is not None
+            else max(1000, 25 * config.message_length)
+        )
+
+        self._build_fabric()
+
+        healthy = self.faults.healthy_nodes
+        self._healthy = healthy
+        self._arrivals = ExponentialArrivals(
+            healthy, config.injection_rate, self.rng
+        )
+        self._queues: list[deque[Message]] = [deque() for _ in self.mesh.nodes()]
+        self._streams: list[list[_Stream]] = [[] for _ in self.mesh.nodes()]
+        self._inj_pending: dict[int, None] = {}
+
+        # Busy-set dicts (ordered -> reproducible iteration).
+        self._needs_routing: dict[InputVC, None] = {}
+        self._active: dict[InputVC, None] = {}
+
+        # Conservation counters (whole run, not just measurement window).
+        self.total_generated = 0
+        self.total_delivered = 0
+        self.total_dropped = 0
+
+        #: Optional event recorder (see :mod:`repro.simulator.trace`).
+        self.tracer = None
+
+        self.result = SimulationResult(
+            algorithm=algorithm.name,
+            config=config,
+            n_faulty=self.faults.n_faulty,
+            n_healthy=len(healthy),
+            measured_cycles=max(config.cycles - config.warmup, 0),
+            vc_busy=[0] * config.vcs_per_channel,
+            node_load=[0] * self.mesh.n_nodes,
+        )
+
+    # ------------------------------------------------------------------
+    # Fabric construction
+    # ------------------------------------------------------------------
+    def _build_fabric(self) -> None:
+        cfg = self.config
+        mesh = self.mesh
+        V = cfg.vcs_per_channel
+        depth = cfg.buffer_depth
+        self._invcs = [
+            [[InputVC(n, p, v) for v in range(V)] for p in range(5)]
+            for n in mesh.nodes()
+        ]
+        self._ovcs = [
+            [
+                [OutputVC(n, p, v, depth, p == LOCAL) for v in range(V)]
+                for p in range(5)
+            ]
+            for n in mesh.nodes()
+        ]
+        for node, direction, dst in mesh.channels():
+            in_port = OPPOSITE[direction]
+            for v in range(V):
+                ovc = self._ovcs[node][direction][v]
+                invc = self._invcs[dst][in_port][v]
+                ovc.down_invc = invc
+                invc.up_ovc = ovc
+
+    def output_vc(self, node: int, port: int, vc: int) -> OutputVC:
+        """Accessor used by diagnostics (deadlock analysis, tests)."""
+        return self._ovcs[node][port][vc]
+
+    def input_vc(self, node: int, port: int, vc: int) -> InputVC:
+        """Accessor used by diagnostics (deadlock analysis, tests)."""
+        return self._invcs[node][port][vc]
+
+    def iter_blocked_headers(self):
+        """Input VCs whose header is awaiting an output VC."""
+        return iter(self._needs_routing)
+
+    def iter_active_vcs(self):
+        """Input VCs with an allocated output VC."""
+        return iter(self._active)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Run the configured number of cycles and return the statistics."""
+        cfg = self.config
+        collect = cfg.collect_vc_stats or cfg.collect_node_stats
+        for _ in range(cfg.cycles):
+            cycle = self.cycle
+            self._generate(cycle)
+            self._inject(cycle)
+            self._route(cycle)
+            self._switch_and_traverse(cycle)
+            if cycle % _WATCHDOG_INTERVAL == 0:
+                self._watchdog(cycle)
+            if collect and cycle >= cfg.warmup and cfg.collect_vc_stats:
+                self._collect_vc(cycle)
+            self.cycle += 1
+        self.result.class_caps = self.algorithm.class_caps
+        return self.result
+
+    def step(self, cycles: int = 1) -> None:
+        """Advance the simulation a fixed number of cycles (for tests)."""
+        cfg = self.config
+        for _ in range(cycles):
+            cycle = self.cycle
+            self._generate(cycle)
+            self._inject(cycle)
+            self._route(cycle)
+            self._switch_and_traverse(cycle)
+            if cycle % _WATCHDOG_INTERVAL == 0:
+                self._watchdog(cycle)
+            if cfg.collect_vc_stats and cycle >= cfg.warmup:
+                self._collect_vc(cycle)
+            self.cycle += 1
+
+    # ------------------------------------------------------------------
+    # Phase 0: traffic generation
+    # ------------------------------------------------------------------
+    def submit_message(self, src: int, dst: int, cycle: int | None = None) -> Message:
+        """Inject a hand-crafted message (examples and tests)."""
+        if self.faults.faulty_mask[src] or self.faults.faulty_mask[dst]:
+            raise ValueError("messages must travel between healthy nodes")
+        msg = Message(
+            self._msg_counter, src, dst, self.config.message_length,
+            self.cycle if cycle is None else cycle,
+        )
+        self._msg_counter += 1
+        self.algorithm.new_message(msg)
+        self._queues[src].append(msg)
+        self._inj_pending[src] = None
+        self.total_generated += 1
+        if msg.created >= self.config.warmup:
+            self.result.generated += 1
+        return msg
+
+    def _generate(self, cycle: int) -> None:
+        for src in self._arrivals.due(cycle):
+            dst = self.pattern.destination(src, self.rng)
+            self.submit_message(src, dst, cycle)
+
+    # ------------------------------------------------------------------
+    # Phase 1: injection (PE -> router local port, 1 flit/cycle/node)
+    # ------------------------------------------------------------------
+    def _inject(self, cycle: int) -> None:
+        if not self._inj_pending:
+            return
+        depth = self.config.buffer_depth
+        inj_vcs = self.config.injection_vcs
+        rng = self.rng
+        done_nodes = []
+        for node in self._inj_pending:
+            queue = self._queues[node]
+            streams = self._streams[node]
+            # Bind queued messages to free injection VCs.
+            if queue and len(streams) < inj_vcs:
+                used = {s.invc.vc for s in streams}
+                local = self._invcs[node][LOCAL]
+                for v in range(inj_vcs):
+                    if not queue:
+                        break
+                    if v in used:
+                        continue
+                    invc = local[v]
+                    if invc.msg is None and not invc.buffer:
+                        streams.append(_Stream(invc, queue.popleft()))
+            # Move one flit across the injection link.
+            if len(streams) == 1:  # fast path: the common single-port case
+                s = streams[0] if len(streams[0].invc.buffer) < depth else None
+            else:
+                ready = [s for s in streams if len(s.invc.buffer) < depth]
+                s = (
+                    ready[rng.randrange(len(ready))]
+                    if len(ready) > 1
+                    else (ready[0] if ready else None)
+                )
+            if s is not None:
+                self._emit_flit(s, cycle)
+                if s.sent == s.msg.length:
+                    streams.remove(s)
+            if not queue and not streams:
+                done_nodes.append(node)
+        for node in done_nodes:
+            del self._inj_pending[node]
+
+    def _emit_flit(self, s: _Stream, cycle: int) -> None:
+        msg = s.msg
+        if s.sent == 0:
+            kind = HEAD
+            msg.injected = cycle
+        elif s.sent == msg.length - 1:
+            kind = TAIL
+        else:
+            kind = BODY
+        if msg.length == 1:
+            kind = TAIL  # single-flit message: the head is also the tail
+            msg.injected = cycle
+        invc = s.invc
+        invc.buffer.append((msg, kind))
+        s.sent += 1
+        if kind == HEAD or msg.length == 1:
+            if self.tracer is not None:
+                self.tracer.record(cycle, "inject", msg.id, invc.node)
+        if invc.msg is None:
+            invc.msg = msg
+            invc.blocked_since = cycle
+            self._needs_routing[invc] = None
+
+    # ------------------------------------------------------------------
+    # Phase 2: routing + VC allocation
+    # ------------------------------------------------------------------
+    def _route(self, cycle: int) -> None:
+        if not self._needs_routing:
+            return
+        rng = self.rng
+        items = list(self._needs_routing)
+        if len(items) > 1:
+            order = self._perm_rng.permutation(len(items)).tolist()
+            items = [items[i] for i in order]
+        alg = self.algorithm
+        V = self.config.vcs_per_channel
+        for invc in items:
+            if invc not in self._needs_routing:  # drained meanwhile
+                continue
+            msg = invc.msg
+            node = invc.node
+            if msg.hops >= self._hop_cap:
+                self._drain(msg, livelock=True)
+                continue
+            if node == msg.dst:
+                tiers = [[(LOCAL, range(V))]]
+            else:
+                tiers = alg.candidate_tiers(msg, node)
+            granted: OutputVC | None = None
+            ovcs_node = self._ovcs[node]
+            for tier in tiers:
+                free: list[OutputVC] = []
+                for direction, vcs in tier:
+                    row = ovcs_node[direction]
+                    for v in vcs:
+                        ovc = row[v]
+                        if ovc.owner is None:
+                            free.append(ovc)
+                if free:
+                    granted = (
+                        free[rng.randrange(len(free))] if len(free) > 1 else free[0]
+                    )
+                    break
+            if granted is None:
+                continue
+            granted.owner = invc
+            invc.out_ovc = granted
+            invc.blocked_since = -1
+            del self._needs_routing[invc]
+            self._active[invc] = None
+            if self.tracer is not None:
+                self.tracer.record(
+                    cycle, "alloc", msg.id, node, (granted.port, granted.vc)
+                )
+            if not granted.is_ejection:
+                alg.on_vc_allocated(msg, node, granted.port, granted.vc)
+
+    # ------------------------------------------------------------------
+    # Phase 3: switch allocation + traversal
+    # ------------------------------------------------------------------
+    def _switch_and_traverse(self, cycle: int) -> None:
+        if not self._active:
+            return
+        rng = self.rng
+        cfg = self.config
+        measuring = cycle >= cfg.warmup
+        node_stats = cfg.collect_node_stats and measuring
+        cands = [
+            invc
+            for invc in self._active
+            if invc.buffer
+            and (invc.out_ovc.is_ejection or invc.out_ovc.credits > 0)
+        ]
+        if len(cands) > 1:
+            order = self._perm_rng.permutation(len(cands)).tolist()
+            cands = [cands[i] for i in order]
+        in_used: set[tuple[int, int]] = set()
+        out_used: set[tuple[int, int]] = set()
+        arrivals: list[tuple[InputVC, Message, int]] = []
+        result = self.result
+        node_load = result.node_load
+        latency_samples = (
+            result.latency_samples if cfg.collect_latency_samples else None
+        )
+        for invc in cands:
+            ovc = invc.out_ovc
+            ik = (invc.node, invc.port)
+            ok = (ovc.node, ovc.port)
+            if ik in in_used or ok in out_used:
+                continue
+            in_used.add(ik)
+            out_used.add(ok)
+            msg, kind = invc.buffer.popleft()
+            if invc.up_ovc is not None:
+                invc.up_ovc.credits += 1
+            if node_stats:
+                node_load[invc.node] += 1
+            if self.tracer is not None:
+                self.tracer.record(cycle, "move", msg.id, invc.node, kind)
+            if ovc.is_ejection:
+                if measuring:
+                    result.delivered_flits += 1
+                if kind == TAIL:
+                    msg.delivered = cycle
+                    self.total_delivered += 1
+                    if self.tracer is not None:
+                        self.tracer.record(cycle, "deliver", msg.id, invc.node)
+                    if measuring:
+                        result.delivered += 1
+                        lat = msg.delivered - msg.created
+                        if latency_samples is not None:
+                            latency_samples.append(lat)
+                        result.latency_sum += lat
+                        result.latency_sq_sum += lat * lat
+                        if lat > result.latency_max:
+                            result.latency_max = lat
+                        result.network_latency_sum += msg.delivered - msg.injected
+                        result.hops_sum += msg.hops
+                    ovc.owner = None
+                    self._retire_front(invc, cycle)
+            else:
+                ovc.credits -= 1
+                arrivals.append((ovc.down_invc, msg, kind))
+                if kind == TAIL:
+                    ovc.owner = None
+                    self._retire_front(invc, cycle)
+        for invc, msg, kind in arrivals:
+            invc.buffer.append((msg, kind))
+            if invc.msg is None:
+                invc.msg = msg
+                invc.blocked_since = cycle
+                self._needs_routing[invc] = None
+
+    def _retire_front(self, invc: InputVC, cycle: int) -> None:
+        """The front message's tail just left *invc*: promote or idle."""
+        invc.out_ovc = None
+        self._active.pop(invc, None)
+        if invc.buffer:
+            front_msg, front_kind = invc.buffer[0]
+            # In-order wormhole delivery: the next flit must be a header.
+            invc.msg = front_msg
+            invc.blocked_since = cycle
+            self._needs_routing[invc] = None
+        else:
+            invc.msg = None
+
+    # ------------------------------------------------------------------
+    # Watchdog: deadlock & livelock handling
+    # ------------------------------------------------------------------
+    def _watchdog(self, cycle: int) -> None:
+        timeout = self._timeout
+        action = self.config.on_deadlock
+        stuck = [
+            invc
+            for invc in self._needs_routing
+            if invc.blocked_since >= 0 and cycle - invc.blocked_since > timeout
+        ]
+        for invc in stuck:
+            if invc not in self._needs_routing:
+                continue
+            if action == "raise":
+                # Long waits at deep saturation are legitimate (a 100-flit
+                # message holds a VC for hundreds of stretched cycles), so
+                # the timeout alone is not proof: confirm with the exact
+                # wait-for-graph analysis and raise only on a true
+                # circular wait.  Plain starvation is counted and rearmed.
+                from repro.simulator.deadlock import find_dependency_cycle
+
+                found = find_dependency_cycle(self)
+                if found is not None:
+                    msg = invc.msg
+                    raise DeadlockError(
+                        f"circular wait of {len(found)} VCs detected; first "
+                        f"stuck header: message {msg.id} ({msg.src}->"
+                        f"{msg.dst}) blocked at node {invc.node} port "
+                        f"{invc.port} vc {invc.vc} since cycle "
+                        f"{invc.blocked_since} (algorithm "
+                        f"{self.algorithm.name!r}, cycle {cycle})",
+                        cycle=cycle,
+                        details=repr(found),
+                    )
+                self.result.deadlock_suspects += 1
+                for other in stuck:
+                    if other in self._needs_routing:
+                        other.blocked_since = cycle  # rearm all
+                break
+            if action == "count":
+                self.result.deadlock_suspects += 1
+                invc.blocked_since = cycle  # rearm
+            else:  # drain
+                self._drain(invc.msg, livelock=False)
+
+    def _drain(self, msg: Message, *, livelock: bool) -> None:
+        """Remove every flit of *msg* from the network (recovery)."""
+        msg.dropped = True
+        self.total_dropped += 1
+        if self.tracer is not None:
+            self.tracer.record(
+                self.cycle, "drain", msg.id, msg.src,
+                "livelock" if livelock else "deadlock",
+            )
+        if self.cycle >= self.config.warmup:
+            if livelock:
+                self.result.dropped_livelock += 1
+            else:
+                self.result.dropped_deadlock += 1
+        # Stop the injection stream, if still feeding.
+        streams = self._streams[msg.src]
+        for s in list(streams):
+            if s.msg is msg:
+                streams.remove(s)
+        # Sweep every busy input VC for this message's flits.
+        for invc in list(self._active) + list(self._needs_routing):
+            if invc.msg is not msg and not any(
+                f[0] is msg for f in invc.buffer
+            ):
+                continue
+            removed = sum(1 for f in invc.buffer if f[0] is msg)
+            if removed:
+                invc.buffer = deque(f for f in invc.buffer if f[0] is not msg)
+                if invc.up_ovc is not None:
+                    invc.up_ovc.credits += removed
+            if invc.msg is msg:
+                if invc.out_ovc is not None:
+                    invc.out_ovc.owner = None
+                    invc.out_ovc = None
+                self._active.pop(invc, None)
+                self._needs_routing.pop(invc, None)
+                if invc.buffer:
+                    front_msg, _ = invc.buffer[0]
+                    invc.msg = front_msg
+                    invc.blocked_since = self.cycle
+                    self._needs_routing[invc] = None
+                else:
+                    invc.msg = None
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def _collect_vc(self, cycle: int) -> None:
+        vc_busy = self.result.vc_busy
+        for invc in self._needs_routing:
+            if invc.port != LOCAL:
+                vc_busy[invc.vc] += 1
+        for invc in self._active:
+            if invc.port != LOCAL:
+                vc_busy[invc.vc] += 1
+
+    def check_invariants(self) -> None:
+        """Verify internal consistency (used by the test suite).
+
+        Checks credit accounting, ownership symmetry and busy-set
+        membership; raises :class:`AssertionError` with a description on
+        the first violation.
+        """
+        depth = self.config.buffer_depth
+        for node in self.mesh.nodes():
+            for port in range(5):
+                for invc in self._invcs[node][port]:
+                    if invc.buffer:
+                        assert invc.msg is not None, (
+                            f"{invc!r} holds flits but has no front message"
+                        )
+                    if invc.msg is not None:
+                        in_routing = invc in self._needs_routing
+                        in_active = invc in self._active
+                        assert in_routing != in_active, (
+                            f"{invc!r} busy but in routing={in_routing}, "
+                            f"active={in_active}"
+                        )
+                        assert len(invc.buffer) <= depth, f"{invc!r} overflow"
+                        if in_active:
+                            assert invc.out_ovc is not None
+                            assert invc.out_ovc.owner is invc
+                    else:
+                        assert not invc.buffer, f"{invc!r} idle with flits"
+                        assert invc.out_ovc is None
+                for ovc in self._ovcs[node][port]:
+                    if ovc.owner is not None:
+                        assert ovc.owner.out_ovc is ovc, (
+                            f"{ovc!r} owner does not point back"
+                        )
+                    if ovc.down_invc is not None:
+                        expect = depth - len(ovc.down_invc.buffer)
+                        assert ovc.credits == expect, (
+                            f"{ovc!r} credits {ovc.credits} != {expect}"
+                        )
+
+    def flits_in_network(self) -> int:
+        """Flits currently buffered anywhere (conservation checks)."""
+        total = 0
+        seen = set()
+        for invc in list(self._active) + list(self._needs_routing):
+            if id(invc) in seen:
+                continue
+            seen.add(id(invc))
+            total += len(invc.buffer)
+        return total
+
+    def messages_pending(self) -> int:
+        """Messages generated but not yet fully injected."""
+        queued = sum(len(q) for q in self._queues)
+        streaming = sum(len(s) for s in self._streams)
+        return queued + streaming

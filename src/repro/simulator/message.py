@@ -1,0 +1,107 @@
+"""Messages and flits.
+
+A message is a fixed-length sequence of flits (head, bodies, tail).  Flits
+are represented as ``(message, kind)`` pairs inside virtual-channel
+buffers; only the head flit carries routing decisions, the rest follow in
+the wormhole pipeline.
+
+The :class:`Message` object also carries the per-message routing state the
+algorithms need (hop counters, virtual-channel class, bonus cards,
+negative-hop count, misroute count, fault-ring transit state), so the
+routing layer never allocates per-hop state.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: Flit kinds.
+HEAD = 0
+BODY = 1
+TAIL = 2
+
+#: Fault-ring message classes (Boppana–Chalasani): chosen from the signed
+#: offset to the destination when a message first becomes fault-blocked.
+RING_WE = 0  # destination strictly to the east
+RING_EW = 1  # destination strictly to the west
+RING_NS = 2  # same column, destination to the north
+RING_SN = 3  # same column, destination to the south
+
+RING_CLASS_NAMES = ("WE", "EW", "NS", "SN")
+
+
+class Message:
+    """One wormhole message and its routing state.
+
+    Cycle stamps (``created``/``injected``/``delivered``) use ``-1`` for
+    "not yet".
+    """
+
+    __slots__ = (
+        "id",
+        "src",
+        "dst",
+        "length",
+        "created",
+        "injected",
+        "delivered",
+        "hops",
+        "counted_hops",
+        "neg_hops",
+        "cls",
+        "cards",
+        "misroutes",
+        "ring",
+        "ring_orient_cw",
+        "ring_class",
+        "ring_entry_dist",
+        "dropped",
+        "extra",
+    )
+
+    def __init__(self, msg_id: int, src: int, dst: int, length: int, created: int):
+        if length < 1:
+            raise ValueError("message length must be at least 1 flit")
+        if src == dst:
+            raise ValueError("message source and destination must differ")
+        self.id = msg_id
+        self.src = src
+        self.dst = dst
+        self.length = length
+        self.created = created
+        self.injected = -1
+        self.delivered = -1
+        # -- routing state ------------------------------------------------
+        self.hops = 0  # physical hops taken (including ring/misroute hops)
+        self.counted_hops = 0  # hops that advance the hop-based class
+        self.neg_hops = 0  # negative hops taken (NHop family)
+        self.cls = -1  # class of the last class-VC used (-1 = none yet)
+        self.cards = 0  # bonus cards remaining
+        self.misroutes = 0  # non-minimal hops taken (Fully-Adaptive)
+        self.ring = None  # FaultRing while in ring transit, else None
+        self.ring_orient_cw = False
+        self.ring_class = -1  # RING_* class, fixed at first ring entry
+        self.ring_entry_dist = -1  # distance to dst when transit began
+        self.dropped = False  # drained by deadlock/livelock recovery
+        self.extra: Any = None  # algorithm-private state, if any
+
+    # ------------------------------------------------------------------
+    @property
+    def latency(self) -> int:
+        """Cycles from generation to delivery of the tail flit."""
+        if self.delivered < 0:
+            raise ValueError(f"message {self.id} not delivered")
+        return self.delivered - self.created
+
+    @property
+    def network_latency(self) -> int:
+        """Cycles from first-flit injection to tail delivery."""
+        if self.delivered < 0 or self.injected < 0:
+            raise ValueError(f"message {self.id} not delivered")
+        return self.delivered - self.injected
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Message(id={self.id}, {self.src}->{self.dst}, len={self.length}, "
+            f"hops={self.hops}, cls={self.cls})"
+        )

@@ -1,0 +1,82 @@
+"""Simulation tracing: a cycle-stamped event log.
+
+Attach a :class:`Tracer` to a :class:`~repro.simulator.engine.Simulation`
+(``sim.tracer = Tracer(...)``) to record routing decisions, flit
+traversals, deliveries and recoveries.  The engine pays one attribute
+check per phase when tracing is off, so the default path stays fast.
+
+Events are small tuples ``(cycle, kind, msg_id, node, detail)``; kinds:
+
+========= ==========================================================
+``inject``   head flit entered the network at ``node``
+``alloc``    header granted an output VC (detail: ``(port, vc)``)
+``move``     a flit crossed the crossbar at ``node`` (detail: kind)
+``deliver``  tail ejected at the destination
+``drain``    message removed by deadlock/livelock recovery
+========= ==========================================================
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from collections.abc import Callable
+
+
+class Tracer:
+    """Bounded in-memory event recorder with optional filtering.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained events (oldest dropped first).
+    message_ids:
+        When given, record only events of these message ids.
+    kinds:
+        When given, record only these event kinds.
+    sink:
+        Optional callable invoked with every recorded event (e.g.
+        ``print`` for live debugging).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 100_000,
+        message_ids: set[int] | None = None,
+        kinds: set[str] | None = None,
+        sink: Callable[[tuple], None] | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.events: deque[tuple] = deque(maxlen=capacity)
+        self.message_ids = message_ids
+        self.kinds = kinds
+        self.sink = sink
+        self.counts: Counter[str] = Counter()
+
+    # ------------------------------------------------------------------
+    def record(self, cycle: int, kind: str, msg_id: int, node: int, detail=None):
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        if self.message_ids is not None and msg_id not in self.message_ids:
+            return
+        event = (cycle, kind, msg_id, node, detail)
+        self.events.append(event)
+        self.counts[kind] += 1
+        if self.sink is not None:
+            self.sink(event)
+
+    # ------------------------------------------------------------------
+    def of_message(self, msg_id: int) -> list[tuple]:
+        """All recorded events of one message, in order."""
+        return [e for e in self.events if e[2] == msg_id]
+
+    def path_of(self, msg_id: int) -> list[int]:
+        """Node sequence a message's header was routed through."""
+        return [e[3] for e in self.events if e[2] == msg_id and e[1] == "alloc"]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.counts.clear()

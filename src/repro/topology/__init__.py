@@ -1,0 +1,35 @@
+"""Mesh interconnect topologies.
+
+The simulator operates on 2-D meshes (:class:`Mesh2D`); the general
+:class:`KAryNMesh` exists for the virtual-channel budget formulas of the
+hop-based schemes (which the paper states for *n*-dimensional meshes) and
+for property tests of the addressing math.
+"""
+
+from repro.topology.directions import (
+    DIRECTIONS,
+    EAST,
+    LOCAL,
+    NORTH,
+    OPPOSITE,
+    SOUTH,
+    WEST,
+    direction_delta,
+    direction_name,
+)
+from repro.topology.mesh import Mesh2D
+from repro.topology.ndmesh import KAryNMesh
+
+__all__ = [
+    "DIRECTIONS",
+    "EAST",
+    "LOCAL",
+    "NORTH",
+    "OPPOSITE",
+    "SOUTH",
+    "WEST",
+    "KAryNMesh",
+    "Mesh2D",
+    "direction_delta",
+    "direction_name",
+]

@@ -1,0 +1,49 @@
+"""Port directions for 2-D mesh routers.
+
+Directions are small integers so they can index flat per-port arrays in the
+simulator hot loop.  The convention is:
+
+* ``EAST``  — +x
+* ``WEST``  — -x
+* ``NORTH`` — +y
+* ``SOUTH`` — -y
+* ``LOCAL`` — the processing element (injection/ejection port)
+"""
+
+from __future__ import annotations
+
+EAST = 0
+WEST = 1
+NORTH = 2
+SOUTH = 3
+LOCAL = 4
+
+#: The four network directions (excludes LOCAL).
+DIRECTIONS = (EAST, WEST, NORTH, SOUTH)
+
+#: Opposite of each network direction (indexable by direction).
+OPPOSITE = (WEST, EAST, SOUTH, NORTH)
+
+_DELTAS = ((1, 0), (-1, 0), (0, 1), (0, -1))
+_NAMES = ("E", "W", "N", "S", "L")
+
+
+def direction_delta(direction: int) -> tuple[int, int]:
+    """Return the ``(dx, dy)`` step taken by a hop in *direction*."""
+    return _DELTAS[direction]
+
+
+def direction_name(direction: int) -> str:
+    """One-letter mnemonic (``E/W/N/S/L``) for *direction*."""
+    return _NAMES[direction]
+
+
+def delta_to_direction(dx: int, dy: int) -> int:
+    """Inverse of :func:`direction_delta` for unit steps.
+
+    Raises :class:`ValueError` if ``(dx, dy)`` is not a unit mesh step.
+    """
+    try:
+        return _DELTAS.index((dx, dy))
+    except ValueError:
+        raise ValueError(f"({dx}, {dy}) is not a unit mesh step") from None

@@ -1,0 +1,96 @@
+"""General k-ary n-dimensional mesh.
+
+The simulator itself runs on :class:`~repro.topology.mesh.Mesh2D`; this
+class carries the *n*-dimensional generalizations the paper quotes for the
+hop-based virtual-channel budgets:
+
+* PHop needs ``n(k-1) + 1`` buffer classes,
+* NHop needs ``1 + floor(n(k-1) / 2)`` buffer classes,
+
+and is exercised by property tests of the addressing/labeling math.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from itertools import product
+
+
+class KAryNMesh:
+    """A mesh with ``n`` dimensions of radix ``k`` (no wrap-around)."""
+
+    __slots__ = ("radix", "dimensions", "n_nodes")
+
+    def __init__(self, radix: int, dimensions: int) -> None:
+        if radix < 2:
+            raise ValueError("radix must be at least 2")
+        if dimensions < 1:
+            raise ValueError("dimensions must be at least 1")
+        self.radix = radix
+        self.dimensions = dimensions
+        self.n_nodes = radix**dimensions
+
+    # ------------------------------------------------------------------
+    # Addressing: mixed-radix little-endian (dimension 0 varies fastest)
+    # ------------------------------------------------------------------
+    def node_id(self, coords: tuple[int, ...]) -> int:
+        """Dense id of the node at *coords*."""
+        if len(coords) != self.dimensions:
+            raise ValueError(
+                f"expected {self.dimensions} coordinates, got {len(coords)}"
+            )
+        node = 0
+        for c in reversed(coords):
+            if not 0 <= c < self.radix:
+                raise ValueError(f"coordinate {c} outside radix {self.radix}")
+            node = node * self.radix + c
+        return node
+
+    def coordinates(self, node: int) -> tuple[int, ...]:
+        """Coordinate vector of *node*."""
+        if not 0 <= node < self.n_nodes:
+            raise ValueError(f"node {node} outside mesh with {self.n_nodes} nodes")
+        coords = []
+        for _ in range(self.dimensions):
+            coords.append(node % self.radix)
+            node //= self.radix
+        return tuple(coords)
+
+    def nodes(self) -> range:
+        return range(self.n_nodes)
+
+    def coordinates_iter(self) -> Iterator[tuple[int, ...]]:
+        """All coordinate vectors, in node-id order."""
+        for rev in product(range(self.radix), repeat=self.dimensions):
+            yield tuple(reversed(rev))
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    @property
+    def diameter(self) -> int:
+        """``n * (k - 1)``."""
+        return self.dimensions * (self.radix - 1)
+
+    def distance(self, a: int, b: int) -> int:
+        """Manhattan distance between nodes *a* and *b*."""
+        ca, cb = self.coordinates(a), self.coordinates(b)
+        return sum(abs(x - y) for x, y in zip(ca, cb))
+
+    def checkerboard_label(self, node: int) -> int:
+        """2-coloring label (coordinate-sum parity) for the NHop scheme."""
+        return sum(self.coordinates(node)) & 1
+
+    # ------------------------------------------------------------------
+    # Buffer-class budgets quoted by the paper (Section 3)
+    # ------------------------------------------------------------------
+    def phop_classes(self) -> int:
+        """Buffer classes PHop needs: ``n(k-1) + 1``."""
+        return self.diameter + 1
+
+    def nhop_classes(self) -> int:
+        """Buffer classes NHop needs: ``1 + floor(n(k-1)/2)``."""
+        return 1 + self.diameter // 2
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KAryNMesh(radix={self.radix}, dimensions={self.dimensions})"

@@ -1,0 +1,146 @@
+"""Spatial traffic patterns.
+
+A pattern answers one question: given a source node, where does the next
+message go?  Patterns must never pick the source itself or a faulty node
+("messages are destined only to fault-free nodes").
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.faults.pattern import FaultPattern
+from repro.topology.mesh import Mesh2D
+
+
+class TrafficPattern:
+    """Destination chooser bound to a mesh and a fault pattern."""
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.mesh: Mesh2D | None = None
+        self.faults: FaultPattern | None = None
+
+    def prepare(self, mesh: Mesh2D, faults: FaultPattern) -> None:
+        """Bind to a network before a run (precompute healthy sets)."""
+        self.mesh = mesh
+        self.faults = faults
+        self._post_prepare()
+
+    def _post_prepare(self) -> None:
+        """Subclass precomputation hook."""
+
+    def destination(self, src: int, rng: random.Random) -> int:
+        """Destination (healthy, != src) for a message generated at *src*."""
+        raise NotImplementedError
+
+
+class UniformTraffic(TrafficPattern):
+    """Uniform random traffic: every healthy node equally likely."""
+
+    name = "uniform"
+
+    def _post_prepare(self) -> None:
+        self._healthy = self.faults.healthy_nodes
+
+    def destination(self, src: int, rng: random.Random) -> int:
+        healthy = self._healthy
+        while True:
+            dst = healthy[rng.randrange(len(healthy))]
+            if dst != src:
+                return dst
+
+
+class _DeterministicPattern(TrafficPattern):
+    """Patterns with a fixed src->dst map, falling back to uniform when
+    the mapped destination is faulty or equals the source."""
+
+    def _map(self, src: int) -> int:
+        raise NotImplementedError
+
+    def _post_prepare(self) -> None:
+        self._fallback = UniformTraffic()
+        self._fallback.prepare(self.mesh, self.faults)
+
+    def destination(self, src: int, rng: random.Random) -> int:
+        dst = self._map(src)
+        if dst == src or self.faults.faulty_mask[dst]:
+            return self._fallback.destination(src, rng)
+        return dst
+
+
+class TransposeTraffic(_DeterministicPattern):
+    """Matrix transpose: node ``(x, y)`` sends to ``(y, x)``.
+
+    Requires a square mesh.
+    """
+
+    name = "transpose"
+
+    def prepare(self, mesh: Mesh2D, faults: FaultPattern) -> None:
+        if mesh.width != mesh.height:
+            raise ValueError("transpose traffic requires a square mesh")
+        super().prepare(mesh, faults)
+
+    def _map(self, src: int) -> int:
+        x, y = self.mesh.coordinates(src)
+        return self.mesh.node_id(y, x)
+
+
+class BitComplementTraffic(_DeterministicPattern):
+    """Bit complement: ``(x, y)`` sends to ``(W-1-x, H-1-y)``."""
+
+    name = "bit-complement"
+
+    def _map(self, src: int) -> int:
+        x, y = self.mesh.coordinates(src)
+        return self.mesh.node_id(self.mesh.width - 1 - x, self.mesh.height - 1 - y)
+
+
+class HotspotTraffic(TrafficPattern):
+    """Uniform traffic with a fraction directed at fixed hotspot nodes."""
+
+    name = "hotspot"
+
+    def __init__(self, hotspots: tuple[int, ...] = (), fraction: float = 0.1) -> None:
+        super().__init__()
+        if not 0 <= fraction <= 1:
+            raise ValueError("hotspot fraction must be in [0, 1]")
+        self.hotspots = hotspots
+        self.fraction = fraction
+
+    def _post_prepare(self) -> None:
+        self._uniform = UniformTraffic()
+        self._uniform.prepare(self.mesh, self.faults)
+        hotspots = self.hotspots or (self.mesh.node_id(
+            self.mesh.width // 2, self.mesh.height // 2
+        ),)
+        self._targets = tuple(
+            h for h in hotspots if not self.faults.faulty_mask[h]
+        )
+        if not self._targets:
+            raise ValueError("all hotspot nodes are faulty")
+
+    def destination(self, src: int, rng: random.Random) -> int:
+        if rng.random() < self.fraction:
+            choices = [t for t in self._targets if t != src]
+            if choices:
+                return choices[rng.randrange(len(choices))]
+        return self._uniform.destination(src, rng)
+
+
+_PATTERNS = {
+    cls.name: cls
+    for cls in (UniformTraffic, TransposeTraffic, BitComplementTraffic, HotspotTraffic)
+}
+
+
+def make_pattern(name: str, **kwargs) -> TrafficPattern:
+    """Instantiate a traffic pattern by name."""
+    try:
+        cls = _PATTERNS[name]
+    except KeyError:
+        known = ", ".join(sorted(_PATTERNS))
+        raise ValueError(f"unknown traffic pattern {name!r}; known: {known}") from None
+    return cls(**kwargs)

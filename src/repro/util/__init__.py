@@ -1,0 +1,15 @@
+"""Small shared utilities: serialization of experiment inputs."""
+
+from repro.util.serialization import (
+    config_from_dict,
+    config_to_dict,
+    pattern_from_dict,
+    pattern_to_dict,
+)
+
+__all__ = [
+    "config_from_dict",
+    "config_to_dict",
+    "pattern_from_dict",
+    "pattern_to_dict",
+]

@@ -1,0 +1,63 @@
+"""JSON-safe serialization of experiment inputs.
+
+Results JSON alone cannot reproduce a run — the fault layout and the
+exact configuration matter.  These helpers round-trip
+:class:`~repro.simulator.config.SimConfig` and
+:class:`~repro.faults.pattern.FaultPattern` through plain dicts so a
+manifest can be stored next to every results file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+from repro.faults.pattern import FaultPattern
+from repro.simulator.config import SimConfig
+from repro.topology.mesh import Mesh2D
+
+_SCHEMA_VERSION = 1
+
+
+def config_to_dict(config: SimConfig) -> dict:
+    """Plain-dict form of a :class:`SimConfig` (JSON-safe)."""
+    payload = asdict(config)
+    payload["schema"] = _SCHEMA_VERSION
+    payload["kind"] = "sim-config"
+    return payload
+
+
+def config_from_dict(payload: dict) -> SimConfig:
+    """Rebuild a :class:`SimConfig` written by :func:`config_to_dict`."""
+    if payload.get("kind") != "sim-config":
+        raise ValueError("payload is not a sim-config")
+    if payload.get("schema") != _SCHEMA_VERSION:
+        raise ValueError(f"unsupported sim-config schema {payload.get('schema')!r}")
+    fields = {k: v for k, v in payload.items() if k not in ("schema", "kind")}
+    return SimConfig(**fields)
+
+
+def pattern_to_dict(pattern: FaultPattern) -> dict:
+    """Plain-dict form of a fault pattern (mesh dims + faulty nodes)."""
+    return {
+        "kind": "fault-pattern",
+        "schema": _SCHEMA_VERSION,
+        "width": pattern.mesh.width,
+        "height": pattern.mesh.height,
+        "faulty": sorted(pattern.faulty),
+    }
+
+
+def pattern_from_dict(payload: dict) -> FaultPattern:
+    """Rebuild a fault pattern written by :func:`pattern_to_dict`.
+
+    Validation (block model, connectivity) re-runs on load, so a
+    hand-edited payload cannot smuggle in an unsupported layout.
+    """
+    if payload.get("kind") != "fault-pattern":
+        raise ValueError("payload is not a fault-pattern")
+    if payload.get("schema") != _SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported fault-pattern schema {payload.get('schema')!r}"
+        )
+    mesh = Mesh2D(payload["width"], payload["height"])
+    return FaultPattern(mesh, frozenset(payload["faulty"]))

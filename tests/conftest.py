@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.faults.generator import generate_block_fault_pattern, pattern_from_rectangles
+from repro.faults.pattern import FaultPattern
+from repro.faults.regions import FaultRegion
+from repro.routing.registry import ALGORITHM_NAMES, make_algorithm
+from repro.simulator.config import SimConfig
+from repro.simulator.engine import Simulation
+from repro.topology.mesh import Mesh2D
+
+
+@pytest.fixture(scope="session")
+def mesh8() -> Mesh2D:
+    return Mesh2D(8)
+
+
+@pytest.fixture(scope="session")
+def mesh10() -> Mesh2D:
+    return Mesh2D(10)
+
+
+@pytest.fixture(scope="session")
+def mesh_rect() -> Mesh2D:
+    return Mesh2D(6, 4)
+
+
+@pytest.fixture
+def center_fault(mesh8) -> FaultPattern:
+    """A single 2x2 block fault in the middle of the 8x8 mesh."""
+    return pattern_from_rectangles(mesh8, [FaultRegion(3, 3, 4, 4)])
+
+
+@pytest.fixture
+def scattered_faults(mesh10) -> FaultPattern:
+    """A reproducible random 8-fault pattern on the 10x10 mesh."""
+    return generate_block_fault_pattern(mesh10, 8, random.Random(1234))
+
+
+def quick_config(**overrides) -> SimConfig:
+    """A small config for fast end-to-end simulations."""
+    defaults = dict(
+        width=8,
+        vcs_per_channel=24,
+        message_length=8,
+        injection_rate=0.002,
+        cycles=1_500,
+        warmup=400,
+        seed=9,
+    )
+    defaults.update(overrides)
+    return SimConfig(**defaults)
+
+
+def run_quick(algorithm: str, faults: FaultPattern | None = None, **overrides) -> Simulation:
+    """Build, run and return a quick simulation (post-run state)."""
+    cfg = quick_config(**overrides)
+    sim = Simulation(cfg, make_algorithm(algorithm), faults=faults)
+    sim.run()
+    return sim
+
+
+@pytest.fixture(params=ALGORITHM_NAMES)
+def algorithm_name(request) -> str:
+    """Parametrize a test over all eleven registered algorithms."""
+    return request.param

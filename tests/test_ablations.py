@@ -1,0 +1,106 @@
+"""Tests for the ablation studies (scaled-down parameters)."""
+
+import math
+
+import pytest
+
+from repro.experiments.ablations import (
+    ABLATIONS,
+    bonus_card_ablation,
+    buffer_depth_ablation,
+    mesh_size_ablation,
+    message_length_ablation,
+    misroute_limit_ablation,
+    run_ablation,
+    vc_count_ablation,
+)
+
+FAST = dict(cycles=800, warmup=200, width=8)
+
+
+class TestRegistry:
+    def test_all_names(self):
+        assert set(ABLATIONS) == {
+            "vc-count",
+            "bonus-cards",
+            "misroute-limit",
+            "buffer-depth",
+            "message-length",
+            "mesh-size",
+        }
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown ablation"):
+            run_ablation("nope")
+
+
+class TestStudies:
+    def test_vc_count(self):
+        res = vc_count_ablation(
+            load=0.3,
+            algorithms=("nhop",),
+            vc_counts=(15, 24),
+            **FAST,
+        )
+        assert len(res.rows) == 2
+        for row in res.rows:
+            assert row["delivered"] > 0
+        assert "Ablation" in res.render()
+
+    def test_vc_count_too_small_budget_degrades_gracefully(self):
+        res = vc_count_ablation(
+            load=0.3, algorithms=("phop",), vc_counts=(10,), **FAST
+        )
+        # 8x8 PHop needs 15 classes + 4 ring: 10 VCs can't fit.
+        assert res.rows[0]["note"] == "VcBudgetError"
+        assert math.isnan(res.rows[0]["throughput"])
+
+    def test_bonus_cards(self):
+        res = bonus_card_ablation(load=0.3, **FAST)
+        assert [r["pair"] for r in res.rows] == ["phop->pbc", "nhop->nbc"]
+        for row in res.rows:
+            assert row["thr_base"] > 0 and row["thr_cards"] > 0
+
+    def test_misroute_limit(self):
+        res = misroute_limit_ablation(load=0.3, limits=(0, 10), **FAST)
+        assert [r["max_misroutes"] for r in res.rows] == [0, 10]
+        assert all(r["delivered"] > 0 for r in res.rows)
+
+    def test_buffer_depth(self):
+        res = buffer_depth_ablation(load=0.3, depths=(1, 4), **FAST)
+        assert [r["depth"] for r in res.rows] == [1, 4]
+        # Deeper buffers never hurt accepted throughput materially.
+        assert res.rows[1]["throughput"] >= res.rows[0]["throughput"] * 0.9
+
+    def test_message_length(self):
+        res = message_length_ablation(load=0.3, lengths=(8, 32), **FAST)
+        assert [r["length"] for r in res.rows] == [8, 32]
+        assert all(r["delivered"] > 0 for r in res.rows)
+        # Longer messages -> higher latency at equal offered flit load.
+        assert res.rows[1]["latency"] > res.rows[0]["latency"]
+
+    def test_mesh_size(self):
+        res = mesh_size_ablation(
+            load=0.3, radices=(6, 8), cycles=800, warmup=200
+        )
+        assert [r["radix"] for r in res.rows] == [6, 8]
+        assert all(r["delivered"] > 0 for r in res.rows)
+
+    def test_payload_serializable(self):
+        import json
+
+        res = bonus_card_ablation(load=0.3, **FAST)
+        json.dumps(res.to_payload())
+
+
+class TestCliIntegration:
+    def test_ablation_command(self, capsys):
+        from repro.experiments.cli import main
+
+        # The default ablation parameters are heavy; patch is overkill --
+        # just check that the command dispatch path exists via the
+        # registry used by the CLI.
+        from repro.experiments.cli import ABLATION_COMMANDS
+
+        assert "ablation-bonus-cards" in ABLATION_COMMANDS
+        assert "ablation-mesh-size" in ABLATION_COMMANDS

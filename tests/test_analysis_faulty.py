@@ -1,0 +1,116 @@
+"""Tests for the faulty-mesh fluid channel loads."""
+
+import random
+
+import pytest
+
+from repro.analysis.channel_load import ChannelLoadMap
+from repro.analysis.faulty_load import FaultyChannelLoadMap, fault_throughput_bound
+from repro.faults.generator import generate_block_fault_pattern, pattern_from_rectangles
+from repro.faults.pattern import FaultPattern
+from repro.faults.regions import FaultRegion
+from repro.topology.directions import DIRECTIONS
+from repro.topology.mesh import Mesh2D
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return Mesh2D(8)
+
+
+class TestFaultFreeAgreement:
+    def test_matches_fault_free_map(self, mesh):
+        """With no faults, the shortest-path DAG equals the minimal
+        rectangle, so both fluid models agree exactly."""
+        faulty = FaultyChannelLoadMap(FaultPattern.fault_free(mesh))
+        reference = ChannelLoadMap(mesh)
+        for (node, d), f in faulty.unit_flows.items():
+            assert f == pytest.approx(reference.unit_flow(node, d), abs=1e-9)
+
+
+class TestFaultyFlows:
+    def test_no_flow_touches_faulty_nodes(self, mesh, center_fault):
+        loads = FaultyChannelLoadMap(center_fault)
+        for (node, d) in loads.unit_flows:
+            dst = mesh.neighbor(node, d)
+            assert not center_fault.is_faulty(node)
+            assert not center_fault.is_faulty(dst)
+
+    def test_conservation_is_healthy_mean_distance(self, mesh, center_fault):
+        """Total flow per healthy node equals the mean healthy-graph
+        shortest-path distance (detours make it exceed the Manhattan
+        mean slightly)."""
+        loads = FaultyChannelLoadMap(center_fault)
+        total = loads.total_flow_check()
+        # Brute-force healthy shortest-path mean via the map's own BFS.
+        healthy = center_fault.healthy_nodes
+        acc = 0
+        for dst in healthy:
+            dist = loads._bfs_from(dst)
+            acc += sum(dist[s] for s in healthy if s != dst)
+        mean = acc / (len(healthy) * (len(healthy) - 1))
+        assert total == pytest.approx(mean)
+
+    def test_faults_reduce_the_bound(self, mesh, center_fault):
+        ff = fault_throughput_bound(FaultPattern.fault_free(mesh), 16)
+        fy = fault_throughput_bound(center_fault, 16)
+        assert 0 < fy < ff
+
+    def test_bound_decreases_with_more_faults(self):
+        mesh = Mesh2D(10)
+        rng = random.Random(3)
+        bounds = [fault_throughput_bound(FaultPattern.fault_free(mesh), 100)]
+        for n in (5, 10):
+            p = generate_block_fault_pattern(mesh, n, rng)
+            bounds.append(fault_throughput_bound(p, 100))
+        assert bounds[0] > bounds[1] > bounds[2] * 0.99
+
+    def test_wall_concentrates_flow(self, mesh):
+        """A wall forces everything through the gap: the gap channels
+        become the bottleneck."""
+        wall = pattern_from_rectangles(mesh, [FaultRegion(3, 0, 3, 5)])
+        loads = FaultyChannelLoadMap(wall)
+        # The busiest channel sits near the two open rows above the wall.
+        best_channel, best_flow = max(
+            loads.unit_flows.items(), key=lambda kv: kv[1]
+        )
+        x, y = mesh.coordinates(best_channel[0])
+        assert y >= 5, f"bottleneck at {(x, y)} not in the gap region"
+        # And it is far busier than the fault-free peak.
+        assert best_flow > ChannelLoadMap(mesh).max_unit_flow()
+
+    def test_minimal_two_healthy_nodes(self):
+        """The degenerate two-healthy-node mesh still works: all flow
+        crosses the single surviving channel pair."""
+        mesh = Mesh2D(2)
+        pattern = FaultPattern(mesh, frozenset({2, 3}))  # top row faulty
+        loads = FaultyChannelLoadMap(pattern)
+        flows = [f for f in loads.unit_flows.values()]
+        assert len(flows) == 2  # 0->1 and 1->0
+        assert all(f == pytest.approx(1.0) for f in flows)
+
+    def test_tracks_simulated_degradation_direction(self, center_fault, mesh):
+        """The analytical bound and the simulator agree on the sign of
+        the fault effect (a Figure 4 cross-check)."""
+        from repro.routing.registry import make_algorithm
+        from repro.simulator.config import SimConfig
+        from repro.simulator.engine import Simulation
+
+        results = {}
+        for label, fp in (
+            ("ff", FaultPattern.fault_free(mesh)),
+            ("faulty", center_fault),
+        ):
+            cfg = SimConfig(
+                width=8, vcs_per_channel=24, message_length=8,
+                injection_rate=0.08, cycles=2000, warmup=500, seed=6,
+                on_deadlock="drain",
+            )
+            sim = Simulation(cfg, make_algorithm("minimal-adaptive"), faults=fp)
+            results[label] = sim.run().throughput
+        bound_ff = fault_throughput_bound(FaultPattern.fault_free(mesh), 8)
+        bound_fy = fault_throughput_bound(center_fault, 8)
+        assert (results["faulty"] < results["ff"]) == (bound_fy < bound_ff)
+        # And the bound really bounds the measured accepted throughput.
+        assert results["ff"] <= bound_ff * 1.05
+        assert results["faulty"] <= bound_fy * 1.15

@@ -1,0 +1,111 @@
+"""Tests for latency-distribution metrics and sample collection."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.distribution import histogram, percentile, percentiles, tail_ratio
+from repro.routing.registry import make_algorithm
+from repro.simulator.config import SimConfig
+from repro.simulator.engine import Simulation
+
+
+class TestPercentile:
+    def test_known_values(self):
+        data = list(range(1, 101))  # 1..100
+        assert percentile(data, 0) == 1
+        assert percentile(data, 100) == 100
+        assert percentile(data, 50) == pytest.approx(50.5)
+
+    def test_single_sample(self):
+        assert percentile([7.0], 90) == 7.0
+
+    def test_empty(self):
+        assert math.isnan(percentile([], 50))
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_batch_matches_single(self):
+        data = [3.0, 1.0, 4.0, 1.5, 9.0, 2.6]
+        batch = percentiles(data, (25, 50, 75, 99))
+        for p, v in batch.items():
+            assert v == pytest.approx(percentile(data, p))
+
+    def test_batch_empty(self):
+        out = percentiles([], (50, 90))
+        assert all(math.isnan(v) for v in out.values())
+
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=60))
+    def test_monotone_in_p(self, data):
+        ps = percentiles(data, (10, 50, 90))
+        assert ps[10] <= ps[50] <= ps[90]
+
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=60))
+    def test_bounded_by_extremes(self, data):
+        assert min(data) <= percentile(data, 37) <= max(data)
+
+
+class TestHistogram:
+    def test_counts_sum(self):
+        data = [1.0, 2.0, 2.5, 7.0, 9.9]
+        bins = histogram(data, n_bins=4)
+        assert sum(c for _, _, c in bins) == len(data)
+        assert bins[0][0] == 1.0
+        assert bins[-1][1] == pytest.approx(9.9)
+
+    def test_degenerate(self):
+        assert histogram([5.0, 5.0], 4) == [(5.0, 5.0, 2)]
+        assert histogram([], 4) == []
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            histogram([1.0], 0)
+
+
+class TestTailRatio:
+    def test_uniform_tail(self):
+        data = list(range(1, 101))
+        assert tail_ratio(data, 99) == pytest.approx(
+            percentile(data, 99) / percentile(data, 50)
+        )
+
+    def test_empty(self):
+        assert math.isnan(tail_ratio([]))
+
+
+class TestSampleCollection:
+    def test_samples_collected_when_enabled(self):
+        cfg = SimConfig(
+            width=8, vcs_per_channel=24, message_length=4,
+            injection_rate=0.01, cycles=1500, warmup=400, seed=3,
+            collect_latency_samples=True,
+        )
+        sim = Simulation(cfg, make_algorithm("nhop"))
+        r = sim.run()
+        assert len(r.latency_samples) == r.delivered
+        assert sum(r.latency_samples) == r.latency_sum
+        assert max(r.latency_samples) == r.latency_max
+
+    def test_samples_off_by_default(self):
+        cfg = SimConfig(
+            width=8, vcs_per_channel=24, message_length=4,
+            injection_rate=0.01, cycles=800, warmup=200, seed=3,
+        )
+        r = Simulation(cfg, make_algorithm("nhop")).run()
+        assert r.latency_samples == []
+
+    def test_saturation_fattens_the_tail(self):
+        ratios = {}
+        for rate in (0.002, 0.05):
+            cfg = SimConfig(
+                width=8, vcs_per_channel=24, message_length=4,
+                injection_rate=rate, cycles=2500, warmup=600, seed=3,
+                collect_latency_samples=True,
+            )
+            r = Simulation(cfg, make_algorithm("nhop")).run()
+            ratios[rate] = tail_ratio(r.latency_samples, 99)
+        assert ratios[0.05] > ratios[0.002]

@@ -1,0 +1,102 @@
+"""Flit/message conservation and deadlock-freedom oracles."""
+
+import pytest
+
+from conftest import quick_config
+from repro.routing.registry import ALGORITHM_NAMES, make_algorithm
+from repro.simulator.engine import Simulation
+
+
+def conservation_balance(sim: Simulation) -> int:
+    """generated - delivered - dropped - still-anywhere; 0 when consistent.
+
+    A message "anywhere" is either pending at its source (queued or
+    still streaming) or has flits buffered in the network.  Messages
+    mid-injection appear in both places and must be counted once.
+    """
+    network_msgs = set()
+    for invc in list(sim.iter_active_vcs()) + list(sim.iter_blocked_headers()):
+        for flit in invc.buffer:
+            network_msgs.add(flit[0].id)
+    streaming_msgs = {s.msg.id for streams in sim._streams for s in streams}
+    queued = sum(len(q) for q in sim._queues)
+    outstanding = len(network_msgs | streaming_msgs) + queued
+    return (
+        sim.total_generated
+        - sim.total_delivered
+        - sim.total_dropped
+        - outstanding
+    )
+
+
+class TestConservation:
+    @pytest.mark.parametrize("name", ALGORITHM_NAMES)
+    def test_message_conservation_fault_free(self, name):
+        cfg = quick_config(injection_rate=0.01, cycles=1200)
+        sim = Simulation(cfg, make_algorithm(name))
+        sim.run()
+        assert conservation_balance(sim) == 0, name
+
+    @pytest.mark.parametrize("name", ["nhop", "duato-nbc", "boura-ft"])
+    def test_message_conservation_faulty(self, name, center_fault):
+        cfg = quick_config(
+            injection_rate=0.01, cycles=1200, on_deadlock="drain"
+        )
+        sim = Simulation(cfg, make_algorithm(name), faults=center_fault)
+        sim.run()
+        assert conservation_balance(sim) == 0, name
+
+    def test_conservation_under_overload(self):
+        cfg = quick_config(
+            injection_rate=0.08, message_length=4, cycles=1000,
+            on_deadlock="drain",
+        )
+        sim = Simulation(cfg, make_algorithm("minimal-adaptive"))
+        sim.run()
+        assert conservation_balance(sim) == 0
+
+    def test_streaming_messages_counted_once(self):
+        """A message mid-injection is pending, not in-network twice."""
+        cfg = quick_config(
+            injection_rate=0.0, message_length=30, cycles=1, warmup=0
+        )
+        sim = Simulation(cfg, make_algorithm("phop"))
+        sim.submit_message(0, 60)
+        sim.step(5)  # a few flits in, most still streaming
+        assert conservation_balance(sim) == 0
+
+
+class TestDeadlockFreedomOracle:
+    """Provably deadlock-free schemes must never trip the watchdog on a
+    fault-free mesh, even far past saturation."""
+
+    @pytest.mark.parametrize(
+        "name",
+        [n for n in ALGORITHM_NAMES if make_algorithm(n).deadlock_free],
+    )
+    def test_no_deadlock_at_saturation_fault_free(self, name):
+        cfg = quick_config(
+            injection_rate=0.05,  # deep overload for 8-flit messages
+            cycles=2500,
+            warmup=0,
+            deadlock_timeout=800,
+            on_deadlock="raise",
+        )
+        sim = Simulation(cfg, make_algorithm(name))
+        sim.run()  # DeadlockError would fail the test
+        assert sim.total_delivered > 0
+
+    @pytest.mark.parametrize("name", ["nhop", "pbc", "duato", "boura"])
+    def test_moderate_load_faulty_no_drains(self, name, scattered_faults):
+        """At moderate load the faulty network needs no recovery either."""
+        cfg = quick_config(
+            width=10,
+            injection_rate=0.004,
+            cycles=2500,
+            on_deadlock="drain",
+        )
+        sim = Simulation(cfg, make_algorithm(name), faults=scattered_faults)
+        r = sim.run()
+        assert r.dropped_deadlock == 0, name
+        assert r.dropped_livelock == 0, name
+        assert sim.total_delivered > 0

@@ -1,0 +1,160 @@
+"""Tests of wormhole mechanics: buffers, credits, VC holding, invariants."""
+
+from repro.routing.registry import make_algorithm
+from repro.simulator.config import SimConfig
+from repro.simulator.engine import Simulation
+from repro.topology.directions import EAST, LOCAL, OPPOSITE, WEST
+
+
+def make_sim(**overrides):
+    defaults = dict(
+        width=8,
+        vcs_per_channel=24,
+        message_length=6,
+        injection_rate=0.0,
+        cycles=500,
+        warmup=0,
+        seed=3,
+    )
+    defaults.update(overrides)
+    return Simulation(SimConfig(**defaults), make_algorithm("nhop"))
+
+
+class TestInvariants:
+    def test_invariants_hold_every_50_cycles(self):
+        sim = make_sim(injection_rate=0.01, cycles=1, seed=7)
+        for _ in range(20):
+            sim.step(50)
+            sim.check_invariants()
+
+    def test_invariants_under_saturation(self):
+        sim = make_sim(injection_rate=0.05, message_length=4, seed=8)
+        for _ in range(10):
+            sim.step(50)
+            sim.check_invariants()
+
+    def test_invariants_with_faults(self, center_fault):
+        cfg = SimConfig(
+            width=8, vcs_per_channel=24, message_length=6,
+            injection_rate=0.01, cycles=1, warmup=0, seed=9,
+            on_deadlock="drain",
+        )
+        sim = Simulation(cfg, make_algorithm("nbc"), faults=center_fault)
+        for _ in range(15):
+            sim.step(60)
+            sim.check_invariants()
+
+
+class TestBufferBounds:
+    def test_buffers_never_exceed_depth(self):
+        for depth in (1, 2, 4):
+            sim = make_sim(buffer_depth=depth, injection_rate=0.02, seed=5)
+            sim.step(400)
+            for node in sim.mesh.nodes():
+                for port in range(5):
+                    for vc in range(sim.config.vcs_per_channel):
+                        invc = sim.input_vc(node, port, vc)
+                        assert len(invc.buffer) <= depth
+
+    def test_depth_one_still_delivers(self):
+        sim = make_sim(buffer_depth=1, cycles=2000)
+        msg = sim.submit_message(0, 63)
+        sim.run()
+        assert msg.delivered >= 0
+
+
+class TestWormholePipelining:
+    def test_flits_spread_over_path(self):
+        """Mid-flight, a long message occupies several routers at once."""
+        sim = make_sim(message_length=12, cycles=1)
+        sim.submit_message(0, 7)  # straight east path
+        occupied = set()
+        for _ in range(12):
+            sim.step(1)
+            holders = {
+                invc.node
+                for invc in list(sim.iter_active_vcs())
+                + list(sim.iter_blocked_headers())
+                if invc.buffer
+            }
+            if len(holders) >= 3:
+                occupied = holders
+                break
+        assert len(occupied) >= 3, "wormhole never spread over 3+ routers"
+
+    def test_flit_order_preserved(self):
+        """Tail is ejected exactly length-1 cycles after the head."""
+        sim = make_sim(message_length=8, cycles=500)
+        msg = sim.submit_message(0, 63)
+        sim.run()
+        # With no contention the flits stream contiguously: network
+        # latency = hops + length + (ejection pipeline) and the hop count
+        # is minimal -- already covered; here we check the wormhole kept
+        # the flits contiguous by bounding the latency tightly.
+        assert msg.network_latency <= sim.mesh.distance(0, 63) + 2 * 8 + 4
+
+
+class TestChannelHolding:
+    def test_vc_held_until_tail(self):
+        """While a message streams, its allocated output VC stays owned."""
+        sim = make_sim(message_length=20, cycles=1)
+        sim.submit_message(0, 7)
+        sim.step(6)  # head is past the first router by now
+        owned = [
+            (ovc.node, ovc.port, ovc.vc)
+            for node in sim.mesh.nodes()
+            for port in range(5)
+            for vc in range(24)
+            if (ovc := sim.output_vc(node, port, vc)).owner is not None
+        ]
+        assert owned, "no output VC owned mid-message"
+        sim.step(200)
+        still_owned = [
+            (node, port, vc)
+            for node in sim.mesh.nodes()
+            for port in range(5)
+            for vc in range(24)
+            if sim.output_vc(node, port, vc).owner is not None
+        ]
+        assert not still_owned, "output VCs leaked after delivery"
+
+    def test_two_messages_interleave_on_different_vcs(self):
+        """The crossbar multiplexes two messages over one physical link."""
+        sim = make_sim(message_length=16, cycles=800)
+        # Both go east along the same row, entering at different nodes.
+        m1 = sim.submit_message(0, 7)
+        m2 = sim.submit_message(1, 6)
+        sim.run()
+        assert m1.delivered >= 0 and m2.delivered >= 0
+        # The shared links forced multiplexing: combined latency exceeds
+        # the uncontended bound for at least one of them.
+        assert max(m1.network_latency, m2.network_latency) > 16 + 7
+
+
+class TestCreditFlow:
+    def test_credits_restored_after_delivery(self):
+        sim = make_sim(message_length=10, cycles=600)
+        sim.submit_message(0, 63)
+        sim.run()
+        depth = sim.config.buffer_depth
+        for node in sim.mesh.nodes():
+            for port in range(4):  # network output ports
+                for vc in range(24):
+                    ovc = sim.output_vc(node, port, vc)
+                    if ovc.down_invc is not None:
+                        assert ovc.credits == depth
+
+    def test_network_drains_completely(self):
+        """After a burst with no further arrivals, everything empties."""
+        sim = make_sim(message_length=8, cycles=1, seed=12)
+        import random
+
+        rng = random.Random(4)
+        for _ in range(30):
+            src, dst = rng.sample(range(64), 2)
+            sim.submit_message(src, dst)
+        sim.step(3000)
+        assert sim.total_delivered == 30
+        assert sim.flits_in_network() == 0
+        assert sim.messages_pending() == 0
+        sim.check_invariants()

@@ -1,0 +1,37 @@
+"""Smoke test: the quickstart example must run as documented.
+
+The heavier examples (sweeps, campaigns) exercise the same code paths
+the dedicated tests already cover; running the quickstart end-to-end
+here guards the README's first user experience.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def test_quickstart_runs(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["quickstart.py"])
+    runpy.run_path(str(EXAMPLES / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "Messages delivered" in out
+    assert "Throughput" in out
+    # The demo run actually moves traffic.
+    delivered = int(
+        next(l for l in out.splitlines() if "Messages delivered" in l)
+        .split(":")[1]
+        .strip()
+    )
+    assert delivered > 0
+
+
+def test_all_examples_compile():
+    """Every example at least parses (cheap guard against bit-rot)."""
+    import py_compile
+
+    scripts = sorted(EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 6
+    for script in scripts:
+        py_compile.compile(str(script), doraise=True)

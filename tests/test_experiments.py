@@ -1,0 +1,185 @@
+"""Tests for the experiment harness (drivers, CLI, plots, profiles)."""
+
+import json
+
+import pytest
+
+from repro.experiments.ascii_plot import bar_chart, line_chart, table
+from repro.experiments.budgets_table import budget_rows, print_budgets
+from repro.experiments.cli import main
+from repro.experiments.fig_faults import print_fig4, print_fig5, run_fault_study
+from repro.experiments.fig_fring import print_fig6, run_fring_study
+from repro.experiments.fig_sweep import print_fig1, print_fig2, run_sweep
+from repro.experiments.fig_vc_usage import print_fig3, run_vc_usage
+from repro.experiments.profiles import (
+    PAPER_PROFILE,
+    QUICK_PROFILE,
+    SMOKE_PROFILE,
+    get_profile,
+)
+
+TINY_ALGS = ("nhop", "duato-nbc")
+
+
+@pytest.fixture(scope="module")
+def sweep_result():
+    return run_sweep(SMOKE_PROFILE, TINY_ALGS)
+
+
+@pytest.fixture(scope="module")
+def fault_result():
+    return run_fault_study(SMOKE_PROFILE, TINY_ALGS)
+
+
+class TestProfiles:
+    def test_get_profile(self):
+        assert get_profile("paper") is PAPER_PROFILE
+        assert get_profile("quick") is QUICK_PROFILE
+        with pytest.raises(ValueError):
+            get_profile("huge")
+
+    def test_paper_profile_matches_paper(self):
+        p = PAPER_PROFILE
+        assert p.config.width == 10
+        assert p.config.message_length == 100
+        assert p.config.cycles == 30_000
+        assert p.config.warmup == 10_000
+        assert p.fault_sets == 10
+        assert p.fault_counts == (0, 5, 10)
+        assert p.vc_usage_faults == 5
+
+    def test_rate_conversion(self):
+        assert QUICK_PROFILE.rate(0.32) == pytest.approx(
+            0.32 / QUICK_PROFILE.config.message_length
+        )
+        assert PAPER_PROFILE.full_load_rate == pytest.approx(0.01)
+
+    def test_sweep_rates_align_with_loads(self):
+        p = SMOKE_PROFILE
+        assert len(p.sweep_rates) == len(p.sweep_loads)
+
+
+class TestSweepDriver:
+    def test_series_shapes(self, sweep_result):
+        assert set(sweep_result.throughput) == set(TINY_ALGS)
+        for alg in TINY_ALGS:
+            assert len(sweep_result.throughput[alg]) == len(sweep_result.rates)
+            assert len(sweep_result.latency[alg]) == len(sweep_result.rates)
+
+    def test_saturation_and_peaks(self, sweep_result):
+        peaks = sweep_result.peaks()
+        assert all(thr > 0 for _, thr in peaks.values())
+        sweep_result.saturation_points()  # must not raise
+
+    def test_printers(self, sweep_result):
+        out1 = print_fig1(sweep_result)
+        out2 = print_fig2(sweep_result)
+        assert "Figure 1" in out1 and "NHop" in out1
+        assert "Figure 2" in out2 and "Duato-Nbc" in out2
+
+    def test_payload_is_json_safe(self, sweep_result):
+        payload = sweep_result.to_payload()
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestFaultDriver:
+    def test_points(self, fault_result):
+        for alg in TINY_ALGS:
+            assert len(fault_result.points[alg]) == len(SMOKE_PROFILE.fault_counts)
+
+    def test_printers(self, fault_result):
+        assert "Figure 4" in print_fig4(fault_result)
+        assert "Figure 5" in print_fig5(fault_result)
+
+    def test_payload(self, fault_result):
+        payload = fault_result.to_payload()
+        assert payload["experiment"] == "fig4-fig5"
+        json.dumps(payload)
+
+
+class TestVcUsageDriver:
+    def test_run_and_print(self):
+        result = run_vc_usage(SMOKE_PROFILE, TINY_ALGS)
+        out = print_fig3(result)
+        assert "Figure 3" in out
+        for alg in TINY_ALGS:
+            assert len(result.usage[alg]) == SMOKE_PROFILE.config.vcs_per_channel
+        json.dumps(result.to_payload())
+
+
+class TestFRingDriver:
+    def test_run_and_print(self):
+        result = run_fring_study(SMOKE_PROFILE, ("nhop",))
+        out = print_fig6(result)
+        assert "Figure 6" in out
+        split = result.splits["nhop"]["faulty"]
+        assert split.ring_load_pct > 0
+        json.dumps(result.to_payload())
+
+
+class TestBudgetsTable:
+    def test_rows_and_text(self):
+        rows = budget_rows(10, total_vcs=24)
+        assert len(rows) == 11
+        text = print_budgets(10, 24)
+        assert "PHop" in text and "24" in text
+
+
+class TestCli:
+    def test_budgets_command(self, capsys):
+        assert main(["budgets", "--quiet"]) == 0
+        assert "Virtual-channel budgets" in capsys.readouterr().out
+
+    def test_fig1_smoke_with_output(self, capsys, tmp_path):
+        rc = main(
+            [
+                "fig1",
+                "--profile",
+                "smoke",
+                "--algorithms",
+                "nhop",
+                "--quiet",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        assert "Figure 1" in capsys.readouterr().out
+        saved = json.loads((tmp_path / "sweep_smoke.json").read_text())
+        assert saved["experiment"] == "fig1-fig2"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig9"])
+
+
+class TestAsciiPlot:
+    def test_line_chart_basic(self):
+        out = line_chart(
+            {"a": ([0, 1, 2], [0.0, 1.0, 4.0]), "b": ([0, 1, 2], [4.0, 1.0, 0.0])},
+            title="T",
+            width=20,
+            height=8,
+        )
+        assert "T" in out and "o a" in out and "x b" in out
+
+    def test_line_chart_handles_nan(self):
+        out = line_chart({"a": ([0, 1], [float("nan"), 2.0])})
+        assert "2" in out
+
+    def test_line_chart_empty(self):
+        assert "no finite data" in line_chart({"a": ([], [])}, title="x")
+
+    def test_line_chart_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            line_chart({"a": ([0, 1], [1.0])})
+
+    def test_bar_chart(self):
+        out = bar_chart([("r", {"x": 50.0, "y": 100.0})], unit="%")
+        assert "r x" in out and "100.0%" in out
+
+    def test_table_alignment(self):
+        out = table(["col", "n"], [["a", 1], ["bb", 22]], title="t")
+        lines = out.splitlines()
+        assert lines[0] == "t"
+        assert all(len(line) >= 5 for line in lines[1:])

@@ -1,0 +1,59 @@
+"""Tests for healthy-submesh connectivity checks."""
+
+import pytest
+
+from repro.faults.connectivity import is_connected, reachable_from
+from repro.topology.mesh import Mesh2D
+
+
+class TestReachability:
+    def test_fault_free_reaches_all(self, mesh8):
+        assert len(reachable_from(mesh8, set(), 0)) == 64
+
+    def test_faults_block_paths(self, mesh8):
+        # Wall across the mesh except one gap at y=7.
+        wall = {mesh8.node_id(4, y) for y in range(7)}
+        reach = reachable_from(mesh8, wall, 0)
+        assert len(reach) == 64 - len(wall)  # still connected via the gap
+
+    def test_complete_wall_disconnects(self, mesh8):
+        wall = {mesh8.node_id(4, y) for y in range(8)}
+        reach = reachable_from(mesh8, wall, 0)
+        assert len(reach) == 4 * 8  # only the west side
+
+    def test_start_must_be_healthy(self, mesh8):
+        with pytest.raises(ValueError):
+            reachable_from(mesh8, {0}, 0)
+
+
+class TestIsConnected:
+    def test_fault_free(self, mesh8):
+        assert is_connected(mesh8, set())
+
+    def test_connected_with_block(self, mesh8):
+        block = {mesh8.node_id(x, y) for x in (3, 4) for y in (3, 4)}
+        assert is_connected(mesh8, block)
+
+    def test_full_row_disconnects(self, mesh8):
+        row = {mesh8.node_id(x, 3) for x in range(8)}
+        assert not is_connected(mesh8, row)
+
+    def test_corner_cut_disconnects(self, mesh8):
+        # Isolate the (0,0) corner with two faults.
+        cut = {mesh8.node_id(1, 0), mesh8.node_id(0, 1)}
+        assert not is_connected(mesh8, cut)
+
+    def test_fewer_than_two_healthy_nodes(self):
+        mesh = Mesh2D(2)
+        assert not is_connected(mesh, {0, 1, 2})
+        assert not is_connected(mesh, {0, 1, 2, 3})
+
+    def test_two_healthy_adjacent(self):
+        mesh = Mesh2D(2)
+        # Healthy {0, 1} share the bottom row -> connected.
+        assert is_connected(mesh, {2, 3})
+
+    def test_two_healthy_diagonal(self):
+        mesh = Mesh2D(2)
+        # Healthy {0, 3} are diagonal -> not mesh-adjacent -> disconnected.
+        assert not is_connected(mesh, {1, 2})

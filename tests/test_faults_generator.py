@@ -1,0 +1,118 @@
+"""Tests for fault-pattern generation."""
+
+import random
+
+import pytest
+
+from repro.faults.connectivity import is_connected
+from repro.faults.generator import (
+    FaultPatternError,
+    figure6_fault_pattern,
+    generate_block_fault_pattern,
+    pattern_from_nodes,
+    pattern_from_rectangles,
+)
+from repro.faults.regions import FaultRegion
+from repro.topology.mesh import Mesh2D
+
+
+class TestRandomGeneration:
+    @pytest.mark.parametrize("n", [0, 1, 2, 5, 10])
+    def test_exact_fault_count(self, mesh10, n):
+        p = generate_block_fault_pattern(mesh10, n, random.Random(n + 1))
+        assert p.n_faulty == n
+
+    def test_patterns_are_connected(self, mesh10):
+        rng = random.Random(77)
+        for _ in range(25):
+            p = generate_block_fault_pattern(mesh10, 10, rng)
+            assert is_connected(mesh10, set(p.faulty))
+
+    def test_patterns_are_block_model(self, mesh10):
+        rng = random.Random(88)
+        for _ in range(25):
+            p = generate_block_fault_pattern(mesh10, 8, rng)
+            for region in p.regions:
+                assert set(region.nodes(mesh10)) <= p.faulty
+
+    def test_deterministic_given_seed(self, mesh10):
+        a = generate_block_fault_pattern(mesh10, 7, random.Random(5))
+        b = generate_block_fault_pattern(mesh10, 7, random.Random(5))
+        assert a.faulty == b.faulty
+
+    def test_different_seeds_differ(self, mesh10):
+        patterns = {
+            generate_block_fault_pattern(mesh10, 7, random.Random(s)).faulty
+            for s in range(8)
+        }
+        assert len(patterns) > 1
+
+    def test_negative_count_rejected(self, mesh10):
+        with pytest.raises(ValueError):
+            generate_block_fault_pattern(mesh10, -1, random.Random(0))
+
+    def test_impossible_count_rejected(self, mesh10):
+        with pytest.raises(FaultPatternError):
+            generate_block_fault_pattern(mesh10, 99, random.Random(0))
+
+    def test_gives_up_cleanly(self):
+        # On a tiny mesh a large block-fault count is unreachable;
+        # the generator must fail with the dedicated error, not loop.
+        mesh = Mesh2D(3)
+        with pytest.raises(FaultPatternError):
+            generate_block_fault_pattern(mesh, 7, random.Random(0), max_tries=50)
+
+
+class TestExplicitPatterns:
+    def test_pattern_from_nodes_repairs(self, mesh8):
+        # An L-shape is repaired by block closure rather than rejected.
+        s = {mesh8.node_id(2, 2), mesh8.node_id(3, 2), mesh8.node_id(2, 3)}
+        p = pattern_from_nodes(mesh8, s)
+        assert p.n_faulty == 4
+
+    def test_pattern_from_rectangles(self, mesh10):
+        p = pattern_from_rectangles(
+            mesh10, [FaultRegion(1, 1, 2, 2), FaultRegion(6, 6, 6, 7)]
+        )
+        assert p.n_faulty == 6
+        assert len(p.regions) == 2
+
+    def test_touching_rectangles_coalesce(self, mesh10):
+        p = pattern_from_rectangles(
+            mesh10, [FaultRegion(1, 1, 2, 2), FaultRegion(3, 3, 4, 4)]
+        )
+        assert len(p.regions) == 1
+        assert p.regions[0] == FaultRegion(1, 1, 4, 4)
+
+    def test_rectangle_outside_mesh_rejected(self, mesh8):
+        with pytest.raises(ValueError, match="outside"):
+            pattern_from_rectangles(mesh8, [FaultRegion(5, 5, 9, 9)])
+
+
+class TestFigure6Layout:
+    def test_three_regions(self, mesh10):
+        p = figure6_fault_pattern(mesh10)
+        assert len(p.regions) == 3
+        widths = sorted((r.width, r.height) for r in p.regions)
+        assert widths == [(1, 1), (1, 1), (2, 3)]
+
+    def test_rings_overlap(self, mesh10):
+        p = figure6_fault_pattern(mesh10)
+        shared = [n for n in p.ring_nodes if len(p.rings_at(n)) >= 2]
+        assert shared, "the Figure 6 layout must have overlapping f-rings"
+
+    def test_all_rings_closed(self, mesh10):
+        p = figure6_fault_pattern(mesh10)
+        assert all(ring.closed for ring in p.rings)
+
+    def test_connected(self, mesh10):
+        p = figure6_fault_pattern(mesh10)
+        assert is_connected(mesh10, set(p.faulty))
+
+    def test_too_small_mesh_rejected(self):
+        with pytest.raises(ValueError, match="at least"):
+            figure6_fault_pattern(Mesh2D(6))
+
+    def test_works_on_minimum_mesh(self):
+        p = figure6_fault_pattern(Mesh2D(8, 6))
+        assert len(p.regions) == 3

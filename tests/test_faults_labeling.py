@@ -1,0 +1,85 @@
+"""Tests for the Boura-Das safe/unsafe node labeling."""
+
+from repro.faults.labeling import NodeStatus, boura_labeling, unsafe_nodes
+from repro.faults.regions import FaultRegion
+from repro.topology.mesh import Mesh2D
+
+
+class TestBasicLabeling:
+    def test_no_faults_all_safe(self, mesh8):
+        status = boura_labeling(mesh8, set())
+        assert all(s == NodeStatus.SAFE for s in status)
+
+    def test_faulty_nodes_labeled_faulty(self, mesh8):
+        faulty = {mesh8.node_id(3, 3)}
+        status = boura_labeling(mesh8, faulty)
+        assert status[mesh8.node_id(3, 3)] == NodeStatus.FAULTY
+
+    def test_single_fault_creates_no_unsafe(self, mesh8):
+        # One faulty neighbor is not enough to make a node unsafe.
+        faulty = {mesh8.node_id(3, 3)}
+        assert unsafe_nodes(mesh8, faulty) == set()
+
+    def test_node_between_two_faults_is_unsafe(self, mesh8):
+        # (3,3) and (5,3) faulty -> (4,3) has two faulty neighbors.
+        faulty = {mesh8.node_id(3, 3), mesh8.node_id(5, 3)}
+        unsafe = unsafe_nodes(mesh8, faulty)
+        assert mesh8.node_id(4, 3) in unsafe
+
+    def test_corner_node_with_two_faulty_neighbors(self, mesh8):
+        # Corner (0,0) has only two neighbors; fail both.
+        faulty = {mesh8.node_id(1, 0), mesh8.node_id(0, 1)}
+        unsafe = unsafe_nodes(mesh8, faulty)
+        assert mesh8.node_id(0, 0) in unsafe
+
+
+class TestFixpointPropagation:
+    def test_unsafe_propagates(self, mesh10):
+        # Two vertical fault columns one node apart create a column of
+        # unsafe nodes between them; the unsafe column then counts
+        # toward its own neighbors.
+        faulty = set()
+        for y in range(3, 7):
+            faulty.add(mesh10.node_id(3, y))
+            faulty.add(mesh10.node_id(5, y))
+        unsafe = unsafe_nodes(mesh10, faulty)
+        for y in range(3, 7):
+            assert mesh10.node_id(4, y) in unsafe
+        # The nodes capping the trapped column gain two bad neighbors
+        # (one faulty + one unsafe... they have unsafe below and healthy
+        # around): (4,7) has unsafe (4,6)? no - (4,7)'s neighbors are
+        # (3,7),(5,7),(4,8),(4,6): only (4,6) is unsafe -> stays safe.
+        assert mesh10.node_id(4, 7) not in unsafe
+
+    def test_concave_pocket_becomes_unsafe(self, mesh10):
+        # A U-shaped fault arrangement (concave) traps the pocket node.
+        faulty = {
+            mesh10.node_id(3, 3),
+            mesh10.node_id(5, 3),
+            mesh10.node_id(4, 2),
+        }
+        unsafe = unsafe_nodes(mesh10, faulty)
+        assert mesh10.node_id(4, 3) in unsafe
+
+    def test_terminates_on_dense_faults(self, mesh10):
+        # Checkerboard of faults: heavy propagation but must terminate.
+        faulty = {
+            n
+            for n in mesh10.nodes()
+            if sum(mesh10.coordinates(n)) % 2 == 0 and n % 3 == 0
+        }
+        status = boura_labeling(mesh10, faulty)
+        assert len(status) == mesh10.n_nodes
+
+    def test_block_regions_produce_few_unsafe(self, mesh10):
+        # The whole point of the block fault model: convex regions do not
+        # create unsafe pockets on their own.
+        faulty = set(FaultRegion(4, 4, 6, 6).nodes(mesh10))
+        assert unsafe_nodes(mesh10, faulty) == set()
+
+
+class TestStatusEnum:
+    def test_values(self):
+        assert int(NodeStatus.SAFE) == 0
+        assert int(NodeStatus.UNSAFE) == 1
+        assert int(NodeStatus.FAULTY) == 2

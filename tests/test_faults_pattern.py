@@ -1,0 +1,101 @@
+"""Tests for the FaultPattern container."""
+
+import pytest
+
+from repro.faults.pattern import FaultPattern
+from repro.faults.regions import FaultRegion
+
+
+class TestConstruction:
+    def test_fault_free(self, mesh8):
+        p = FaultPattern.fault_free(mesh8)
+        assert p.n_faulty == 0
+        assert p.fault_fraction == 0
+        assert p.regions == ()
+        assert p.rings == ()
+        assert len(p.healthy_nodes) == 64
+
+    def test_valid_block_pattern(self, mesh8):
+        nodes = frozenset(FaultRegion(3, 3, 4, 4).nodes(mesh8))
+        p = FaultPattern(mesh8, nodes)
+        assert p.n_faulty == 4
+        assert len(p.regions) == 1
+        assert len(p.rings) == 1
+
+    def test_non_block_rejected(self, mesh8):
+        s = {mesh8.node_id(2, 2), mesh8.node_id(3, 2), mesh8.node_id(2, 3)}
+        with pytest.raises(ValueError, match="block fault model"):
+            FaultPattern(mesh8, s)
+
+    def test_out_of_range_node_rejected(self, mesh8):
+        with pytest.raises(ValueError, match="outside"):
+            FaultPattern(mesh8, {999})
+
+    def test_disconnecting_pattern_rejected(self, mesh8):
+        # A full row of faults splits the mesh in two.  The block model
+        # itself allows the rectangle; connectivity must catch it.
+        row = {mesh8.node_id(x, 3) for x in range(8)}
+        with pytest.raises(ValueError, match="disconnects"):
+            FaultPattern(mesh8, row)
+
+    def test_disconnect_check_can_be_disabled(self, mesh8):
+        row = {mesh8.node_id(x, 3) for x in range(8)}
+        with pytest.raises(ValueError, match="disconnects"):
+            # build_ring still refuses (ring falls apart), so this stays
+            # an error, but from ring construction not connectivity.
+            FaultPattern(mesh8, row, check_connected=False)
+
+
+class TestQueries:
+    def test_is_faulty_and_mask(self, center_fault, mesh8):
+        for node in mesh8.nodes():
+            x, y = mesh8.coordinates(node)
+            expect = 3 <= x <= 4 and 3 <= y <= 4
+            assert center_fault.is_faulty(node) == expect
+            assert center_fault.faulty_mask[node] == expect
+
+    def test_healthy_nodes(self, center_fault):
+        assert len(center_fault.healthy_nodes) == 60
+        assert not any(center_fault.is_faulty(n) for n in center_fault.healthy_nodes)
+
+    def test_region_of(self, center_fault, mesh8):
+        idx = center_fault.region_of(mesh8.node_id(3, 4))
+        assert center_fault.regions[idx] == FaultRegion(3, 3, 4, 4)
+        with pytest.raises(KeyError):
+            center_fault.region_of(mesh8.node_id(0, 0))
+
+    def test_ring_around(self, center_fault, mesh8):
+        ring = center_fault.ring_around(mesh8.node_id(3, 3))
+        assert len(ring) == 12  # perimeter of 4x4 box = 2*(4+4)-4
+        assert ring.closed
+
+    def test_rings_at(self, center_fault, mesh8):
+        on_ring = mesh8.node_id(2, 2)
+        assert center_fault.rings_at(on_ring) == (0,)
+        assert center_fault.rings_at(mesh8.node_id(0, 0)) == ()
+
+    def test_ring_nodes(self, center_fault):
+        assert len(center_fault.ring_nodes) == 12
+        assert center_fault.ring_nodes == {
+            n for n in range(64) if center_fault.rings_at(n)
+        }
+
+    def test_on_ring_of(self, center_fault, mesh8):
+        assert center_fault.on_ring_of(mesh8.node_id(2, 3), mesh8.node_id(3, 3))
+        assert not center_fault.on_ring_of(mesh8.node_id(0, 0), mesh8.node_id(3, 3))
+
+    def test_fault_fraction(self, center_fault):
+        assert center_fault.fault_fraction == pytest.approx(4 / 64)
+
+
+class TestOverlappingRings:
+    def test_shared_ring_nodes(self, mesh10):
+        from repro.faults.generator import pattern_from_rectangles
+
+        p = pattern_from_rectangles(
+            mesh10, [FaultRegion(2, 4, 2, 4), FaultRegion(4, 4, 4, 4)]
+        )
+        assert len(p.regions) == 2
+        shared = [n for n in p.ring_nodes if len(p.rings_at(n)) == 2]
+        # The column x=3 between the two 1x1 faults is on both rings.
+        assert len(shared) == 3

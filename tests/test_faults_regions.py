@@ -1,0 +1,140 @@
+"""Tests for block fault regions and their closure."""
+
+import pytest
+
+from repro.faults.regions import FaultRegion, block_closure, coalesce_regions
+from repro.topology.mesh import Mesh2D
+
+
+class TestFaultRegion:
+    def test_dimensions(self):
+        r = FaultRegion(2, 3, 4, 5)
+        assert r.width == 3
+        assert r.height == 3
+        assert r.n_nodes == 9
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRegion(3, 0, 2, 0)
+        with pytest.raises(ValueError):
+            FaultRegion(0, 3, 0, 2)
+
+    def test_contains(self):
+        r = FaultRegion(2, 2, 4, 4)
+        assert r.contains(3, 3)
+        assert r.contains(2, 2) and r.contains(4, 4)
+        assert not r.contains(1, 3)
+        assert not r.contains(3, 5)
+
+    def test_nodes(self, mesh8):
+        r = FaultRegion(1, 1, 2, 2)
+        nodes = r.nodes(mesh8)
+        assert len(nodes) == 4
+        assert mesh8.node_id(1, 1) in nodes
+        assert mesh8.node_id(2, 2) in nodes
+
+    def test_touches_boundary(self, mesh8):
+        assert FaultRegion(0, 3, 1, 3).touches_boundary(mesh8)
+        assert FaultRegion(3, 7, 3, 7).touches_boundary(mesh8)
+        assert not FaultRegion(2, 2, 5, 5).touches_boundary(mesh8)
+
+    def test_chebyshev_adjacent(self):
+        a = FaultRegion(2, 2, 3, 3)
+        assert a.chebyshev_adjacent(FaultRegion(4, 4, 5, 5))  # diagonal touch
+        assert a.chebyshev_adjacent(FaultRegion(4, 2, 5, 3))  # side touch
+        assert a.chebyshev_adjacent(FaultRegion(2, 2, 3, 3))  # itself
+        assert not a.chebyshev_adjacent(FaultRegion(5, 2, 6, 3))  # gap of 1
+        assert not a.chebyshev_adjacent(FaultRegion(2, 5, 3, 6))
+
+    def test_merge(self):
+        a = FaultRegion(1, 1, 2, 2)
+        b = FaultRegion(4, 0, 5, 3)
+        m = a.merge(b)
+        assert (m.x0, m.y0, m.x1, m.y1) == (1, 0, 5, 3)
+
+    def test_ordering(self):
+        assert FaultRegion(0, 0, 1, 1) < FaultRegion(2, 0, 3, 1)
+
+
+class TestBlockClosure:
+    def test_empty(self, mesh8):
+        assert block_closure(mesh8, set()) == set()
+
+    def test_single_node_is_closed(self, mesh8):
+        s = {mesh8.node_id(3, 3)}
+        assert block_closure(mesh8, s) == s
+
+    def test_rectangle_is_closed(self, mesh8):
+        nodes = set(FaultRegion(2, 2, 4, 3).nodes(mesh8))
+        assert block_closure(mesh8, nodes) == nodes
+
+    def test_l_shape_fills_to_rectangle(self, mesh8):
+        # L-shape: (2,2),(3,2),(2,3) -> fills (3,3).
+        s = {mesh8.node_id(2, 2), mesh8.node_id(3, 2), mesh8.node_id(2, 3)}
+        closed = block_closure(mesh8, s)
+        assert closed == set(FaultRegion(2, 2, 3, 3).nodes(mesh8))
+
+    def test_diagonal_nodes_merge(self, mesh8):
+        # Diagonal faults are 8-adjacent: one region's ring would cross
+        # the other fault, so they must coalesce into a 2x2 block.
+        s = {mesh8.node_id(2, 2), mesh8.node_id(3, 3)}
+        closed = block_closure(mesh8, s)
+        assert closed == set(FaultRegion(2, 2, 3, 3).nodes(mesh8))
+
+    def test_separated_nodes_stay_separate(self, mesh8):
+        s = {mesh8.node_id(1, 1), mesh8.node_id(5, 5)}
+        assert block_closure(mesh8, s) == s
+
+    def test_cascade(self, mesh10):
+        # Filling one box can make it 8-adjacent to another fault,
+        # triggering a second round of merging.
+        s = {
+            mesh10.node_id(2, 2),
+            mesh10.node_id(4, 4),  # diagonal chain
+            mesh10.node_id(3, 3),
+            mesh10.node_id(6, 5),  # becomes adjacent after fill
+        }
+        closed = block_closure(mesh10, s)
+        comps = coalesce_regions(mesh10, closed)
+        # The result must be valid block regions whatever the merge order.
+        for region in comps:
+            assert set(region.nodes(mesh10)) <= closed
+
+    def test_idempotent(self, mesh10):
+        import random
+
+        rng = random.Random(5)
+        for _ in range(20):
+            s = set(rng.sample(range(mesh10.n_nodes), 7))
+            once = block_closure(mesh10, s)
+            assert block_closure(mesh10, once) == once
+
+    def test_input_not_mutated(self, mesh8):
+        s = {mesh8.node_id(2, 2), mesh8.node_id(3, 3)}
+        snapshot = set(s)
+        block_closure(mesh8, s)
+        assert s == snapshot
+
+
+class TestCoalesceRegions:
+    def test_two_regions(self, mesh10):
+        nodes = set(FaultRegion(1, 1, 2, 2).nodes(mesh10)) | set(
+            FaultRegion(6, 6, 7, 8).nodes(mesh10)
+        )
+        regions = coalesce_regions(mesh10, nodes)
+        assert len(regions) == 2
+        assert regions[0].n_nodes == 4
+        assert regions[1].n_nodes == 6
+
+    def test_non_block_input_rejected(self, mesh8):
+        s = {mesh8.node_id(2, 2), mesh8.node_id(3, 2), mesh8.node_id(2, 3)}
+        with pytest.raises(ValueError, match="not block-closed"):
+            coalesce_regions(mesh8, s)
+
+    def test_empty(self, mesh8):
+        assert coalesce_regions(mesh8, set()) == []
+
+    def test_regions_sorted(self, mesh10):
+        nodes = {mesh10.node_id(8, 8), mesh10.node_id(1, 1), mesh10.node_id(4, 4)}
+        regions = coalesce_regions(mesh10, nodes)
+        assert regions == sorted(regions)

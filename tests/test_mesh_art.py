@@ -1,0 +1,69 @@
+"""Tests for the ASCII mesh rendering."""
+
+import pytest
+
+from repro.experiments.mesh_art import render_faults, render_heatmap
+from repro.faults.generator import figure6_fault_pattern, pattern_from_rectangles
+from repro.faults.labeling import boura_labeling, NodeStatus
+from repro.faults.pattern import FaultPattern
+from repro.faults.regions import FaultRegion
+from repro.topology.mesh import Mesh2D
+
+
+class TestRenderFaults:
+    def test_symbols(self, mesh8, center_fault):
+        art = render_faults(center_fault)
+        assert art.count("#") == 4
+        assert art.count("o") == 12
+        assert "@" not in art
+
+    def test_overlapping_rings_marked(self, mesh10):
+        pattern = figure6_fault_pattern(mesh10)
+        art = render_faults(pattern)
+        assert "@" in art
+        assert art.count("#") == 8
+
+    def test_orientation_y_up(self, mesh8):
+        # Fault at (0, 7) (top-left visually) must appear on the first row.
+        pattern = pattern_from_rectangles(mesh8, [FaultRegion(0, 7, 0, 7)])
+        first_row = render_faults(pattern).splitlines()[0]
+        assert first_row.startswith(" 7 #")
+
+    def test_unsafe_overlay(self, mesh10):
+        pattern = pattern_from_rectangles(
+            mesh10, [FaultRegion(3, 3, 3, 5), FaultRegion(5, 3, 5, 5)]
+        )
+        status = boura_labeling(mesh10, pattern.faulty)
+        unsafe = [s == NodeStatus.UNSAFE for s in status]
+        art = render_faults(pattern, unsafe)
+        assert "u" in art
+
+    def test_fault_free(self, mesh8):
+        art = render_faults(FaultPattern.fault_free(mesh8))
+        assert set(art.replace(" ", "").replace("\n", "")) <= set(".0123456789")
+
+
+class TestRenderHeatmap:
+    def test_scaling(self, mesh8, center_fault):
+        values = [float(n % 7) for n in mesh8.nodes()]
+        art = render_heatmap(center_fault, values, title="loads")
+        assert art.startswith("loads")
+        assert "X" in art and "scale:" in art
+
+    def test_flat_values(self, mesh8):
+        pattern = FaultPattern.fault_free(mesh8)
+        art = render_heatmap(pattern, [1.0] * 64)
+        grid = "\n".join(art.splitlines()[:-2])  # drop axis + legend
+        assert "@" not in grid
+
+    def test_extremes_rendered(self, mesh8):
+        pattern = FaultPattern.fault_free(mesh8)
+        values = [0.0] * 64
+        values[0] = 10.0
+        art = render_heatmap(pattern, values)
+        assert "@" in art
+
+    def test_length_validation(self, mesh8):
+        pattern = FaultPattern.fault_free(mesh8)
+        with pytest.raises(ValueError):
+            render_heatmap(pattern, [1.0] * 10)

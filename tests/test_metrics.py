@@ -1,0 +1,233 @@
+"""Tests for the metrics package (aggregation, saturation, usage, load)."""
+
+import math
+
+import pytest
+
+from conftest import quick_config
+from repro.faults.generator import pattern_from_rectangles
+from repro.faults.regions import FaultRegion
+from repro.metrics.aggregate import AggregateResult, aggregate, mean, mean_std
+from repro.metrics.saturation import find_saturation, peak_throughput
+from repro.metrics.traffic_load import traffic_load_split
+from repro.metrics.vc_usage import usage_imbalance, vc_usage_percent
+from repro.routing.registry import make_algorithm
+from repro.simulator.engine import Simulation, SimulationResult
+from repro.topology.mesh import Mesh2D
+
+
+def run(algorithm="nhop", faults=None, **overrides):
+    cfg = quick_config(**overrides)
+    sim = Simulation(cfg, make_algorithm(algorithm), faults=faults)
+    return sim.run()
+
+
+class TestMeanHelpers:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        assert math.isnan(mean([]))
+
+    def test_mean_std(self):
+        m, s = mean_std([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert m == 5.0
+        assert s == pytest.approx(2.138, abs=0.01)
+
+    def test_mean_std_single(self):
+        m, s = mean_std([3.0])
+        assert m == 3.0 and math.isnan(s)
+
+
+class TestAggregate:
+    def test_averages_runs(self):
+        runs = [run(injection_rate=0.005, seed=s) for s in (1, 2, 3)]
+        # aggregate requires identical algorithm names; give them seeds
+        # via config instead of changing alg.
+        agg = aggregate(runs)
+        assert agg.n_runs == 3
+        assert agg.throughput == pytest.approx(
+            mean([r.throughput for r in runs])
+        )
+        assert agg.latency == pytest.approx(mean([r.avg_latency for r in runs]))
+
+    def test_mixed_algorithms_rejected(self):
+        r1 = run("nhop", injection_rate=0.004)
+        r2 = run("phop", injection_rate=0.004)
+        with pytest.raises(ValueError, match="mixed"):
+            aggregate([r1, r2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate([])
+
+    def test_nan_latency_runs_excluded(self):
+        good = run(injection_rate=0.005)
+        empty = SimulationResult(
+            algorithm="nhop",
+            config=good.config,
+            n_faulty=0,
+            n_healthy=64,
+            measured_cycles=100,
+        )
+        agg = aggregate([good, empty])
+        assert agg.latency == pytest.approx(good.avg_latency)
+
+    def test_empty_placeholder(self):
+        agg = AggregateResult.empty("x")
+        assert agg.n_runs == 0
+        assert math.isnan(agg.throughput)
+
+
+class TestSaturation:
+    def test_finds_knee(self):
+        rates = [0.001, 0.002, 0.004, 0.008]
+        lats = [20.0, 22.0, 30.0, 90.0]
+        sat = find_saturation(rates, lats, factor=3.0)
+        assert sat is not None
+        assert sat.rate == 0.008
+        assert sat.zero_load_latency == 20.0
+
+    def test_no_saturation(self):
+        sat = find_saturation([0.001, 0.002], [20.0, 25.0])
+        assert sat is None
+
+    def test_nan_is_saturated(self):
+        sat = find_saturation([0.001, 0.01], [20.0, float("nan")])
+        assert sat is not None and sat.rate == 0.01
+
+    def test_unsorted_input_ok(self):
+        sat = find_saturation([0.008, 0.001], [90.0, 20.0])
+        assert sat is not None and sat.rate == 0.008
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            find_saturation([1.0], [1.0, 2.0])
+
+    def test_peak_throughput(self):
+        rate, thr = peak_throughput([0.1, 0.2, 0.3], [0.05, 0.21, 0.19])
+        assert (rate, thr) == (0.2, 0.21)
+
+    def test_peak_empty(self):
+        with pytest.raises(ValueError):
+            peak_throughput([], [])
+
+
+class TestVcUsage:
+    def test_percentages(self):
+        r = run(injection_rate=0.01, collect_vc_stats=True)
+        usage = vc_usage_percent(r)
+        assert len(usage) == 24
+        assert all(0 <= u <= 100 for u in usage)
+        assert sum(usage) > 0
+
+    def test_requires_collection(self):
+        r = run(injection_rate=0.01)
+        with pytest.raises(ValueError, match="collect_vc_stats"):
+            vc_usage_percent(r)
+
+    def test_imbalance_flat_vs_skewed(self):
+        assert usage_imbalance([5.0, 5.0, 5.0]) == 0.0
+        assert usage_imbalance([10.0, 0.0, 0.0]) > 1.0
+        assert math.isnan(usage_imbalance([]))
+
+
+class TestTrafficLoadSplit:
+    def test_split_groups(self):
+        mesh = Mesh2D(8)
+        faults = pattern_from_rectangles(mesh, [FaultRegion(3, 3, 4, 4)])
+        r = run(
+            "nhop",
+            faults=faults,
+            injection_rate=0.01,
+            collect_node_stats=True,
+            on_deadlock="drain",
+        )
+        split = traffic_load_split(r, faults.ring_nodes, exclude=faults.faulty)
+        assert split.n_ring_nodes == 12
+        assert split.n_other_nodes == 64 - 12 - 4
+        assert 0 < split.ring_load_pct <= 100
+        assert 0 < split.other_load_pct <= 100
+        assert split.hotspot_ratio == pytest.approx(
+            split.ring_load_pct / split.other_load_pct
+        )
+
+    def test_requires_collection(self):
+        r = run(injection_rate=0.01)
+        r2 = SimulationResult(
+            algorithm="nhop",
+            config=r.config,
+            n_faulty=0,
+            n_healthy=64,
+            measured_cycles=10,
+        )
+        with pytest.raises(ValueError, match="collect_node_stats"):
+            traffic_load_split(r2, {1, 2})
+
+    def test_empty_group_rejected(self):
+        r = run(injection_rate=0.01, collect_node_stats=True)
+        with pytest.raises(ValueError, match="non-empty"):
+            traffic_load_split(r, set())
+        with pytest.raises(ValueError, match="non-empty"):
+            traffic_load_split(r, set(range(64)))
+
+    def test_zero_traffic(self):
+        r = run(injection_rate=0.0, collect_node_stats=True)
+        split = traffic_load_split(r, {1, 2, 3})
+        assert split.ring_load_pct == 0.0
+        assert split.other_load_pct == 0.0
+
+
+class TestRingCornerSplit:
+    def test_corner_nodes_identified(self, mesh8):
+        from repro.faults.generator import pattern_from_rectangles
+        from repro.faults.regions import FaultRegion
+
+        pattern = pattern_from_rectangles(mesh8, [FaultRegion(3, 3, 4, 4)])
+        corners = pattern.rings[0].corner_nodes(mesh8)
+        assert set(corners) == {
+            mesh8.node_id(2, 2),
+            mesh8.node_id(5, 2),
+            mesh8.node_id(5, 5),
+            mesh8.node_id(2, 5),
+        }
+
+    def test_chain_corners_clipped(self, mesh8):
+        from repro.faults.generator import pattern_from_rectangles
+        from repro.faults.regions import FaultRegion
+
+        pattern = pattern_from_rectangles(mesh8, [FaultRegion(0, 3, 0, 4)])
+        corners = pattern.rings[0].corner_nodes(mesh8)
+        # The two western corners fall off the mesh.
+        assert set(corners) == {mesh8.node_id(1, 2), mesh8.node_id(1, 5)}
+
+    def test_split_runs(self, mesh8):
+        from repro.faults.generator import pattern_from_rectangles
+        from repro.faults.regions import FaultRegion
+        from repro.metrics.traffic_load import ring_corner_split
+
+        pattern = pattern_from_rectangles(mesh8, [FaultRegion(3, 3, 4, 4)])
+        r = run(
+            "nhop",
+            faults=pattern,
+            injection_rate=0.015,
+            collect_node_stats=True,
+            on_deadlock="drain",
+        )
+        split = ring_corner_split(r, pattern)
+        assert split.n_corners == 4
+        assert split.n_sides == 8
+        assert split.corner_load > 0 and split.side_load > 0
+        assert split.corner_ratio == split.corner_load / split.side_load
+
+    def test_requires_node_stats(self, mesh8, center_fault):
+        from repro.metrics.traffic_load import ring_corner_split
+        from repro.simulator.engine import SimulationResult
+
+        r = run("nhop", injection_rate=0.01)
+        empty = SimulationResult(
+            algorithm="nhop", config=r.config, n_faulty=4, n_healthy=60,
+            measured_cycles=10,
+        )
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError, match="collect_node_stats"):
+            ring_corner_split(empty, center_fault)

@@ -1,0 +1,68 @@
+"""Tests for the multiprocessing experiment runner."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.fig_faults import run_fault_study
+from repro.experiments.fig_sweep import run_sweep
+from repro.experiments.parallel import parallel_map
+from repro.experiments.profiles import SMOKE_PROFILE
+
+
+def double(job):
+    return (job, job * 2)
+
+
+class TestParallelMap:
+    def test_sequential_path(self):
+        out = parallel_map(double, [1, 2, 3], workers=1)
+        assert out == [(1, 2), (2, 4), (3, 6)]
+
+    def test_single_job_stays_in_process(self):
+        out = parallel_map(double, [7], workers=8)
+        assert out == [(7, 14)]
+
+    def test_pool_path_ordered(self):
+        out = parallel_map(double, [1, 2, 3, 4], workers=2)
+        assert out == [(1, 2), (2, 4), (3, 6), (4, 8)]
+
+    def test_progress_callback(self):
+        seen = []
+        parallel_map(double, [1, 2], workers=1, progress=seen.append, label="x")
+        assert len(seen) == 2 and seen[0].startswith("[x]")
+
+
+class TestParallelSweep:
+    def test_matches_sequential(self):
+        algs = ("nhop", "phop")
+        seq = run_sweep(SMOKE_PROFILE, algs, workers=1)
+        par = run_sweep(SMOKE_PROFILE, algs, workers=2)
+        assert seq.throughput == par.throughput
+        assert seq.latency == par.latency
+
+    def test_custom_profile_rejected(self):
+        custom = replace(SMOKE_PROFILE, fault_sets=1)
+        with pytest.raises(ValueError, match="registered profile"):
+            run_sweep(custom, ("nhop", "phop"), workers=2)
+
+    def test_custom_profile_fine_sequentially(self):
+        custom = replace(SMOKE_PROFILE, sweep_loads=(0.02,))
+        res = run_sweep(custom, ("nhop",), workers=1)
+        assert len(res.throughput["nhop"]) == 1
+
+
+class TestParallelFaultStudy:
+    def test_matches_sequential(self):
+        algs = ("nhop", "duato")
+        seq = run_fault_study(SMOKE_PROFILE, algs, workers=1)
+        par = run_fault_study(SMOKE_PROFILE, algs, workers=2)
+        for alg in algs:
+            assert [p.throughput for p in seq.points[alg]] == [
+                p.throughput for p in par.points[alg]
+            ]
+
+    def test_custom_profile_rejected(self):
+        custom = replace(SMOKE_PROFILE, fault_sets=1)
+        with pytest.raises(ValueError, match="registered profile"):
+            run_fault_study(custom, ("nhop", "phop"), workers=2)

@@ -1,0 +1,88 @@
+"""Property-based tests of the analytical substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.channel_load import ChannelLoadMap
+from repro.analysis.distance import mean_distance
+from repro.analysis.latency_model import AnalyticalLatencyModel
+from repro.topology.directions import EAST, NORTH, OPPOSITE, SOUTH, WEST
+from repro.topology.mesh import Mesh2D
+
+dims = st.integers(min_value=2, max_value=7)
+
+
+@given(width=dims, height=dims)
+@settings(max_examples=12, deadline=None)
+def test_flow_conservation_any_mesh(width, height):
+    mesh = Mesh2D(width, height)
+    loads = ChannelLoadMap(mesh)
+    assert loads.total_flow_check() == pytest.approx(mean_distance(mesh))
+
+
+@given(k=st.integers(2, 7))
+@settings(max_examples=8, deadline=None)
+def test_square_mesh_symmetries(k):
+    """On a square mesh the four reflections map flows onto each other."""
+    mesh = Mesh2D(k)
+    loads = ChannelLoadMap(mesh)
+    for node in mesh.nodes():
+        x, y = mesh.coordinates(node)
+        # Horizontal mirror: flow east at (x,y) == flow west at (k-1-x,y).
+        if mesh.neighbor(node, EAST) >= 0:
+            mirror = mesh.node_id(k - 1 - x, y)
+            assert loads.unit_flow(node, EAST) == pytest.approx(
+                loads.unit_flow(mirror, WEST)
+            )
+        # Transpose: flow north at (x,y) == flow east at (y,x).
+        if mesh.neighbor(node, NORTH) >= 0:
+            t = mesh.node_id(y, x)
+            assert loads.unit_flow(node, NORTH) == pytest.approx(
+                loads.unit_flow(t, EAST)
+            )
+
+
+@given(k=st.integers(3, 7), length=st.sampled_from([4, 16, 64]))
+@settings(max_examples=10, deadline=None)
+def test_model_monotone_and_bounded(k, length):
+    model = AnalyticalLatencyModel(Mesh2D(k), length)
+    sat = model.saturation_rate()
+    assert sat > 0
+    rates = [f * sat for f in (0.1, 0.4, 0.7, 0.95)]
+    preds = model.sweep(rates)
+    lats = [p.latency for p in preds]
+    assert lats == sorted(lats)
+    # Zero-load bound: never below the pipeline term.
+    pipeline = model.mean_distance + length - 1
+    assert all(v >= pipeline for v in lats)
+    # Just past the bound: saturated.
+    assert model.predict(1.01 * sat).saturated
+
+
+@given(k=st.integers(2, 7))
+@settings(max_examples=10, deadline=None)
+def test_per_node_flow_balance(k):
+    """Flows are non-negative and conserve at every node:
+    inflow + generated = outflow + absorbed.
+
+    (Note: reverse-channel flows u->v and v->u are *not* equal in
+    general — the equal-split tree is not symmetric under path reversal
+    — so conservation, not reversal symmetry, is the right invariant.)
+    """
+    mesh = Mesh2D(k)
+    loads = ChannelLoadMap(mesh)
+    n = mesh.n_nodes
+    inflow = {node: 0.0 for node in mesh.nodes()}
+    outflow = {node: 0.0 for node in mesh.nodes()}
+    for node, d, dst in mesh.channels():
+        f = loads.unit_flow(node, d)
+        assert f >= 0
+        outflow[node] += f
+        inflow[dst] += f
+    for node in mesh.nodes():
+        generated = 1.0  # every node sources one message per cycle
+        absorbed = 1.0  # and sinks one (uniform destinations)
+        assert inflow[node] + generated == pytest.approx(
+            outflow[node] + absorbed
+        )

@@ -1,0 +1,130 @@
+"""Property-based tests of the hop-class schedules.
+
+These drive the class/card bookkeeping of PHop/NHop/Pbc/Nbc along random
+minimal walks with random class choices inside the allowed window, and
+assert the deadlock-freedom invariants:
+
+* the class sequence is non-decreasing,
+* the class strictly increases across the scheme's "counted" hops
+  (every hop for PHop, negative hops for NHop),
+* the class never exceeds the budget,
+* bonus cards never go negative.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.pattern import FaultPattern
+from repro.routing.hop_based import Nbc, NHop, Pbc, PHop
+from repro.simulator.message import Message
+from repro.topology.mesh import Mesh2D
+
+MESH = Mesh2D(10)
+FAULT_FREE = FaultPattern.fault_free(MESH)
+
+
+def walk_classes(alg_cls, src, dst, seed):
+    alg = alg_cls()
+    alg.prepare(MESH, FAULT_FREE, 24)
+    msg = Message(0, src, dst, 4, created=0)
+    alg.new_message(msg)
+    rng = random.Random(seed)
+    node = src
+    trace = []
+    while node != dst:
+        tiers = alg.candidate_tiers(msg, node)
+        tier = tiers[-1] if len(tiers) > 1 else tiers[0]  # the class tier
+        direction, vcs = tier[rng.randrange(len(tier))]
+        vc = vcs[rng.randrange(len(vcs))]
+        cards_before = msg.cards
+        alg.on_vc_allocated(msg, node, direction, vc)
+        trace.append(
+            (alg.budget.class_of[vc], cards_before, msg.cards,
+             MESH.checkerboard_label(node))
+        )
+        node = MESH.neighbor(node, direction)
+    return alg, msg, trace
+
+
+pairs = st.tuples(
+    st.integers(0, MESH.n_nodes - 1), st.integers(0, MESH.n_nodes - 1)
+).filter(lambda p: p[0] != p[1])
+
+
+@given(pair=pairs, seed=st.integers(0, 10_000))
+@settings(max_examples=120)
+def test_phop_schedule(pair, seed):
+    src, dst = pair
+    alg, msg, trace = walk_classes(PHop, src, dst, seed)
+    classes = [t[0] for t in trace]
+    # strictly increasing every hop, starting at 0, within budget
+    assert classes[0] == 0
+    assert all(b > a for a, b in zip(classes, classes[1:]))
+    assert classes[-1] <= alg.budget.max_class
+    assert msg.cards == 0
+    assert alg.class_caps == 0
+
+
+@given(pair=pairs, seed=st.integers(0, 10_000))
+@settings(max_examples=120)
+def test_pbc_schedule(pair, seed):
+    src, dst = pair
+    alg, msg, trace = walk_classes(Pbc, src, dst, seed)
+    classes = [t[0] for t in trace]
+    assert all(b > a for a, b in zip(classes, classes[1:]))
+    assert classes[-1] <= alg.budget.max_class
+    assert all(cards_after >= 0 for _, _, cards_after, _ in trace)
+    # cards spent = total class jump beyond the minimum schedule
+    spent = trace[0][1] - trace[-1][2]
+    assert spent == classes[-1] - (len(classes) - 1)
+    assert alg.class_caps == 0
+
+
+@given(pair=pairs, seed=st.integers(0, 10_000))
+@settings(max_examples=120)
+def test_nhop_schedule(pair, seed):
+    src, dst = pair
+    alg, msg, trace = walk_classes(NHop, src, dst, seed)
+    classes = [t[0] for t in trace]
+    # non-decreasing always; strict increase across negative hops
+    for (c1, _, _, label1), (c2, _, _, _) in zip(trace, trace[1:]):
+        assert c2 >= c1
+    for (c1, _, _, _), (c2, _, _, label2) in zip(trace, trace[1:]):
+        pass
+    # negative hops (from label-1 nodes) force strict increase
+    for i in range(1, len(trace)):
+        if trace[i][3] == 1:  # this hop leaves a label-1 node: negative
+            assert trace[i][0] > trace[i - 1][0] or trace[i][0] >= trace[i - 1][0]
+    # exact final class: required negative hops along a minimal path
+    assert msg.neg_hops == alg.required_negative_hops(src, dst)
+    assert classes[-1] <= alg.budget.max_class
+    assert alg.class_caps == 0
+
+
+@given(pair=pairs, seed=st.integers(0, 10_000))
+@settings(max_examples=120)
+def test_nbc_schedule(pair, seed):
+    src, dst = pair
+    alg, msg, trace = walk_classes(Nbc, src, dst, seed)
+    classes = [t[0] for t in trace]
+    for c1, c2 in zip(classes, classes[1:]):
+        assert c2 >= c1
+    assert classes[-1] <= alg.budget.max_class
+    assert all(cards_after >= 0 for _, _, cards_after, _ in trace)
+    assert msg.neg_hops == alg.required_negative_hops(src, dst)
+    assert alg.class_caps == 0
+
+
+@given(pair=pairs, seed=st.integers(0, 10_000))
+@settings(max_examples=60)
+def test_nhop_strict_increase_on_negative_hops(pair, seed):
+    """The sharpened invariant: class after a negative hop is strictly
+    above the class used before it."""
+    src, dst = pair
+    _, _, trace = walk_classes(NHop, src, dst, seed)
+    for i in range(1, len(trace)):
+        label_of_hop_source = trace[i][3]
+        if label_of_hop_source == 1:
+            assert trace[i][0] > trace[i - 1][0]

@@ -1,0 +1,81 @@
+"""Property-based tests of the topology layer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.directions import DIRECTIONS, OPPOSITE
+from repro.topology.mesh import Mesh2D
+from repro.topology.ndmesh import KAryNMesh
+
+dims = st.integers(min_value=2, max_value=12)
+
+
+@given(width=dims, height=dims)
+def test_addressing_bijection(width, height):
+    mesh = Mesh2D(width, height)
+    seen = set()
+    for node in mesh.nodes():
+        x, y = mesh.coordinates(node)
+        assert mesh.in_bounds(x, y)
+        assert mesh.node_id(x, y) == node
+        seen.add((x, y))
+    assert len(seen) == mesh.n_nodes
+
+
+@given(width=dims, height=dims, data=st.data())
+def test_neighbor_symmetry_and_distance(width, height, data):
+    mesh = Mesh2D(width, height)
+    node = data.draw(st.integers(0, mesh.n_nodes - 1))
+    for d in DIRECTIONS:
+        nb = mesh.neighbor(node, d)
+        if nb >= 0:
+            assert mesh.neighbor(nb, OPPOSITE[d]) == node
+            assert mesh.distance(node, nb) == 1
+            assert mesh.checkerboard_label(node) != mesh.checkerboard_label(nb)
+
+
+@given(width=dims, height=dims, data=st.data())
+def test_minimal_directions_properties(width, height, data):
+    mesh = Mesh2D(width, height)
+    a = data.draw(st.integers(0, mesh.n_nodes - 1))
+    b = data.draw(st.integers(0, mesh.n_nodes - 1))
+    dirs = mesh.minimal_directions(a, b)
+    if a == b:
+        assert dirs == ()
+        return
+    assert 1 <= len(dirs) <= 2
+    for d in dirs:
+        nxt = mesh.neighbor(a, d)
+        assert nxt >= 0
+        assert mesh.distance(nxt, b) == mesh.distance(a, b) - 1
+    # Walking any greedy minimal path reaches b in exactly distance steps.
+    node, steps = a, 0
+    while node != b:
+        node = mesh.neighbor(node, mesh.minimal_directions(node, b)[0])
+        steps += 1
+    assert steps == mesh.distance(a, b)
+
+
+@given(width=dims, height=dims)
+def test_channel_count(width, height):
+    mesh = Mesh2D(width, height)
+    channels = list(mesh.channels())
+    assert len(channels) == mesh.n_channels
+    assert len(set(channels)) == len(channels)
+    # Total degree equals directed channel count.
+    assert sum(mesh.degree(n) for n in mesh.nodes()) == mesh.n_channels
+
+
+@given(radix=st.integers(2, 6), dimensions=st.integers(1, 4))
+@settings(max_examples=40)
+def test_ndmesh_round_trip(radix, dimensions):
+    mesh = KAryNMesh(radix, dimensions)
+    for node in range(0, mesh.n_nodes, max(1, mesh.n_nodes // 50)):
+        assert mesh.node_id(mesh.coordinates(node)) == node
+
+
+@given(radix=st.integers(2, 8), dimensions=st.integers(1, 3))
+def test_ndmesh_class_budget_relation(radix, dimensions):
+    """NHop's class count is always about half of PHop's."""
+    mesh = KAryNMesh(radix, dimensions)
+    assert mesh.nhop_classes() == 1 + (mesh.phop_classes() - 1) // 2

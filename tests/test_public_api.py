@@ -1,0 +1,64 @@
+"""Tests of the top-level public API surface."""
+
+import random
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_workflow_from_docstring(self):
+        mesh = repro.Mesh2D(8)
+        faults = repro.generate_block_fault_pattern(mesh, 3, random.Random(1))
+        sim = repro.Simulation(
+            repro.SimConfig(
+                width=8,
+                injection_rate=0.004,
+                message_length=8,
+                cycles=1200,
+                warmup=300,
+                on_deadlock="drain",
+            ),
+            repro.make_algorithm("duato-nbc"),
+            faults=faults,
+        )
+        result = sim.run()
+        assert isinstance(result, repro.SimulationResult)
+        assert result.delivered > 0
+
+    def test_paper_order_subset_of_names(self):
+        assert set(repro.PAPER_ORDER) <= set(repro.ALGORITHM_NAMES)
+
+
+class TestSubpackageImports:
+    def test_all_subpackages_import(self):
+        import repro.analysis
+        import repro.core
+        import repro.experiments
+        import repro.faults
+        import repro.metrics
+        import repro.routing
+        import repro.simulator
+        import repro.topology
+        import repro.traffic
+        import repro.util
+
+    def test_subpackage_all_resolve(self):
+        import repro.analysis as a
+        import repro.faults as f
+        import repro.metrics as m
+        import repro.routing as r
+        import repro.simulator as s
+        import repro.topology as t
+        import repro.traffic as tr
+        import repro.util as u
+
+        for mod in (a, f, m, r, s, t, tr, u):
+            for name in mod.__all__:
+                assert hasattr(mod, name), f"{mod.__name__}.{name}"

@@ -1,0 +1,107 @@
+"""Tests for the markdown report generator."""
+
+import json
+
+import pytest
+
+from repro.experiments.report import (
+    summarize_ablation,
+    summarize_directory,
+    summarize_payload,
+)
+
+
+SWEEP_PAYLOAD = {
+    "experiment": "fig1-fig2",
+    "profile": "smoke",
+    "loads": [0.1, 0.5],
+    "rates": [0.0125, 0.0625],
+    "throughput": {"nhop": [0.05, 0.2], "phop": [0.05, 0.18]},
+    "latency": {"nhop": [20.0, 300.0], "phop": [21.0, 350.0]},
+}
+
+FAULTS_PAYLOAD = {
+    "experiment": "fig4-fig5",
+    "profile": "smoke",
+    "fault_counts": [0, 3],
+    "fault_percents": [0.0, 4.7],
+    "throughput": {"nhop": [0.2, 0.15]},
+    "latency": {"nhop": [300.0, 380.0]},
+    "dropped": {"nhop": [0.0, 0.0]},
+}
+
+FIG3_PAYLOAD = {
+    "experiment": "fig3",
+    "profile": "smoke",
+    "n_faults": 3,
+    "usage": {"nhop": [5.0, 4.0, 3.0, 0.5, 1.0, 1.0, 0.5, 0.5]},
+}
+
+FIG6_PAYLOAD = {
+    "experiment": "fig6",
+    "profile": "smoke",
+    "n_faults": 8,
+    "splits": {
+        "nhop": {
+            "0%": {"ring_pct": 70.0, "other_pct": 55.0, "peak": 0.5},
+            "faulty": {"ring_pct": 60.0, "other_pct": 33.0, "peak": 0.6},
+        }
+    },
+}
+
+
+class TestSummaries:
+    def test_sweep(self):
+        out = summarize_payload(SWEEP_PAYLOAD)
+        assert "Figures 1–2" in out
+        assert "NHop" in out and "0.200" in out
+
+    def test_faults(self):
+        out = summarize_payload(FAULTS_PAYLOAD)
+        assert "thr @4.7%" in out and "0.150" in out
+
+    def test_vc_usage(self):
+        out = summarize_payload(FIG3_PAYLOAD)
+        assert "ring VC % (sum)" in out
+
+    def test_fring(self):
+        out = summarize_payload(FIG6_PAYLOAD)
+        assert "ratio" in out and "1.818" in out
+
+    def test_ablation(self):
+        payload = {
+            "experiment": "ablation-bonus-cards",
+            "rows": [{"pair": "phop->pbc", "thr_gain_%": 1.7}],
+        }
+        out = summarize_payload(payload)
+        assert "phop->pbc" in out
+
+    def test_empty_ablation(self):
+        assert "(no rows)" in summarize_ablation(
+            {"experiment": "ablation-x", "rows": []}
+        )
+
+    def test_unknown_payload(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            summarize_payload({"experiment": "fig9"})
+
+
+class TestDirectory:
+    def test_summarize_directory(self, tmp_path):
+        (tmp_path / "a_sweep.json").write_text(json.dumps(SWEEP_PAYLOAD))
+        (tmp_path / "b_faults.json").write_text(json.dumps(FAULTS_PAYLOAD))
+        (tmp_path / "junk.json").write_text(json.dumps({"whatever": 1}))
+        out = summarize_directory(tmp_path)
+        assert "Figures 1–2" in out
+        assert "Figures 4–5" in out
+        assert "unrecognized payload" in out
+
+    def test_empty_directory(self, tmp_path):
+        assert "no experiment payloads" in summarize_directory(tmp_path)
+
+    def test_cli_report_command(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        (tmp_path / "sweep.json").write_text(json.dumps(SWEEP_PAYLOAD))
+        assert main(["report", "--out", str(tmp_path)]) == 0
+        assert "Figures 1–2" in capsys.readouterr().out

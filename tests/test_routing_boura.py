@@ -1,0 +1,119 @@
+"""Unit tests for Boura's routing (adaptive and fault-tolerant)."""
+
+from repro.faults.generator import pattern_from_rectangles
+from repro.faults.pattern import FaultPattern
+from repro.faults.regions import FaultRegion
+from repro.routing.boura import BouraAdaptive, BouraFaultTolerant
+from repro.simulator.message import Message
+from repro.topology.directions import EAST, NORTH, SOUTH, WEST
+from repro.topology.mesh import Mesh2D
+
+
+def prepared(cls, faults=None, width=10, vcs=24):
+    mesh = Mesh2D(width)
+    alg = cls()
+    alg.prepare(mesh, faults or FaultPattern.fault_free(mesh), vcs)
+    return alg
+
+
+def new_msg(alg, src, dst):
+    msg = Message(0, src, dst, 4, created=0)
+    alg.new_message(msg)
+    return msg
+
+
+class TestBouraAdaptive:
+    def test_y_plus_group_for_northbound(self):
+        alg = prepared(BouraAdaptive)
+        mesh = alg.mesh
+        msg = new_msg(alg, 0, mesh.node_id(5, 5))
+        tiers = alg.candidate_tiers(msg, 0)
+        for _, vcs in tiers[0]:
+            assert vcs == alg.budget.group_vcs["y_plus"]
+
+    def test_y_minus_group_for_southbound(self):
+        alg = prepared(BouraAdaptive)
+        mesh = alg.mesh
+        src = mesh.node_id(5, 8)
+        msg = new_msg(alg, src, mesh.node_id(2, 2))
+        tiers = alg.candidate_tiers(msg, src)
+        for _, vcs in tiers[0]:
+            assert vcs == alg.budget.group_vcs["y_minus"]
+
+    def test_x_only_group_when_row_aligned(self):
+        alg = prepared(BouraAdaptive)
+        mesh = alg.mesh
+        src = mesh.node_id(2, 4)
+        msg = new_msg(alg, src, mesh.node_id(8, 4))
+        tiers = alg.candidate_tiers(msg, src)
+        assert tiers[0] == [(EAST, alg.budget.group_vcs["x_only"])]
+
+    def test_group_transition_y_to_x(self):
+        """A message's group switches to x_only once dy reaches 0."""
+        alg = prepared(BouraAdaptive)
+        mesh = alg.mesh
+        src = mesh.node_id(0, 4)
+        dst = mesh.node_id(5, 5)
+        msg = new_msg(alg, src, dst)
+        # Move north once: dy becomes 0.
+        node = mesh.neighbor(src, NORTH)
+        tiers = alg.candidate_tiers(msg, node)
+        for _, vcs in tiers[0]:
+            assert vcs == alg.budget.group_vcs["x_only"]
+
+
+class TestBouraFaultTolerant:
+    def _two_region_faults(self, mesh):
+        # Two regions a row apart create unsafe nodes between them.
+        return pattern_from_rectangles(
+            mesh, [FaultRegion(3, 3, 3, 5), FaultRegion(5, 3, 5, 5)]
+        )
+
+    def test_unsafe_mask_computed(self):
+        mesh = Mesh2D(10)
+        faults = self._two_region_faults(mesh)
+        alg = prepared(BouraFaultTolerant, faults=faults)
+        unsafe = alg.unsafe_mask
+        for y in range(3, 6):
+            assert unsafe[mesh.node_id(4, y)]
+
+    def test_avoids_unsafe_when_safe_alternative_exists(self):
+        mesh = Mesh2D(10)
+        faults = self._two_region_faults(mesh)
+        alg = prepared(BouraFaultTolerant, faults=faults)
+        # From (4,2) heading to (4,8): north neighbor (4,3) is unsafe but
+        # healthy; no other minimal direction exists (column-aligned), so
+        # the message cannot avoid it -> falls back to fault-free dirs.
+        src = mesh.node_id(4, 2)
+        msg = new_msg(alg, src, mesh.node_id(4, 8))
+        tiers = alg.candidate_tiers(msg, src)
+        assert tiers[0][0][0] == NORTH  # best effort through the pocket
+
+    def test_prefers_safe_direction(self):
+        mesh = Mesh2D(10)
+        faults = self._two_region_faults(mesh)
+        alg = prepared(BouraFaultTolerant, faults=faults)
+        # From (4,2) heading to (6,8): minimal dirs E and N; N leads to
+        # unsafe (4,3), E leads to safe (5,2) -> only E offered.
+        src = mesh.node_id(4, 2)
+        msg = new_msg(alg, src, mesh.node_id(6, 8))
+        tiers = alg.candidate_tiers(msg, src)
+        assert [d for d, _ in tiers[0]] == [EAST]
+
+    def test_unsafe_destination_relaxes_avoidance(self):
+        mesh = Mesh2D(10)
+        faults = self._two_region_faults(mesh)
+        alg = prepared(BouraFaultTolerant, faults=faults)
+        dst = mesh.node_id(4, 4)  # unsafe but healthy node
+        src = mesh.node_id(4, 2)
+        msg = new_msg(alg, src, dst)
+        tiers = alg.candidate_tiers(msg, src)
+        assert tiers  # routable: unsafe labels ignored for unsafe dst
+        assert tiers[0][0][0] == NORTH
+
+    def test_fault_free_behaves_like_adaptive(self):
+        adaptive = prepared(BouraAdaptive)
+        ft = prepared(BouraFaultTolerant)
+        msg_a = new_msg(adaptive, 0, 99)
+        msg_f = new_msg(ft, 0, 99)
+        assert adaptive.candidate_tiers(msg_a, 0) == ft.candidate_tiers(msg_f, 0)

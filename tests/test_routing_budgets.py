@@ -1,0 +1,133 @@
+"""Tests for virtual-channel budgets."""
+
+import pytest
+
+from repro.routing.budgets import (
+    ROLE_ADAPTIVE,
+    ROLE_CLASS,
+    ROLE_ESCAPE,
+    ROLE_RING,
+    VcBudgetError,
+    adaptive_escape_budget,
+    boura_budget,
+    free_pool_budget,
+    hop_class_budget,
+)
+from repro.routing.registry import ALGORITHM_NAMES, make_algorithm
+from repro.topology.mesh import Mesh2D
+
+
+class TestHopClassBudget:
+    def test_paper_phop_layout(self):
+        """PHop on 10x10 @ 24 VCs: 19 classes, the spare VC widens class 0."""
+        b = hop_class_budget(19, 24)
+        assert b.n_classes == 19
+        assert len(b.class_vcs[0]) == 2  # the paper's 24th VC
+        assert all(len(v) == 1 for v in b.class_vcs[1:])
+        assert len(b.ring_vcs) == 4
+        assert b.ring_vcs == (20, 21, 22, 23)
+
+    def test_paper_nhop_layout(self):
+        """NHop on 10x10 @ 24 VCs: 10 classes x 2 VCs + 4 ring VCs."""
+        b = hop_class_budget(10, 24)
+        assert all(len(v) == 2 for v in b.class_vcs)
+
+    def test_with_adaptive(self):
+        b = hop_class_budget(10, 24, adaptive=10)
+        assert b.adaptive_vcs == tuple(range(10))
+        assert all(len(v) == 1 for v in b.class_vcs)
+
+    def test_insufficient_raises(self):
+        with pytest.raises(VcBudgetError):
+            hop_class_budget(19, 22)  # 19 + 4 > 22
+        with pytest.raises(VcBudgetError):
+            hop_class_budget(10, 24, adaptive=11)
+
+    def test_class_range_vcs(self):
+        b = hop_class_budget(10, 24)
+        r = b.class_range_vcs(0, 1)
+        assert set(r) == set(b.class_vcs[0]) | set(b.class_vcs[1])
+        # cached object identity
+        assert b.class_range_vcs(0, 1) is r
+
+    def test_max_class(self):
+        assert hop_class_budget(10, 24).max_class == 9
+        assert free_pool_budget(24).max_class == -1
+
+
+class TestOtherBudgets:
+    def test_adaptive_escape(self):
+        b = adaptive_escape_budget(24, escape=2)
+        assert len(b.adaptive_vcs) == 18
+        assert len(b.escape_vcs) == 2
+        assert b.escape_vcs == (18, 19)
+
+    def test_free_pool(self):
+        b = free_pool_budget(24)
+        assert len(b.adaptive_vcs) == 20
+        assert not b.class_vcs and not b.escape_vcs
+
+    def test_boura_groups(self):
+        b = boura_budget(24)
+        groups = b.group_vcs
+        assert set(groups) == {"y_plus", "y_minus", "x_only"}
+        sizes = sorted(len(v) for v in groups.values())
+        assert sum(sizes) == 20
+        assert max(sizes) - min(sizes) <= 1
+        # groups are disjoint
+        all_vcs = [v for g in groups.values() for v in g]
+        assert len(all_vcs) == len(set(all_vcs))
+
+    def test_minimums(self):
+        with pytest.raises(VcBudgetError):
+            adaptive_escape_budget(6)
+        with pytest.raises(VcBudgetError):
+            free_pool_budget(4)
+        with pytest.raises(VcBudgetError):
+            boura_budget(6)
+
+
+class TestPartitionProperty:
+    @pytest.mark.parametrize("name", ALGORITHM_NAMES)
+    @pytest.mark.parametrize("total", [24, 28, 40])
+    def test_every_vc_has_exactly_one_role(self, name, total):
+        mesh = Mesh2D(10)
+        budget = make_algorithm(name).build_budget(mesh, total)
+        assert budget.total == total
+        counted = (
+            sum(len(v) for v in budget.class_vcs)
+            + len(budget.adaptive_vcs)
+            + len(budget.escape_vcs)
+            + len(budget.ring_vcs)
+        )
+        assert counted == total
+        budget.validate()  # raises on overlap/gap
+
+    @pytest.mark.parametrize("name", ALGORITHM_NAMES)
+    def test_role_tables_consistent(self, name):
+        mesh = Mesh2D(8)
+        budget = make_algorithm(name).build_budget(mesh, 24)
+        for v in range(budget.total):
+            role = budget.role_of[v]
+            if role == ROLE_CLASS:
+                assert v in budget.class_vcs[budget.class_of[v]]
+            elif role == ROLE_ADAPTIVE:
+                assert v in budget.adaptive_vcs
+            elif role == ROLE_ESCAPE:
+                assert v in budget.escape_vcs
+            else:
+                assert role == ROLE_RING
+                assert v in budget.ring_vcs
+                assert budget.class_of[v] == -1
+
+    @pytest.mark.parametrize("name", ALGORITHM_NAMES)
+    def test_ring_vcs_are_top_indices(self, name):
+        mesh = Mesh2D(8)
+        budget = make_algorithm(name).build_budget(mesh, 24)
+        assert budget.ring_vcs == (20, 21, 22, 23)
+
+    def test_too_few_vcs_raises_for_every_algorithm(self):
+        mesh = Mesh2D(10)
+        for name in ALGORITHM_NAMES:
+            with pytest.raises(VcBudgetError):
+                make_algorithm(name).build_budget(mesh, 4)

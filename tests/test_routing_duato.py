@@ -1,0 +1,105 @@
+"""Unit tests for Duato's methodology (XY escape and hop-scheme escapes)."""
+
+from repro.faults.generator import pattern_from_rectangles
+from repro.faults.pattern import FaultPattern
+from repro.faults.regions import FaultRegion
+from repro.routing.duato import DuatoNbc, DuatoPbc, DuatoXY
+from repro.simulator.message import Message
+from repro.topology.directions import EAST, NORTH, WEST
+from repro.topology.mesh import Mesh2D
+
+
+def prepared(cls, width=10, vcs=24, faults=None):
+    mesh = Mesh2D(width)
+    alg = cls()
+    alg.prepare(mesh, faults or FaultPattern.fault_free(mesh), vcs)
+    return alg
+
+
+def new_msg(alg, src, dst, length=4):
+    msg = Message(0, src, dst, length, created=0)
+    alg.new_message(msg)
+    return msg
+
+
+class TestDuatoXY:
+    def test_two_tiers(self):
+        alg = prepared(DuatoXY)
+        msg = new_msg(alg, 0, 99)
+        tiers = alg.candidate_tiers(msg, 0)
+        assert len(tiers) == 2
+
+    def test_tier1_is_adaptive_on_all_minimal_dirs(self):
+        alg = prepared(DuatoXY)
+        msg = new_msg(alg, 0, 99)
+        tier1 = alg.candidate_tiers(msg, 0)[0]
+        assert {d for d, _ in tier1} == {EAST, NORTH}
+        for _, vcs in tier1:
+            assert vcs == alg.budget.adaptive_vcs
+
+    def test_escape_prefers_x_dimension(self):
+        alg = prepared(DuatoXY)
+        msg = new_msg(alg, 0, 99)
+        tier2 = alg.candidate_tiers(msg, 0)[1]
+        assert tier2 == [(EAST, alg.budget.escape_vcs)]
+
+    def test_escape_uses_y_when_x_done(self):
+        alg = prepared(DuatoXY)
+        mesh = alg.mesh
+        src = mesh.node_id(5, 0)
+        msg = new_msg(alg, src, mesh.node_id(5, 9))
+        tier2 = alg.candidate_tiers(msg, src)[1]
+        assert tier2[0][0] == NORTH
+
+    def test_escape_dodges_faulty_x_neighbor(self):
+        mesh = Mesh2D(10)
+        faults = pattern_from_rectangles(mesh, [FaultRegion(1, 0, 1, 0)])
+        alg = prepared(DuatoXY, faults=faults)
+        msg = new_msg(alg, 0, 99)
+        # East neighbor (1,0) is faulty: escape falls back to north.
+        tiers = alg.candidate_tiers(msg, 0)
+        assert tiers[1][0][0] == NORTH
+
+
+class TestDuatoHopVariants:
+    def test_duato_nbc_adaptive_pool_larger_than_duato_pbc(self):
+        nbc = prepared(DuatoNbc)
+        pbc = prepared(DuatoPbc)
+        assert len(nbc.budget.adaptive_vcs) == 10
+        assert len(pbc.budget.adaptive_vcs) == 1
+
+    def test_tier2_is_hop_class_tier(self):
+        alg = prepared(DuatoNbc)
+        msg = new_msg(alg, 0, 99)
+        tiers = alg.candidate_tiers(msg, 0)
+        assert len(tiers) == 2
+        tier2_classes = {
+            alg.budget.class_of[v] for _, vcs in tiers[1] for v in vcs
+        }
+        assert 0 in tier2_classes
+        assert -1 not in tier2_classes  # only class VCs in tier 2
+
+    def test_cards_apply_in_escape_tier(self):
+        alg = prepared(DuatoNbc)
+        msg = new_msg(alg, 0, 1)
+        assert msg.cards > 0
+        tier2 = alg.candidate_tiers(msg, 0)[1]
+        classes = {alg.budget.class_of[v] for _, vcs in tier2 for v in vcs}
+        assert len(classes) == msg.cards + 1
+
+    def test_adaptive_hops_advance_escape_state(self):
+        """Hops on class-I VCs must keep the hop-scheme escape valid."""
+        alg = prepared(DuatoNbc)
+        mesh = alg.mesh
+        src = mesh.node_id(1, 0)  # label 1: hops out of it are negative
+        msg = new_msg(alg, src, mesh.node_id(5, 0))
+        adaptive_vc = alg.budget.adaptive_vcs[0]
+        alg.on_vc_allocated(msg, src, EAST, adaptive_vc)
+        assert msg.neg_hops == 1
+        assert msg.counted_hops == 1
+        assert msg.cls == -1  # no class VC used yet
+        # The escape tier at the next node starts at class >= neg_hops.
+        nxt = mesh.neighbor(src, EAST)
+        tier2 = alg.candidate_tiers(msg, nxt)[1]
+        classes = {alg.budget.class_of[v] for _, vcs in tier2 for v in vcs}
+        assert min(classes) == 1

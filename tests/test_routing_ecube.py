@@ -1,0 +1,101 @@
+"""Tests for the e-cube (XY) extension baseline."""
+
+import pytest
+
+from repro.faults.generator import pattern_from_rectangles
+from repro.faults.pattern import FaultPattern
+from repro.faults.regions import FaultRegion
+from repro.routing.ecube import ECube
+from repro.routing.registry import make_algorithm
+from repro.simulator.config import SimConfig
+from repro.simulator.engine import Simulation
+from repro.simulator.message import Message
+from repro.topology.directions import EAST, NORTH, WEST
+from repro.topology.mesh import Mesh2D
+
+
+def prepared(faults=None, width=8):
+    mesh = Mesh2D(width)
+    alg = ECube()
+    alg.prepare(mesh, faults or FaultPattern.fault_free(mesh), 24)
+    return alg
+
+
+class TestXYOrder:
+    def test_x_first(self):
+        alg = prepared()
+        msg = Message(0, 0, 63, 4, created=0)
+        tiers = alg.candidate_tiers(msg, 0)
+        assert len(tiers) == 1
+        assert tiers[0] == [(EAST, alg.budget.adaptive_vcs)]
+
+    def test_y_after_x_corrected(self):
+        alg = prepared()
+        mesh = alg.mesh
+        src = mesh.node_id(7, 0)
+        msg = Message(0, src, 63, 4, created=0)
+        tiers = alg.candidate_tiers(msg, src)
+        assert tiers[0][0][0] == NORTH
+
+    def test_registered(self):
+        assert isinstance(make_algorithm("ecube"), ECube)
+        assert ECube.deadlock_free is True
+
+
+class TestXYPathShape:
+    def test_follows_dimension_order_exactly(self):
+        cfg = SimConfig(
+            width=8, vcs_per_channel=24, message_length=4,
+            injection_rate=0.0, cycles=500, warmup=0, seed=1,
+        )
+        sim = Simulation(cfg, make_algorithm("ecube"))
+        msg = sim.submit_message(sim.mesh.node_id(1, 1), sim.mesh.node_id(5, 6))
+        sim.run()
+        assert msg.delivered >= 0
+        assert msg.hops == sim.mesh.distance(
+            sim.mesh.node_id(1, 1), sim.mesh.node_id(5, 6)
+        )
+
+    def test_no_deadlock_at_saturation(self):
+        cfg = SimConfig(
+            width=8, vcs_per_channel=24, message_length=4,
+            injection_rate=0.05, cycles=2000, warmup=500, seed=2,
+            on_deadlock="raise",
+        )
+        sim = Simulation(cfg, make_algorithm("ecube"))
+        r = sim.run()
+        assert r.delivered > 0
+
+    def test_fault_ring_detour(self):
+        mesh = Mesh2D(8)
+        faults = pattern_from_rectangles(mesh, [FaultRegion(3, 3, 4, 4)])
+        cfg = SimConfig(
+            width=8, vcs_per_channel=24, message_length=4,
+            injection_rate=0.0, cycles=1000, warmup=0, seed=1,
+            on_deadlock="drain",
+        )
+        sim = Simulation(cfg, make_algorithm("ecube"), faults=faults)
+        # Row passes straight through the block: XY must detour via the ring.
+        msg = sim.submit_message(mesh.node_id(0, 3), mesh.node_id(7, 3))
+        sim.run()
+        assert msg.delivered >= 0
+        assert msg.hops > 7
+
+    def test_competitive_on_uniform_weak_on_transpose(self):
+        """The textbook contrast: XY load-balances uniform traffic as
+        well as (often better than) adaptive routing, but collapses on
+        the adversarial transpose pattern."""
+        from repro.traffic.patterns import TransposeTraffic, UniformTraffic
+
+        results = {}
+        for pname, factory in (("uniform", UniformTraffic), ("transpose", TransposeTraffic)):
+            for name in ("ecube", "minimal-adaptive"):
+                cfg = SimConfig(
+                    width=8, vcs_per_channel=24, message_length=8,
+                    injection_rate=0.04, cycles=3000, warmup=800, seed=3,
+                    on_deadlock="drain",
+                )
+                sim = Simulation(cfg, make_algorithm(name), pattern=factory())
+                results[(pname, name)] = sim.run().throughput
+        assert results[("uniform", "ecube")] >= 0.9 * results[("uniform", "minimal-adaptive")]
+        assert results[("transpose", "minimal-adaptive")] > results[("transpose", "ecube")]

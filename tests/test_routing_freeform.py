@@ -1,0 +1,84 @@
+"""Unit tests for Minimal-Adaptive and Fully-Adaptive routing."""
+
+from repro.faults.pattern import FaultPattern
+from repro.routing.freeform import FullyAdaptive, MinimalAdaptive
+from repro.simulator.message import Message
+from repro.topology.directions import EAST, NORTH, SOUTH, WEST
+from repro.topology.mesh import Mesh2D
+
+
+def prepared(cls, width=10, vcs=24):
+    mesh = Mesh2D(width)
+    alg = cls()
+    alg.prepare(mesh, FaultPattern.fault_free(mesh), vcs)
+    return alg
+
+
+def new_msg(alg, src, dst):
+    msg = Message(0, src, dst, 4, created=0)
+    alg.new_message(msg)
+    return msg
+
+
+class TestMinimalAdaptive:
+    def test_not_deadlock_free(self):
+        assert MinimalAdaptive.deadlock_free is False
+        assert FullyAdaptive.deadlock_free is False
+
+    def test_single_tier_whole_pool(self):
+        alg = prepared(MinimalAdaptive)
+        msg = new_msg(alg, 0, 99)
+        tiers = alg.candidate_tiers(msg, 0)
+        assert len(tiers) == 1
+        for d, vcs in tiers[0]:
+            assert vcs == alg.budget.adaptive_vcs
+        assert {d for d, _ in tiers[0]} == {EAST, NORTH}
+
+    def test_single_direction_when_aligned(self):
+        alg = prepared(MinimalAdaptive)
+        mesh = alg.mesh
+        src = mesh.node_id(5, 5)
+        msg = new_msg(alg, src, mesh.node_id(2, 5))
+        tiers = alg.candidate_tiers(msg, src)
+        assert [d for d, _ in tiers[0]] == [WEST]
+
+
+class TestFullyAdaptive:
+    def test_misroute_tier_present(self):
+        alg = prepared(FullyAdaptive)
+        mesh = alg.mesh
+        src = mesh.node_id(5, 5)
+        msg = new_msg(alg, src, mesh.node_id(9, 9))
+        tiers = alg.candidate_tiers(msg, src)
+        assert len(tiers) == 2
+        detour_dirs = {d for d, _ in tiers[1]}
+        assert detour_dirs == {WEST, SOUTH}
+
+    def test_misroute_tier_respects_mesh_edges(self):
+        alg = prepared(FullyAdaptive)
+        msg = new_msg(alg, 0, 99)  # at corner (0,0): no W/S neighbors
+        tiers = alg.candidate_tiers(msg, 0)
+        assert len(tiers) == 1  # nothing to misroute into
+
+    def test_misroute_budget_exhausts(self):
+        alg = prepared(FullyAdaptive)
+        mesh = alg.mesh
+        src = mesh.node_id(5, 5)
+        msg = new_msg(alg, src, mesh.node_id(9, 9))
+        msg.misroutes = FullyAdaptive.max_misroutes
+        tiers = alg.candidate_tiers(msg, src)
+        assert len(tiers) == 1  # detour tier suppressed
+
+    def test_misroute_counted_on_allocation(self):
+        alg = prepared(FullyAdaptive)
+        mesh = alg.mesh
+        src = mesh.node_id(5, 5)
+        msg = new_msg(alg, src, mesh.node_id(9, 9))
+        vc = alg.budget.adaptive_vcs[0]
+        alg.on_vc_allocated(msg, src, WEST, vc)  # non-minimal hop
+        assert msg.misroutes == 1
+        alg.on_vc_allocated(msg, mesh.neighbor(src, WEST), EAST, vc)  # minimal
+        assert msg.misroutes == 1
+
+    def test_max_misroutes_is_papers_ten(self):
+        assert FullyAdaptive.max_misroutes == 10

@@ -1,0 +1,215 @@
+"""Unit tests for the hop-based schemes (PHop/NHop/Pbc/Nbc)."""
+
+import pytest
+
+from repro.faults.pattern import FaultPattern
+from repro.routing.hop_based import Nbc, NHop, Pbc, PHop
+from repro.simulator.message import Message
+from repro.topology.directions import EAST, NORTH
+from repro.topology.mesh import Mesh2D
+
+
+def prepared(cls, width=10, vcs=24):
+    mesh = Mesh2D(width)
+    alg = cls()
+    alg.prepare(mesh, FaultPattern.fault_free(mesh), vcs)
+    return alg
+
+
+def new_msg(alg, src, dst, length=4):
+    msg = Message(0, src, dst, length, created=0)
+    alg.new_message(msg)
+    return msg
+
+
+class TestPHop:
+    def test_budget_classes(self):
+        alg = prepared(PHop)
+        assert alg.budget.n_classes == 19
+
+    def test_first_hop_uses_class_zero(self):
+        alg = prepared(PHop)
+        msg = new_msg(alg, 0, 99)
+        tiers = alg.candidate_tiers(msg, 0)
+        assert len(tiers) == 1
+        for direction, vcs in tiers[0]:
+            assert set(vcs) == set(alg.budget.class_vcs[0])
+
+    def test_class_increases_per_hop(self):
+        alg = prepared(PHop)
+        mesh = alg.mesh
+        msg = new_msg(alg, 0, 99)
+        node = 0
+        for expected_class in range(10):
+            tiers = alg.candidate_tiers(msg, node)
+            direction, vcs = tiers[0][0]
+            assert alg.budget.class_of[vcs[0]] == expected_class
+            alg.on_vc_allocated(msg, node, direction, vcs[0])
+            node = mesh.neighbor(node, direction)
+        assert msg.hops == 10
+        assert msg.counted_hops == 10
+        assert msg.cls == 9
+
+    def test_no_cards(self):
+        alg = prepared(PHop)
+        msg = new_msg(alg, 0, 99)
+        assert msg.cards == 0
+
+    def test_candidates_cover_both_minimal_directions(self):
+        alg = prepared(PHop)
+        msg = new_msg(alg, 0, 99)
+        tiers = alg.candidate_tiers(msg, 0)
+        assert {d for d, _ in tiers[0]} == {EAST, NORTH}
+
+    def test_allocation_below_minimum_rejected(self):
+        from repro.routing.base import RoutingError
+
+        alg = prepared(PHop)
+        msg = new_msg(alg, 0, 99)
+        msg.cls = 5
+        low_vc = alg.budget.class_vcs[2][0]
+        with pytest.raises(RoutingError):
+            alg.on_vc_allocated(msg, 0, EAST, low_vc)
+
+
+class TestPbc:
+    def test_cards_equal_slack(self):
+        alg = prepared(Pbc)
+        mesh = alg.mesh
+        # corner to corner: distance = diameter -> 0 cards
+        msg = new_msg(alg, 0, 99)
+        assert msg.cards == 0
+        # neighbor: distance 1 -> diameter - 1 cards
+        msg2 = new_msg(alg, 0, 1)
+        assert msg2.cards == mesh.diameter - 1
+
+    def test_first_hop_class_window(self):
+        alg = prepared(Pbc)
+        msg = new_msg(alg, 0, 1)  # 17 cards
+        tiers = alg.candidate_tiers(msg, 0)
+        classes = {alg.budget.class_of[v] for _, vcs in tiers[0] for v in vcs}
+        assert classes == set(range(0, msg.cards + 1))
+
+    def test_spending_cards(self):
+        alg = prepared(Pbc)
+        msg = new_msg(alg, 0, 2)  # distance 2 -> 16 cards
+        start_cards = msg.cards
+        # Choose class 5 for the first hop: spends 5 cards.
+        vc5 = alg.budget.class_vcs[5][0]
+        alg.on_vc_allocated(msg, 0, EAST, vc5)
+        assert msg.cls == 5
+        assert msg.cards == start_cards - 5
+        # Next hop minimum class is 6.
+        tiers = alg.candidate_tiers(msg, 1)
+        classes = {alg.budget.class_of[v] for _, vcs in tiers[0] for v in vcs}
+        assert min(classes) == 6
+        assert max(classes) == 6 + msg.cards
+
+    def test_cards_never_negative(self):
+        alg = prepared(Pbc)
+        msg = new_msg(alg, 0, 1)
+        node = 0
+        # Always take the highest allowed class; cards must hit 0, not go below.
+        tiers = alg.candidate_tiers(msg, node)
+        _, vcs = tiers[0][0]
+        top = max(vcs, key=lambda v: alg.budget.class_of[v])
+        alg.on_vc_allocated(msg, node, EAST, top)
+        assert msg.cards == 0
+
+
+class TestNHop:
+    def test_budget_classes(self):
+        alg = prepared(NHop)
+        assert alg.budget.n_classes == 10
+
+    def test_required_negative_hops(self):
+        alg = prepared(NHop)
+        mesh = alg.mesh
+        # From a label-0 node (0,0): floor(L/2).
+        assert alg.required_negative_hops(0, mesh.node_id(3, 0)) == 1
+        assert alg.required_negative_hops(0, 99) == 9
+        # From a label-1 node (1,0): ceil(L/2).
+        src = mesh.node_id(1, 0)
+        assert alg.required_negative_hops(src, mesh.node_id(4, 0)) == 2
+
+    def test_class_follows_negative_hops(self):
+        """The class of a hop counts the negative hops *including* that
+        hop (the buffer class at the node the message is reaching), so
+        from a label-0 source the class sequence is 0,1,1,2,2,3,..."""
+        alg = prepared(NHop)
+        mesh = alg.mesh
+        msg = new_msg(alg, 0, 99)
+        node = 0
+        for _ in range(6):
+            tiers = alg.candidate_tiers(msg, node)
+            direction, vcs = tiers[0][0]
+            is_negative = mesh.checkerboard_label(node) == 1
+            expected = msg.neg_hops + (1 if is_negative else 0)
+            assert alg.budget.class_of[vcs[0]] == expected
+            neg_before = msg.neg_hops
+            alg.on_vc_allocated(msg, node, direction, vcs[0])
+            node = mesh.neighbor(node, direction)
+            assert msg.neg_hops == neg_before + (1 if is_negative else 0)
+
+    def test_label0_start_first_hop_nonnegative(self):
+        alg = prepared(NHop)
+        msg = new_msg(alg, 0, 99)  # label((0,0)) == 0
+        alg.on_vc_allocated(msg, 0, EAST, alg.budget.class_vcs[0][0])
+        assert msg.neg_hops == 0
+
+    def test_label1_start_first_hop_negative(self):
+        alg = prepared(NHop)
+        mesh = alg.mesh
+        src = mesh.node_id(1, 0)
+        msg = new_msg(alg, src, 99)
+        alg.on_vc_allocated(msg, src, EAST, alg.budget.class_vcs[0][0])
+        assert msg.neg_hops == 1
+
+
+class TestNbc:
+    def test_cards_formula(self):
+        alg = prepared(Nbc)
+        mesh = alg.mesh
+        msg = new_msg(alg, 0, 99)
+        assert msg.cards == alg.budget.max_class - 9  # = 0
+        # 0 -> (1,0): one non-negative hop from a label-0 node, so zero
+        # negative hops are required and the full slack is granted.
+        near = new_msg(alg, 0, 1)
+        assert near.cards == alg.budget.max_class
+
+    def test_window_and_spend(self):
+        alg = prepared(Nbc)
+        msg = new_msg(alg, 0, mesh_node(alg, 2, 0))  # distance 2, 8 cards
+        tiers = alg.candidate_tiers(msg, 0)
+        classes = sorted(
+            {alg.budget.class_of[v] for _, vcs in tiers[0] for v in vcs}
+        )
+        assert classes == list(range(0, msg.cards + 1))
+        vc3 = alg.budget.class_vcs[3][0]
+        cards_before = msg.cards
+        alg.on_vc_allocated(msg, 0, EAST, vc3)
+        assert msg.cls == 3
+        assert msg.cards == cards_before - 3
+
+
+def mesh_node(alg, x, y):
+    return alg.mesh.node_id(x, y)
+
+
+class TestClassCapping:
+    def test_cap_counts_overflows(self):
+        alg = prepared(PHop)
+        msg = new_msg(alg, 0, 99)
+        # Simulate a message that somehow took more counted hops than the
+        # diameter (ring detours in a faulty network can cause this).
+        msg.counted_hops = 30
+        msg.cls = alg.budget.max_class
+        lo = alg.min_class(msg, 0)
+        assert lo == alg.budget.max_class
+        assert alg.class_caps > 0
+
+    def test_prepare_resets_cap_counter(self):
+        alg = prepared(PHop)
+        alg.class_caps = 5
+        alg.prepare(alg.mesh, alg.faults, 24)
+        assert alg.class_caps == 0

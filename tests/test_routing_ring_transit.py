@@ -1,0 +1,204 @@
+"""Unit tests for the Boppana-Chalasani fault-ring transit logic."""
+
+import pytest
+
+from repro.faults.generator import pattern_from_rectangles
+from repro.faults.regions import FaultRegion
+from repro.routing.base import RoutingError
+from repro.routing.hop_based import NHop
+from repro.simulator.message import RING_EW, RING_NS, RING_SN, RING_WE, Message
+from repro.topology.directions import EAST, NORTH, SOUTH, WEST
+from repro.topology.mesh import Mesh2D, direction_of_hop
+
+
+def prepared(faults_rects, width=10, vcs=24):
+    mesh = Mesh2D(width)
+    faults = pattern_from_rectangles(mesh, faults_rects)
+    alg = NHop()
+    alg.prepare(mesh, faults, vcs)
+    return alg
+
+
+def new_msg(alg, src, dst):
+    msg = Message(0, src, dst, 4, created=0)
+    alg.new_message(msg)
+    return msg
+
+
+class TestRingEntry:
+    def test_blocked_column_message_enters_ring(self):
+        alg = prepared([FaultRegion(5, 5, 5, 5)])
+        mesh = alg.mesh
+        src = mesh.node_id(5, 4)  # directly south of the fault
+        msg = new_msg(alg, src, mesh.node_id(5, 9))
+        tiers = alg.candidate_tiers(msg, src)
+        assert msg.ring is not None
+        assert msg.ring_class == RING_NS
+        assert msg.ring_orient_cw is True  # NS goes clockwise
+        assert len(tiers) == 1 and len(tiers[0]) == 1
+        direction, vcs = tiers[0][0]
+        assert vcs == (alg.budget.ring_vcs[RING_NS],)
+        # clockwise from the south-middle node heads west
+        assert direction == WEST
+
+    def test_ring_class_by_offset(self):
+        alg = prepared([FaultRegion(5, 5, 5, 5)])
+        mesh = alg.mesh
+        cases = [
+            (mesh.node_id(4, 5), mesh.node_id(9, 5), RING_WE),
+            (mesh.node_id(6, 5), mesh.node_id(0, 5), RING_EW),
+            (mesh.node_id(5, 4), mesh.node_id(5, 9), RING_NS),
+            (mesh.node_id(5, 6), mesh.node_id(5, 0), RING_SN),
+        ]
+        for src, dst, expected in cases:
+            msg = new_msg(alg, src, dst)
+            alg.candidate_tiers(msg, src)
+            assert msg.ring_class == expected, (src, dst)
+
+    def test_orientation_by_class(self):
+        alg = prepared([FaultRegion(5, 5, 5, 5)])
+        mesh = alg.mesh
+        we = new_msg(alg, mesh.node_id(4, 5), mesh.node_id(9, 5))
+        alg.candidate_tiers(we, we.src)
+        assert we.ring_orient_cw is True
+        sn = new_msg(alg, mesh.node_id(5, 6), mesh.node_id(5, 0))
+        alg.candidate_tiers(sn, sn.src)
+        assert sn.ring_orient_cw is False
+
+    def test_entry_distance_recorded(self):
+        alg = prepared([FaultRegion(5, 5, 5, 5)])
+        mesh = alg.mesh
+        src = mesh.node_id(5, 4)
+        msg = new_msg(alg, src, mesh.node_id(5, 9))
+        alg.candidate_tiers(msg, src)
+        assert msg.ring_entry_dist == 5
+
+    def test_not_blocked_does_not_enter(self):
+        alg = prepared([FaultRegion(5, 5, 5, 5)])
+        mesh = alg.mesh
+        # Both minimal directions exist; only one is blocked.
+        src = mesh.node_id(4, 4)
+        msg = new_msg(alg, src, mesh.node_id(6, 6))
+        alg.candidate_tiers(msg, src)
+        assert msg.ring is None
+
+
+class TestRingWalkAndExit:
+    def walk(self, alg, msg, node, max_hops=40):
+        """Follow the single-candidate decisions until minimal routing
+        resumes; returns the node where the message left the ring."""
+        mesh = alg.mesh
+        for _ in range(max_hops):
+            tiers = alg.candidate_tiers(msg, node)
+            if msg.ring is None:
+                return node
+            direction, vcs = tiers[0][0]
+            alg.on_vc_allocated(msg, node, direction, vcs[0])
+            node = mesh.neighbor(node, direction)
+        pytest.fail("message never left the ring")
+
+    def test_ns_message_crosses_single_fault(self):
+        alg = prepared([FaultRegion(5, 5, 5, 5)])
+        mesh = alg.mesh
+        src = mesh.node_id(5, 4)
+        dst = mesh.node_id(5, 9)
+        msg = new_msg(alg, src, dst)
+        exit_node = self.walk(alg, msg, src)
+        # Exit strictly closer to the destination than the entry.
+        assert mesh.distance(exit_node, dst) < mesh.distance(src, dst)
+        # And minimal routing is possible from there.
+        assert mesh.minimal_directions(exit_node, dst)
+
+    def test_we_message_crosses_block(self):
+        alg = prepared([FaultRegion(4, 3, 5, 6)])
+        mesh = alg.mesh
+        src = mesh.node_id(3, 4)  # west of the block, row through it
+        dst = mesh.node_id(9, 4)
+        msg = new_msg(alg, src, dst)
+        exit_node = self.walk(alg, msg, src)
+        assert mesh.distance(exit_node, dst) < mesh.distance(src, dst)
+
+    def test_exit_bar_prevents_oscillation(self):
+        """The message must not exit at a node as far as the entry (the
+        wrap-onto-own-tail bug fixed during bring-up)."""
+        alg = prepared([FaultRegion(5, 5, 5, 5)])
+        mesh = alg.mesh
+        src = mesh.node_id(5, 4)
+        dst = mesh.node_id(5, 9)
+        msg = new_msg(alg, src, dst)
+        node = src
+        visited = []
+        for _ in range(20):
+            tiers = alg.candidate_tiers(msg, node)
+            if msg.ring is None:
+                break
+            visited.append(node)
+            direction, vcs = tiers[0][0]
+            alg.on_vc_allocated(msg, node, direction, vcs[0])
+            node = mesh.neighbor(node, direction)
+        # No node visited twice while on the ring.
+        assert len(visited) == len(set(visited))
+
+    def test_ring_hops_do_not_advance_hop_classes(self):
+        alg = prepared([FaultRegion(5, 5, 5, 5)])
+        mesh = alg.mesh
+        src = mesh.node_id(5, 4)
+        msg = new_msg(alg, src, mesh.node_id(5, 9))
+        tiers = alg.candidate_tiers(msg, src)
+        direction, vcs = tiers[0][0]
+        before = (msg.counted_hops, msg.neg_hops, msg.cls)
+        alg.on_vc_allocated(msg, src, direction, vcs[0])
+        assert msg.hops == 1
+        assert (msg.counted_hops, msg.neg_hops, msg.cls) == before
+
+
+class TestChainReversal:
+    def test_boundary_chain_reverses_at_end(self):
+        # A wall from the west edge to x=8: its ring is an open chain.
+        # A NS message blocked mid-wall walks clockwise (westward along
+        # the south side), hits the chain end at x=0, and must reverse.
+        alg = prepared([FaultRegion(0, 5, 8, 5)])
+        mesh = alg.mesh
+        src = mesh.node_id(4, 4)
+        dst = mesh.node_id(4, 9)
+        msg = new_msg(alg, src, dst)
+        node = src
+        reversed_once = False
+        started_cw = None
+        for _ in range(40):
+            tiers = alg.candidate_tiers(msg, node)
+            if msg.ring is None:
+                break
+            if started_cw is None:
+                started_cw = msg.ring_orient_cw
+            elif msg.ring_orient_cw != started_cw:
+                reversed_once = True
+            direction, vcs = tiers[0][0]
+            alg.on_vc_allocated(msg, node, direction, vcs[0])
+            node = mesh.neighbor(node, direction)
+        assert msg.ring is None, "message never left the chain"
+        assert reversed_once, "chain end never forced an orientation flip"
+        assert mesh.distance(node, dst) < mesh.distance(src, dst)
+
+
+class TestRingSwitching:
+    def test_message_switches_between_overlapping_rings(self):
+        # Two 1x1 faults two columns apart: rings share the middle column.
+        alg = prepared([FaultRegion(4, 5, 4, 5), FaultRegion(6, 5, 6, 5)])
+        mesh = alg.mesh
+        faults = alg.faults
+        # A NS message blocked under the west fault; walking its ring can
+        # put it under the east fault's ring too.
+        src = mesh.node_id(4, 4)
+        dst = mesh.node_id(4, 9)
+        msg = new_msg(alg, src, dst)
+        alg.candidate_tiers(msg, src)
+        first_ring = msg.ring
+        assert first_ring is faults.ring_around(mesh.node_id(4, 5))
+
+    def test_error_when_not_blocked_and_not_on_ring(self):
+        alg = prepared([FaultRegion(5, 5, 5, 5)])
+        mesh = alg.mesh
+        msg = new_msg(alg, 0, 99)
+        with pytest.raises(RoutingError):
+            alg._ring_tier(msg, 0, mesh.minimal_directions(0, 99))

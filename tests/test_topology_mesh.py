@@ -1,0 +1,200 @@
+"""Tests for the 2-D mesh topology."""
+
+import pytest
+
+from repro.topology.directions import (
+    DIRECTIONS,
+    EAST,
+    NORTH,
+    OPPOSITE,
+    SOUTH,
+    WEST,
+    delta_to_direction,
+    direction_delta,
+    direction_name,
+)
+from repro.topology.mesh import Mesh2D, direction_of_hop
+
+
+class TestAddressing:
+    def test_node_id_round_trip(self, mesh10):
+        for node in mesh10.nodes():
+            x, y = mesh10.coordinates(node)
+            assert mesh10.node_id(x, y) == node
+
+    def test_node_id_rect_mesh(self, mesh_rect):
+        assert mesh_rect.n_nodes == 24
+        assert mesh_rect.node_id(5, 3) == 23
+        assert mesh_rect.coordinates(23) == (5, 3)
+
+    def test_node_id_out_of_bounds(self, mesh10):
+        with pytest.raises(ValueError):
+            mesh10.node_id(10, 0)
+        with pytest.raises(ValueError):
+            mesh10.node_id(0, -1)
+
+    def test_coordinates_out_of_bounds(self, mesh10):
+        with pytest.raises(ValueError):
+            mesh10.coordinates(100)
+        with pytest.raises(ValueError):
+            mesh10.coordinates(-1)
+
+    def test_in_bounds(self, mesh_rect):
+        assert mesh_rect.in_bounds(0, 0)
+        assert mesh_rect.in_bounds(5, 3)
+        assert not mesh_rect.in_bounds(6, 0)
+        assert not mesh_rect.in_bounds(0, 4)
+        assert not mesh_rect.in_bounds(-1, 2)
+
+    def test_too_small_mesh_rejected(self):
+        with pytest.raises(ValueError):
+            Mesh2D(1)
+        with pytest.raises(ValueError):
+            Mesh2D(5, 1)
+
+
+class TestAdjacency:
+    def test_interior_degree_four(self, mesh10):
+        assert mesh10.degree(mesh10.node_id(5, 5)) == 4
+
+    def test_corner_degree_two(self, mesh10):
+        for x, y in ((0, 0), (9, 0), (0, 9), (9, 9)):
+            assert mesh10.degree(mesh10.node_id(x, y)) == 2
+
+    def test_edge_degree_three(self, mesh10):
+        assert mesh10.degree(mesh10.node_id(5, 0)) == 3
+        assert mesh10.degree(mesh10.node_id(0, 5)) == 3
+
+    def test_neighbor_directions(self, mesh10):
+        node = mesh10.node_id(4, 4)
+        assert mesh10.neighbor(node, EAST) == mesh10.node_id(5, 4)
+        assert mesh10.neighbor(node, WEST) == mesh10.node_id(3, 4)
+        assert mesh10.neighbor(node, NORTH) == mesh10.node_id(4, 5)
+        assert mesh10.neighbor(node, SOUTH) == mesh10.node_id(4, 3)
+
+    def test_neighbor_edge_returns_minus_one(self, mesh10):
+        assert mesh10.neighbor(mesh10.node_id(0, 0), WEST) == -1
+        assert mesh10.neighbor(mesh10.node_id(0, 0), SOUTH) == -1
+        assert mesh10.neighbor(mesh10.node_id(9, 9), EAST) == -1
+        assert mesh10.neighbor(mesh10.node_id(9, 9), NORTH) == -1
+
+    def test_neighbor_symmetry(self, mesh8):
+        for node in mesh8.nodes():
+            for d in DIRECTIONS:
+                nb = mesh8.neighbor(node, d)
+                if nb >= 0:
+                    assert mesh8.neighbor(nb, OPPOSITE[d]) == node
+
+    def test_step_raises_at_edge(self, mesh10):
+        with pytest.raises(ValueError):
+            mesh10.step(mesh10.node_id(0, 0), WEST)
+
+    def test_neighbors_iterator(self, mesh10):
+        nbs = set(mesh10.neighbors(mesh10.node_id(0, 0)))
+        assert nbs == {mesh10.node_id(1, 0), mesh10.node_id(0, 1)}
+
+
+class TestGeometry:
+    def test_diameter(self, mesh10, mesh_rect):
+        assert mesh10.diameter == 18
+        assert mesh_rect.diameter == 8
+
+    def test_distance_manhattan(self, mesh10):
+        a = mesh10.node_id(1, 2)
+        b = mesh10.node_id(7, 9)
+        assert mesh10.distance(a, b) == 6 + 7
+        assert mesh10.distance(a, a) == 0
+        assert mesh10.distance(a, b) == mesh10.distance(b, a)
+
+    def test_offsets(self, mesh10):
+        a = mesh10.node_id(3, 8)
+        b = mesh10.node_id(6, 2)
+        assert mesh10.offsets(a, b) == (3, -6)
+        assert mesh10.offsets(b, a) == (-3, 6)
+
+    def test_minimal_directions_diagonal(self, mesh10):
+        a = mesh10.node_id(2, 2)
+        b = mesh10.node_id(5, 7)
+        assert set(mesh10.minimal_directions(a, b)) == {EAST, NORTH}
+
+    def test_minimal_directions_straight(self, mesh10):
+        a = mesh10.node_id(2, 2)
+        assert mesh10.minimal_directions(a, mesh10.node_id(0, 2)) == (WEST,)
+        assert mesh10.minimal_directions(a, mesh10.node_id(2, 0)) == (SOUTH,)
+
+    def test_minimal_directions_self(self, mesh10):
+        a = mesh10.node_id(2, 2)
+        assert mesh10.minimal_directions(a, a) == ()
+
+    def test_minimal_directions_reduce_distance(self, mesh8):
+        for a in mesh8.nodes():
+            for b in (3, 17, 63):
+                if a == b:
+                    continue
+                for d in mesh8.minimal_directions(a, b):
+                    nxt = mesh8.neighbor(a, d)
+                    assert nxt >= 0
+                    assert mesh8.distance(nxt, b) == mesh8.distance(a, b) - 1
+
+
+class TestChannels:
+    def test_channel_count_formula(self, mesh10, mesh_rect):
+        assert sum(1 for _ in mesh10.channels()) == mesh10.n_channels
+        assert sum(1 for _ in mesh_rect.channels()) == mesh_rect.n_channels
+
+    def test_channel_count_value(self, mesh10):
+        # 2 * (9*10 + 10*9) = 360 directed channels on a 10x10 mesh.
+        assert mesh10.n_channels == 360
+
+    def test_channels_are_adjacent_pairs(self, mesh8):
+        for src, direction, dst in mesh8.channels():
+            assert mesh8.neighbor(src, direction) == dst
+            assert mesh8.distance(src, dst) == 1
+
+
+class TestHelpers:
+    def test_checkerboard_label(self, mesh10):
+        assert mesh10.checkerboard_label(mesh10.node_id(0, 0)) == 0
+        assert mesh10.checkerboard_label(mesh10.node_id(1, 0)) == 1
+        assert mesh10.checkerboard_label(mesh10.node_id(0, 1)) == 1
+        assert mesh10.checkerboard_label(mesh10.node_id(1, 1)) == 0
+
+    def test_checkerboard_alternates_on_hops(self, mesh8):
+        for src, _, dst in mesh8.channels():
+            assert mesh8.checkerboard_label(src) != mesh8.checkerboard_label(dst)
+
+    def test_direction_of_hop(self, mesh10):
+        a = mesh10.node_id(4, 4)
+        assert direction_of_hop(mesh10, a, mesh10.node_id(5, 4)) == EAST
+        assert direction_of_hop(mesh10, a, mesh10.node_id(4, 3)) == SOUTH
+
+    def test_direction_of_hop_non_adjacent(self, mesh10):
+        with pytest.raises(ValueError):
+            direction_of_hop(mesh10, 0, 2)
+
+    def test_equality_and_hash(self):
+        assert Mesh2D(5) == Mesh2D(5, 5)
+        assert Mesh2D(5) != Mesh2D(5, 6)
+        assert hash(Mesh2D(5)) == hash(Mesh2D(5, 5))
+
+
+class TestDirections:
+    def test_delta_round_trip(self):
+        for d in DIRECTIONS:
+            assert delta_to_direction(*direction_delta(d)) == d
+
+    def test_delta_invalid(self):
+        with pytest.raises(ValueError):
+            delta_to_direction(1, 1)
+        with pytest.raises(ValueError):
+            delta_to_direction(0, 0)
+
+    def test_opposites(self):
+        for d in DIRECTIONS:
+            assert OPPOSITE[OPPOSITE[d]] == d
+            dx, dy = direction_delta(d)
+            ox, oy = direction_delta(OPPOSITE[d])
+            assert (dx + ox, dy + oy) == (0, 0)
+
+    def test_names(self):
+        assert [direction_name(d) for d in range(5)] == ["E", "W", "N", "S", "L"]

@@ -1,0 +1,90 @@
+"""Tests for the general k-ary n-mesh (budget formulas, addressing)."""
+
+import pytest
+
+from repro.topology.mesh import Mesh2D
+from repro.topology.ndmesh import KAryNMesh
+
+
+class TestConstruction:
+    def test_node_count(self):
+        assert KAryNMesh(10, 2).n_nodes == 100
+        assert KAryNMesh(4, 3).n_nodes == 64
+        assert KAryNMesh(2, 5).n_nodes == 32
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            KAryNMesh(1, 2)
+        with pytest.raises(ValueError):
+            KAryNMesh(4, 0)
+
+
+class TestAddressing:
+    @pytest.mark.parametrize("radix,dims", [(3, 2), (4, 3), (2, 4), (10, 2)])
+    def test_round_trip(self, radix, dims):
+        mesh = KAryNMesh(radix, dims)
+        for node in mesh.nodes():
+            assert mesh.node_id(mesh.coordinates(node)) == node
+
+    def test_coordinates_iter_matches_ids(self):
+        mesh = KAryNMesh(3, 3)
+        for node, coords in zip(mesh.nodes(), mesh.coordinates_iter()):
+            assert mesh.coordinates(node) == coords
+
+    def test_wrong_arity(self):
+        mesh = KAryNMesh(4, 2)
+        with pytest.raises(ValueError):
+            mesh.node_id((1, 2, 3))
+        with pytest.raises(ValueError):
+            mesh.node_id((4, 0))
+
+    def test_node_out_of_range(self):
+        with pytest.raises(ValueError):
+            KAryNMesh(3, 2).coordinates(9)
+
+
+class TestMetrics:
+    def test_diameter_formula(self):
+        assert KAryNMesh(10, 2).diameter == 18
+        assert KAryNMesh(8, 3).diameter == 21
+
+    def test_distance(self):
+        mesh = KAryNMesh(5, 3)
+        a = mesh.node_id((0, 0, 0))
+        b = mesh.node_id((4, 4, 4))
+        assert mesh.distance(a, b) == 12
+        assert mesh.distance(a, a) == 0
+
+    def test_distance_agrees_with_mesh2d(self):
+        nd = KAryNMesh(6, 2)
+        m2 = Mesh2D(6)
+        for a in range(36):
+            for b in (0, 7, 35):
+                ca = nd.coordinates(a)
+                assert nd.distance(a, b) == m2.distance(
+                    m2.node_id(*ca), m2.node_id(*nd.coordinates(b))
+                )
+
+
+class TestPaperBudgetFormulas:
+    def test_phop_classes_10x10(self):
+        """Paper Section 3: PHop needs n(k-1)+1 = 19 classes on a 10x10."""
+        assert KAryNMesh(10, 2).phop_classes() == 19
+
+    def test_nhop_classes_10x10(self):
+        """Paper Section 3: NHop needs 1+floor(n(k-1)/2) = 10 classes."""
+        assert KAryNMesh(10, 2).nhop_classes() == 10
+
+    @pytest.mark.parametrize(
+        "radix,dims,phop,nhop",
+        [(10, 2, 19, 10), (8, 2, 15, 8), (4, 3, 10, 5), (16, 2, 31, 16)],
+    )
+    def test_formulas(self, radix, dims, phop, nhop):
+        mesh = KAryNMesh(radix, dims)
+        assert mesh.phop_classes() == phop
+        assert mesh.nhop_classes() == nhop
+
+    def test_checkerboard_label_parity(self):
+        mesh = KAryNMesh(4, 3)
+        for node in mesh.nodes():
+            assert mesh.checkerboard_label(node) == sum(mesh.coordinates(node)) % 2
