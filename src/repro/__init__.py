@@ -18,7 +18,7 @@ Top-level re-exports cover the common workflow::
 The full surface lives in the subpackages: :mod:`repro.topology`,
 :mod:`repro.faults`, :mod:`repro.simulator`, :mod:`repro.routing`,
 :mod:`repro.traffic`, :mod:`repro.metrics`, :mod:`repro.core`,
-:mod:`repro.analysis` and :mod:`repro.experiments`.
+:mod:`repro.analysis`, :mod:`repro.store` and :mod:`repro.experiments`.
 """
 
 from repro.core.evaluator import Evaluator
@@ -27,16 +27,19 @@ from repro.faults.pattern import FaultPattern
 from repro.routing.registry import ALGORITHM_NAMES, PAPER_ORDER, make_algorithm
 from repro.simulator.config import SimConfig
 from repro.simulator.engine import Simulation, SimulationResult
+from repro.store import CachedEvaluator, ResultStore
 from repro.topology.mesh import Mesh2D
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ALGORITHM_NAMES",
+    "CachedEvaluator",
     "Evaluator",
     "FaultPattern",
     "Mesh2D",
     "PAPER_ORDER",
+    "ResultStore",
     "SimConfig",
     "Simulation",
     "SimulationResult",

@@ -123,7 +123,7 @@ class Evaluator:
         key = f"{self.seed}/{algorithm}/{set_index}/{rate:.9f}"
         return random.Random(key).getrandbits(32)
 
-    def run_single(
+    def _prepare_run(
         self,
         algorithm: str,
         faults: FaultPattern,
@@ -131,8 +131,13 @@ class Evaluator:
         injection_rate: float | None = None,
         set_index: int = 0,
         **overrides,
-    ) -> SimulationResult:
-        """One simulation of *algorithm* on one fault pattern."""
+    ) -> tuple[RoutingAlgorithm, SimConfig]:
+        """Resolve the algorithm and the fully-specified per-run config.
+
+        The returned config carries everything that determines the run
+        (rate, derived seed, deadlock action, collection flags), which is
+        what :class:`repro.store.CachedEvaluator` hashes into a run key.
+        """
         alg = make_algorithm(algorithm)
         rate = (
             injection_rate
@@ -145,11 +150,36 @@ class Evaluator:
             on_deadlock=deadlock_policy(alg, faults),
             **overrides,
         )
+        return alg, cfg
+
+    def _execute(
+        self, alg: RoutingAlgorithm, cfg: SimConfig, faults: FaultPattern
+    ) -> SimulationResult:
+        """Actually simulate one prepared run."""
         pattern: TrafficPattern | None = (
             self.pattern_factory() if self.pattern_factory else None
         )
         sim = Simulation(cfg, alg, faults=faults, pattern=pattern)
         return sim.run()
+
+    def run_single(
+        self,
+        algorithm: str,
+        faults: FaultPattern,
+        *,
+        injection_rate: float | None = None,
+        set_index: int = 0,
+        **overrides,
+    ) -> SimulationResult:
+        """One simulation of *algorithm* on one fault pattern."""
+        alg, cfg = self._prepare_run(
+            algorithm,
+            faults,
+            injection_rate=injection_rate,
+            set_index=set_index,
+            **overrides,
+        )
+        return self._execute(alg, cfg, faults)
 
     # ------------------------------------------------------------------
     # Grids

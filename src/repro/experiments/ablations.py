@@ -26,10 +26,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.experiments.ascii_plot import table
+from repro.faults.pattern import FaultPattern
 from repro.routing.freeform import FullyAdaptive
 from repro.routing.registry import make_algorithm
 from repro.simulator.config import SimConfig
-from repro.simulator.engine import Simulation
+from repro.simulator.engine import ENGINE_VERSION, Simulation
+from repro.store.backend import ResultStore
+from repro.store.keys import algorithm_token, run_key
+from repro.topology.mesh import Mesh2D
+from repro.util.serialization import result_from_dict, result_to_dict
 
 
 @dataclass
@@ -51,10 +56,34 @@ class AblationResult:
         return table(headers, body, title=f"Ablation: {self.study} (knob: {self.knob})")
 
 
-def _run(cfg: SimConfig, algorithm) -> dict:
+def _run(cfg: SimConfig, algorithm, store: ResultStore | None = None) -> dict:
+    """One fault-free ablation cell, optionally through the result store.
+
+    The cache token of an algorithm *instance* (e.g. Fully-Adaptive with
+    a non-default misroute cap) includes its public scalar attributes, so
+    differently parameterized instances never collide; it is computed
+    before the simulation runs, while only constructor-set state exists.
+    """
+    token = algorithm_token(algorithm)
     alg = make_algorithm(algorithm) if isinstance(algorithm, str) else algorithm
-    sim = Simulation(cfg, alg)
-    r = sim.run()
+    r = None
+    key = None
+    if store is not None:
+        faults = FaultPattern.fault_free(Mesh2D(cfg.width, cfg.height))
+        key = run_key(cfg, token, faults)
+        cached = store.get(key)
+        if cached is not None:
+            r = result_from_dict(cached)
+    if r is None:
+        sim = Simulation(cfg, alg)
+        r = sim.run()
+        if store is not None and key is not None:
+            store.put(
+                key,
+                result_to_dict(r),
+                engine_version=ENGINE_VERSION,
+                algorithm=token,
+            )
     return {
         "throughput": round(r.throughput, 4),
         "latency": round(r.avg_latency, 1) if r.delivered else float("nan"),
@@ -81,6 +110,7 @@ def vc_count_ablation(
     load: float = 0.5,
     algorithms: tuple[str, ...] = ("nhop", "duato-nbc", "minimal-adaptive"),
     vc_counts: tuple[int, ...] = (15, 18, 24, 32),
+    store: ResultStore | None = None,
     **overrides,
 ) -> AblationResult:
     """Throughput/latency vs VCs per physical channel.
@@ -93,7 +123,7 @@ def vc_count_ablation(
         for alg in algorithms:
             cfg = _base_config(load, vcs_per_channel=v, **overrides)
             try:
-                row = _run(cfg, alg)
+                row = _run(cfg, alg, store)
             except Exception as exc:  # budget too small for this scheme
                 row = {"throughput": float("nan"), "latency": float("nan"),
                        "delivered": 0, "note": type(exc).__name__}
@@ -102,14 +132,14 @@ def vc_count_ablation(
 
 
 def bonus_card_ablation(
-    load: float = 0.5, **overrides
+    load: float = 0.5, store: ResultStore | None = None, **overrides
 ) -> AblationResult:
     """PHop vs Pbc and NHop vs Nbc at identical hardware budgets."""
     result = AblationResult("bonus-cards", "cards on/off")
     for base, carded in (("phop", "pbc"), ("nhop", "nbc")):
         cfg = _base_config(load, **overrides)
-        r_base = _run(cfg, base)
-        r_card = _run(cfg, carded)
+        r_base = _run(cfg, base, store)
+        r_card = _run(cfg, carded, store)
         gain = (
             100.0 * (r_card["throughput"] / r_base["throughput"] - 1.0)
             if r_base["throughput"]
@@ -131,6 +161,7 @@ def bonus_card_ablation(
 def misroute_limit_ablation(
     load: float = 0.5,
     limits: tuple[int, ...] = (0, 2, 10, 50),
+    store: ResultStore | None = None,
     **overrides,
 ) -> AblationResult:
     """Fully-Adaptive with different misroute caps (the paper uses 10)."""
@@ -139,7 +170,7 @@ def misroute_limit_ablation(
         alg = FullyAdaptive()
         alg.max_misroutes = limit
         cfg = _base_config(load, **overrides)
-        row = _run(cfg, alg)
+        row = _run(cfg, alg, store)
         result.rows.append({"max_misroutes": limit, **row})
     return result
 
@@ -148,13 +179,14 @@ def buffer_depth_ablation(
     load: float = 0.5,
     depths: tuple[int, ...] = (1, 2, 4, 8),
     algorithm: str = "duato-nbc",
+    store: ResultStore | None = None,
     **overrides,
 ) -> AblationResult:
     """Flit-buffer depth per VC."""
     result = AblationResult("buffer-depth", "buffer_depth")
     for depth in depths:
         cfg = _base_config(load, buffer_depth=depth, **overrides)
-        result.rows.append({"depth": depth, **_run(cfg, algorithm)})
+        result.rows.append({"depth": depth, **_run(cfg, algorithm, store)})
     return result
 
 
@@ -162,13 +194,14 @@ def message_length_ablation(
     load: float = 0.5,
     lengths: tuple[int, ...] = (32, 64, 100),
     algorithm: str = "nhop",
+    store: ResultStore | None = None,
     **overrides,
 ) -> AblationResult:
     """The literature's common message lengths (32/64/100 flits)."""
     result = AblationResult("message-length", "message_length")
     for length in lengths:
         cfg = _base_config(load, message_length=length, **overrides)
-        result.rows.append({"length": length, **_run(cfg, algorithm)})
+        result.rows.append({"length": length, **_run(cfg, algorithm, store)})
     return result
 
 
@@ -176,13 +209,14 @@ def mesh_size_ablation(
     load: float = 0.5,
     radices: tuple[int, ...] = (6, 8, 10, 12),
     algorithm: str = "nhop",
+    store: ResultStore | None = None,
     **overrides,
 ) -> AblationResult:
     """Radix scaling; the hop budgets grow with the diameter."""
     result = AblationResult("mesh-size", "width=height")
     for k in radices:
         cfg = _base_config(load, width=k, **overrides)
-        result.rows.append({"radix": k, **_run(cfg, algorithm)})
+        result.rows.append({"radix": k, **_run(cfg, algorithm, store)})
     return result
 
 
@@ -196,11 +230,17 @@ ABLATIONS = {
 }
 
 
-def run_ablation(name: str, **kwargs) -> AblationResult:
-    """Run an ablation study by name."""
+def run_ablation(name: str, *, store=None, **kwargs) -> AblationResult:
+    """Run an ablation study by name.
+
+    *store* (a :class:`~repro.store.ResultStore` or directory) routes
+    every cell through the shared result cache.
+    """
     try:
         fn = ABLATIONS[name]
     except KeyError:
         known = ", ".join(sorted(ABLATIONS))
         raise ValueError(f"unknown ablation {name!r}; known: {known}") from None
-    return fn(**kwargs)
+    if store is not None and not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    return fn(store=store, **kwargs)

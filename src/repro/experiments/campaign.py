@@ -31,6 +31,8 @@ from pathlib import Path
 
 from repro.core.evaluator import Evaluator
 from repro.simulator.config import SimConfig
+from repro.store.backend import ResultStore, store_dir_of
+from repro.store.cache import make_evaluator
 from repro.util.serialization import (
     config_from_dict,
     config_to_dict,
@@ -130,21 +132,84 @@ def _key_id(key: dict) -> str:
     )
 
 
-class CampaignRunner:
-    """Executes a :class:`CampaignSpec` with crash-safe resume."""
+def _draw_cases(evaluator: Evaluator, spec: CampaignSpec) -> dict:
+    """The campaign's fault cases (deterministic in the spec seed).
 
-    def __init__(self, spec: CampaignSpec, out_dir: Path | str) -> None:
+    Workers redraw the same cases locally: ``Evaluator.fault_case``
+    seeds its RNG from the evaluator seed and the fault count only, so
+    every process agrees on the patterns without shipping them around.
+    """
+    return {
+        n: evaluator.fault_case(n, spec.fault_sets if n else 1)
+        for n in spec.fault_counts
+    }
+
+
+def _execute_cell(evaluator: Evaluator, cases: dict, key: dict) -> dict:
+    """Run one grid cell and flatten it to a JSON-safe results row."""
+    case = cases[key["n_faults"]]
+    faults = case.patterns[key["fault_set"]]
+    result = evaluator.run_single(
+        key["algorithm"],
+        faults,
+        injection_rate=key["rate"],
+        set_index=key["fault_set"] * 1000 + key["repeat"],
+    )
+    return {
+        **key,
+        "throughput": result.throughput,
+        "latency": result.avg_latency,
+        "network_latency": result.avg_network_latency,
+        "delivered": result.delivered,
+        "dropped": result.dropped_deadlock + result.dropped_livelock,
+        "avg_hops": result.avg_hops,
+    }
+
+
+def _campaign_worker(args: tuple[dict, list[dict], str | None]) -> list[dict]:
+    """Pool worker: run a chunk of campaign cells, return finished rows.
+
+    Only the parent writes ``results.jsonl``; when a store directory is
+    given, the shared :class:`~repro.store.ResultStore` is the
+    cross-process dedup point — a cell simulated by any worker (or any
+    earlier figure run) is a cache hit everywhere else.
+    """
+    spec_payload, keys, store_dir = args
+    spec = CampaignSpec.from_dict(spec_payload)
+    evaluator = make_evaluator(spec.config, seed=spec.seed, store=store_dir)
+    cases = _draw_cases(evaluator, spec)
+    rows = []
+    for key in keys:
+        row = _execute_cell(evaluator, cases, key)
+        row["id"] = _key_id(key)
+        rows.append(row)
+    return rows
+
+
+class CampaignRunner:
+    """Executes a :class:`CampaignSpec` with crash-safe resume.
+
+    *store* (a :class:`~repro.store.ResultStore` or directory) routes
+    every cell through the content-addressed result cache, shared with
+    the figure drivers and with pool workers when ``run(workers=N)``.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        out_dir: Path | str,
+        *,
+        store: ResultStore | Path | str | None = None,
+    ) -> None:
         self.spec = spec
         self.out_dir = Path(out_dir)
         self.out_dir.mkdir(parents=True, exist_ok=True)
         self.results_path = self.out_dir / "results.jsonl"
         self.manifest_path = self.out_dir / "manifest.json"
-        self._evaluator = Evaluator(spec.config, seed=spec.seed)
+        self.store = store
+        self._evaluator = make_evaluator(spec.config, seed=spec.seed, store=store)
         # Draw the fault cases once; they are part of the manifest.
-        self._cases = {
-            n: self._evaluator.fault_case(n, spec.fault_sets if n else 1)
-            for n in spec.fault_counts
-        }
+        self._cases = _draw_cases(self._evaluator, spec)
 
     # ------------------------------------------------------------------
     def write_manifest(self) -> None:
@@ -173,43 +238,58 @@ class CampaignRunner:
                 continue  # torn final line from a crash: re-run that job
         return done
 
-    def run(self, *, resume: bool = True, progress=None) -> int:
-        """Run every (remaining) job; returns how many were executed."""
+    def run(
+        self, *, resume: bool = True, progress=None, workers: int = 1
+    ) -> int:
+        """Run every (remaining) job; returns how many were executed.
+
+        ``workers > 1`` fans the pending cells out to a process pool in
+        contiguous chunks (one per worker).  The parent remains the only
+        writer of ``results.jsonl``; cross-process work sharing happens
+        through the result store, when one is configured.
+        """
         self.write_manifest()
         done = self.completed_ids() if resume else set()
+        pending = [
+            key for key in self.spec.job_keys() if _key_id(key) not in done
+        ]
         executed = 0
         with self.results_path.open("a" if resume else "w") as sink:
-            for key in self.spec.job_keys():
-                job_id = _key_id(key)
-                if job_id in done:
-                    continue
-                row = self._run_job(key)
-                row["id"] = job_id
+
+            def _emit(row: dict) -> None:
                 sink.write(json.dumps(row) + "\n")
                 sink.flush()
-                executed += 1
                 if progress:
-                    progress(f"[{self.spec.name}] {job_id}")
+                    progress(f"[{self.spec.name}] {row['id']}")
+
+            if workers > 1 and len(pending) > 1:
+                from repro.experiments.parallel import parallel_map
+
+                n_chunks = min(workers, len(pending))
+                size = -(-len(pending) // n_chunks)  # ceil division
+                chunks = [
+                    pending[i : i + size] for i in range(0, len(pending), size)
+                ]
+                spec_payload = self.spec.to_dict()
+                store_dir = store_dir_of(self.store)
+                jobs = [(spec_payload, chunk, store_dir) for chunk in chunks]
+                for rows in parallel_map(
+                    _campaign_worker, jobs, workers, label=self.spec.name
+                ):
+                    for row in rows:
+                        _emit(row)
+                        executed += 1
+                return executed
+
+            for key in pending:
+                row = self._run_job(key)
+                row["id"] = _key_id(key)
+                _emit(row)
+                executed += 1
         return executed
 
     def _run_job(self, key: dict) -> dict:
-        case = self._cases[key["n_faults"]]
-        faults = case.patterns[key["fault_set"]]
-        result = self._evaluator.run_single(
-            key["algorithm"],
-            faults,
-            injection_rate=key["rate"],
-            set_index=key["fault_set"] * 1000 + key["repeat"],
-        )
-        return {
-            **key,
-            "throughput": result.throughput,
-            "latency": result.avg_latency,
-            "network_latency": result.avg_network_latency,
-            "delivered": result.delivered,
-            "dropped": result.dropped_deadlock + result.dropped_livelock,
-            "avg_hops": result.avg_hops,
-        }
+        return _execute_cell(self._evaluator, self._cases, key)
 
     # ------------------------------------------------------------------
     def load_results(self) -> list[dict]:

@@ -6,6 +6,8 @@ Examples::
     python -m repro.experiments fig1 --profile quick
     python -m repro.experiments fig6 --profile paper --out results/
     python -m repro.experiments all --algorithms nhop phop duato-nbc
+    python -m repro.experiments all --store            # cache in .repro-store
+    python -m repro.experiments store stats            # inspect the cache
 """
 
 from __future__ import annotations
@@ -38,6 +40,14 @@ def _dump(out_dir: Path | None, name: str, payload: dict) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "store":
+        # Store management verbs have their own argument surface:
+        # python -m repro.experiments store {ls,stats,gc,export} ...
+        from repro.store.cli import main as store_main
+
+        return store_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the figures of the IPPS 2007 routing study.",
@@ -88,10 +98,30 @@ def main(argv: list[str] | None = None) -> int:
         "--workers",
         type=int,
         default=1,
-        help="process-pool size for the fig1/2 and fig4/5 grids "
-        "(registered profiles only; default 1)",
+        help="process-pool size for the fig1/2 and fig4/5 grids and for "
+        "campaigns (registered profiles only; default 1)",
+    )
+    parser.add_argument(
+        "--store",
+        type=Path,
+        nargs="?",
+        const=None,
+        default=False,
+        metavar="DIR",
+        help="route all simulations through the content-addressed result "
+        "store; optional DIR overrides the default location "
+        "($REPRO_STORE_DIR or .repro-store).  A second identical run "
+        "serves every cell from the cache.",
     )
     args = parser.parse_args(argv)
+    if args.store is False:  # flag absent: caching off
+        store = None
+    else:
+        from repro.store import ResultStore, default_store_dir
+
+        store = ResultStore(
+            args.store if args.store is not None else default_store_dir()
+        )
 
     if args.experiment == "report":
         from repro.experiments.report import summarize_directory
@@ -106,11 +136,11 @@ def main(argv: list[str] | None = None) -> int:
             parser.error("campaign requires --spec FILE")
         spec = CampaignSpec.from_dict(json.loads(args.spec.read_text()))
         out_dir = args.out or Path("campaigns") / spec.name
-        runner = CampaignRunner(spec, out_dir)
+        runner = CampaignRunner(spec, out_dir, store=store)
         progress_cb = None if args.quiet else (
             lambda s: print(s, file=sys.stderr)
         )
-        executed = runner.run(progress=progress_cb)
+        executed = runner.run(progress=progress_cb, workers=args.workers)
         rows = runner.load_results()
         print(
             f"campaign {spec.name!r}: {executed} jobs executed, "
@@ -135,7 +165,7 @@ def main(argv: list[str] | None = None) -> int:
         name = command.removeprefix("ablation-")
         if progress:
             progress(f"[ablation] {name}: running")
-        result = run_ablation(name)
+        result = run_ablation(name, store=store)
         _dump(args.out, f"ablation_{name}", result.to_payload())
         print(result.render())
         print()
@@ -146,7 +176,7 @@ def main(argv: list[str] | None = None) -> int:
     if "fig1" in wanted or "fig2" in wanted:
         sweep = run_sweep(
             profile, algorithms, seed=args.seed, progress=progress,
-            workers=args.workers,
+            workers=args.workers, store=store,
         )
         _dump(args.out, f"sweep_{profile.name}", sweep.to_payload())
         if "fig1" in wanted:
@@ -156,14 +186,16 @@ def main(argv: list[str] | None = None) -> int:
             print(print_fig2(sweep))
             print()
     if "fig3" in wanted:
-        usage = run_vc_usage(profile, algorithms, seed=args.seed, progress=progress)
+        usage = run_vc_usage(
+            profile, algorithms, seed=args.seed, progress=progress, store=store
+        )
         _dump(args.out, f"fig3_{profile.name}", usage.to_payload())
         print(print_fig3(usage))
         print()
     if "fig4" in wanted or "fig5" in wanted:
         study = run_fault_study(
             profile, algorithms, seed=args.seed, progress=progress,
-            workers=args.workers,
+            workers=args.workers, store=store,
         )
         _dump(args.out, f"faults_{profile.name}", study.to_payload())
         if "fig4" in wanted:
@@ -173,7 +205,9 @@ def main(argv: list[str] | None = None) -> int:
             print(print_fig5(study))
             print()
     if "fig6" in wanted:
-        fring = run_fring_study(profile, algorithms, seed=args.seed, progress=progress)
+        fring = run_fring_study(
+            profile, algorithms, seed=args.seed, progress=progress, store=store
+        )
         _dump(args.out, f"fig6_{profile.name}", fring.to_payload())
         print(print_fig6(fring))
         print()

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.evaluator import Evaluator, FaultCase
+from repro.core.evaluator import FaultCase
 from repro.experiments.ascii_plot import line_chart, table
 from repro.experiments.profiles import Profile
 from repro.metrics.aggregate import AggregateResult
@@ -51,14 +51,18 @@ def run_fault_study(
     seed: int = 2007,
     progress=None,
     workers: int = 1,
+    store=None,
 ) -> FaultStudyResult:
     """Run the full-load fault sweep behind Figures 4 and 5.
 
     ``workers > 1`` fans algorithms out to a process pool (registered
     profiles only, as in :func:`repro.experiments.fig_sweep.run_sweep`).
+    *store* routes every cell through the shared result cache.
     """
+    from repro.store import make_evaluator, store_dir_of
+
     algorithms = algorithms or profile.algorithms
-    evaluator = Evaluator(profile.config, seed=seed)
+    evaluator = make_evaluator(profile.config, seed=seed, store=store)
     n_nodes = evaluator.mesh.n_nodes
     result = FaultStudyResult(
         profile=profile.name,
@@ -76,7 +80,7 @@ def run_fault_study(
             )
         jobs = [
             (profile.name, alg, seed, tuple(profile.fault_counts),
-             profile.fault_sets)
+             profile.fault_sets, store_dir_of(store))
             for alg in algorithms
         ]
         for alg, pts in parallel_map(

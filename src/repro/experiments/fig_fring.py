@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.evaluator import Evaluator
 from repro.experiments.ascii_plot import bar_chart, table
 from repro.experiments.profiles import Profile
 from repro.faults.generator import figure6_fault_pattern
@@ -61,10 +60,17 @@ def run_fring_study(
     *,
     seed: int = 2007,
     progress=None,
+    store=None,
 ) -> FRingResult:
-    """Run the Figure 6 traffic-load study."""
+    """Run the Figure 6 traffic-load study.
+
+    *store* routes every cell through the shared result cache (the
+    per-node load counters are part of the cached payload).
+    """
+    from repro.store import make_evaluator
+
     algorithms = algorithms or profile.algorithms
-    evaluator = Evaluator(profile.config, seed=seed)
+    evaluator = make_evaluator(profile.config, seed=seed, store=store)
     faulty = figure6_fault_pattern(evaluator.mesh)
     fault_free = FaultPattern.fault_free(evaluator.mesh)
     ring_nodes = faulty.ring_nodes

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.evaluator import Evaluator
 from repro.experiments.ascii_plot import line_chart, table
 from repro.experiments.profiles import Profile
 from repro.metrics.saturation import SaturationPoint, find_saturation, peak_throughput
@@ -58,6 +57,7 @@ def run_sweep(
     seed: int = 2007,
     progress=None,
     workers: int = 1,
+    store=None,
 ) -> SweepResult:
     """Run the fault-free rate sweep behind Figures 1 and 2.
 
@@ -66,7 +66,13 @@ def run_sweep(
     rebuilds the profile by name in each worker, so it requires one of
     the registered profiles; custom :class:`Profile` objects run in
     process with ``workers=1``.
+
+    *store* (a :class:`repro.store.ResultStore` or directory) routes
+    every cell through the result cache: cells simulated before — by
+    this driver or any other — are served from the store.
     """
+    from repro.store import make_evaluator, store_dir_of
+
     algorithms = algorithms or profile.algorithms
     result = SweepResult(
         profile=profile.name, loads=profile.sweep_loads, rates=profile.sweep_rates
@@ -80,14 +86,16 @@ def run_sweep(
                 "workers > 1 requires a registered profile (the pool "
                 "rebuilds it by name); run custom profiles with workers=1"
             )
-        jobs = [(profile.name, alg, seed) for alg in algorithms]
+        jobs = [
+            (profile.name, alg, seed, store_dir_of(store)) for alg in algorithms
+        ]
         for alg, thr, lat in parallel_map(
             _sweep_worker, jobs, workers, progress, label="fig1/2"
         ):
             result.throughput[alg] = thr
             result.latency[alg] = lat
         return result
-    evaluator = Evaluator(profile.config, seed=seed)
+    evaluator = make_evaluator(profile.config, seed=seed, store=store)
     for alg in algorithms:
         points = evaluator.rate_sweep(alg, profile.sweep_rates)
         result.throughput[alg] = [p.throughput for p in points]

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.evaluator import Evaluator
 from repro.experiments.ascii_plot import table
 from repro.experiments.profiles import Profile
 from repro.metrics.vc_usage import usage_imbalance, vc_usage_percent
@@ -50,10 +49,17 @@ def run_vc_usage(
     *,
     seed: int = 2007,
     progress=None,
+    store=None,
 ) -> VcUsageResult:
-    """Run the VC-utilization study behind Figure 3."""
+    """Run the VC-utilization study behind Figure 3.
+
+    *store* routes every cell through the shared result cache (the
+    per-VC busy counters are part of the cached payload).
+    """
+    from repro.store import make_evaluator
+
     algorithms = algorithms or profile.algorithms
-    evaluator = Evaluator(profile.config, seed=seed)
+    evaluator = make_evaluator(profile.config, seed=seed, store=store)
     case = evaluator.fault_case(profile.vc_usage_faults, 1)
     rate = profile.rate(profile.vc_usage_load)
     result = VcUsageResult(profile=profile.name, n_faults=profile.vc_usage_faults)

@@ -4,8 +4,14 @@ The figure sweeps are embarrassingly parallel across algorithms (every
 algorithm runs the same rate/fault grid independently), so the drivers
 accept ``workers=N`` and fan the per-algorithm work out to a process
 pool.  Workers receive only picklable primitives (profile *name*,
-algorithm name, seed) and rebuild their state locally, so the pool works
-with the default ``spawn``/``fork`` start methods alike.
+algorithm name, seed, store directory) and rebuild their state locally,
+so the pool works with the default ``spawn``/``fork`` start methods
+alike.
+
+When a store directory is passed, every worker opens the shared
+:class:`~repro.store.ResultStore` on it; the backend's locked appends
+make one store safe for all workers at once, and cells another worker
+(or an earlier run) already simulated come back as cache hits.
 """
 
 from __future__ import annotations
@@ -14,13 +20,18 @@ from collections.abc import Callable, Sequence
 from multiprocessing import get_context
 
 
-def _sweep_worker(args: tuple[str, str, int]) -> tuple[str, list, list]:
-    profile_name, algorithm, seed = args
-    from repro.core.evaluator import Evaluator
+def _make_evaluator(profile_config, seed: int, store_dir: str | None):
+    from repro.store.cache import make_evaluator
+
+    return make_evaluator(profile_config, seed=seed, store=store_dir)
+
+
+def _sweep_worker(args: tuple[str, str, int, str | None]) -> tuple[str, list, list]:
+    profile_name, algorithm, seed, store_dir = args
     from repro.experiments.profiles import get_profile
 
     profile = get_profile(profile_name)
-    evaluator = Evaluator(profile.config, seed=seed)
+    evaluator = _make_evaluator(profile.config, seed, store_dir)
     points = evaluator.rate_sweep(algorithm, profile.sweep_rates)
     return (
         algorithm,
@@ -29,18 +40,33 @@ def _sweep_worker(args: tuple[str, str, int]) -> tuple[str, list, list]:
     )
 
 
-def _fault_worker(args: tuple[str, str, int, tuple[int, ...], int]):
-    profile_name, algorithm, seed, fault_counts, fault_sets = args
-    from repro.core.evaluator import Evaluator
+def _fault_worker(args: tuple[str, str, int, tuple[int, ...], int, str | None]):
+    profile_name, algorithm, seed, fault_counts, fault_sets, store_dir = args
     from repro.experiments.profiles import get_profile
 
     profile = get_profile(profile_name)
-    evaluator = Evaluator(profile.config, seed=seed)
+    evaluator = _make_evaluator(profile.config, seed, store_dir)
     rate = profile.full_load_rate
     cases = [evaluator.fault_case(n, fault_sets) for n in fault_counts]
     return algorithm, [
         evaluator.run_case(algorithm, case, injection_rate=rate) for case in cases
     ]
+
+
+def _progress_label(result, index: int) -> str:
+    """A printable label for a finished job.
+
+    Workers that return ``(name, ...)`` tuples are labeled by name;
+    anything else (scalars, dicts, row lists) falls back to the 1-based
+    job index instead of blowing up on ``result[0]``.
+    """
+    if (
+        isinstance(result, tuple)
+        and result
+        and isinstance(result[0], str)
+    ):
+        return result[0]
+    return f"job {index + 1}"
 
 
 def parallel_map(
@@ -57,16 +83,16 @@ def parallel_map(
     """
     if workers <= 1 or len(jobs) <= 1:
         out = []
-        for job in jobs:
+        for i, job in enumerate(jobs):
             out.append(worker(job))
             if progress:
-                progress(f"[{label}] {out[-1][0]}: done")
+                progress(f"[{label}] {_progress_label(out[-1], i)}: done")
         return out
     ctx = get_context()
     with ctx.Pool(processes=min(workers, len(jobs))) as pool:
         out = []
-        for result in pool.imap(worker, jobs):
+        for i, result in enumerate(pool.imap(worker, jobs)):
             out.append(result)
             if progress:
-                progress(f"[{label}] {result[0]}: done")
+                progress(f"[{label}] {_progress_label(result, i)}: done")
         return out

@@ -43,6 +43,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
 
 _WATCHDOG_INTERVAL = 128
 
+#: Behavioral version of the simulation engine.  Bump this on ANY change
+#: that can alter the statistics a run produces (router pipeline, RNG
+#: draws, watchdog policy, metric accounting...).  :mod:`repro.store`
+#: folds it into every run key, so cached results from an older engine
+#: self-invalidate instead of silently serving stale numbers.
+ENGINE_VERSION = 1
+
 
 class InputVC:
     """One virtual channel on the input side of a router port."""

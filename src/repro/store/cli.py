@@ -1,0 +1,113 @@
+"""Store management verbs, reachable as ``python -m repro.experiments store``.
+
+::
+
+    python -m repro.experiments store ls
+    python -m repro.experiments store stats
+    python -m repro.experiments store gc --engine-version 1
+    python -m repro.experiments store export results/store-export.jsonl
+
+All verbs take ``--store DIR`` (default: ``$REPRO_STORE_DIR`` or
+``.repro-store``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.simulator.engine import ENGINE_VERSION
+from repro.store.backend import ResultStore, default_store_dir
+
+__all__ = ["main"]
+
+
+def _cmd_ls(store: ResultStore, args: argparse.Namespace) -> int:
+    rows = list(store.rows())
+    shown = rows if args.limit <= 0 else rows[: args.limit]
+    for row in shown:
+        payload = row.get("payload", {})
+        cfg = payload.get("config", {})
+        print(
+            f"{row['key'][:16]}  v{row.get('engine_version')}  "
+            f"{row.get('algorithm') or '?':<24}  "
+            f"rate={cfg.get('injection_rate', float('nan')):.6g}  "
+            f"seed={cfg.get('seed', '?')}"
+        )
+    if len(rows) > len(shown):
+        print(f"... {len(rows) - len(shown)} more (use --limit 0 for all)")
+    print(f"{len(rows)} rows in {store.root}")
+    return 0
+
+
+def _cmd_stats(store: ResultStore, args: argparse.Namespace) -> int:
+    print(json.dumps(store.stats(), indent=2))
+    return 0
+
+
+def _cmd_gc(store: ResultStore, args: argparse.Namespace) -> int:
+    evicted = store.gc(engine_version=args.engine_version)
+    print(
+        f"evicted {evicted} rows not at engine version "
+        f"{args.engine_version}; {len(store)} rows remain"
+    )
+    return 0
+
+
+def _cmd_export(store: ResultStore, args: argparse.Namespace) -> int:
+    n = store.export(args.dest)
+    print(f"exported {n} rows to {args.dest}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="store directory (default: $REPRO_STORE_DIR or .repro-store)",
+    )
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments store",
+        description="Inspect and maintain the content-addressed result store.",
+    )
+    sub = parser.add_subparsers(dest="verb", required=True)
+
+    p_ls = sub.add_parser("ls", parents=[common], help="list stored rows")
+    p_ls.add_argument(
+        "--limit", type=int, default=50, help="max rows to print (0 = all)"
+    )
+    p_ls.set_defaults(fn=_cmd_ls)
+
+    p_stats = sub.add_parser(
+        "stats", parents=[common], help="row counts and file size as JSON"
+    )
+    p_stats.set_defaults(fn=_cmd_stats)
+
+    p_gc = sub.add_parser(
+        "gc", parents=[common], help="evict rows from other engine versions"
+    )
+    p_gc.add_argument(
+        "--engine-version",
+        type=int,
+        default=ENGINE_VERSION,
+        help=f"engine version to keep (default: current, {ENGINE_VERSION})",
+    )
+    p_gc.set_defaults(fn=_cmd_gc)
+
+    p_export = sub.add_parser(
+        "export", parents=[common], help="write deduplicated canonical JSONL"
+    )
+    p_export.add_argument("dest", type=Path, help="output .jsonl path")
+    p_export.set_defaults(fn=_cmd_export)
+
+    args = parser.parse_args(argv)
+    store = ResultStore(args.store if args.store is not None else default_store_dir())
+    return args.fn(store, args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,10 +1,12 @@
-"""Small shared utilities: serialization of experiment inputs."""
+"""Small shared utilities: serialization of experiment inputs/outputs."""
 
 from repro.util.serialization import (
     config_from_dict,
     config_to_dict,
     pattern_from_dict,
     pattern_to_dict,
+    result_from_dict,
+    result_to_dict,
 )
 
 __all__ = [
@@ -12,4 +14,6 @@ __all__ = [
     "config_to_dict",
     "pattern_from_dict",
     "pattern_to_dict",
+    "result_from_dict",
+    "result_to_dict",
 ]

@@ -9,13 +9,23 @@ manifest can be stored next to every results file.
 
 from __future__ import annotations
 
-from dataclasses import asdict
+from dataclasses import asdict, fields
 
 from repro.faults.pattern import FaultPattern
 from repro.simulator.config import SimConfig
+from repro.simulator.engine import SimulationResult
 from repro.topology.mesh import Mesh2D
 
 _SCHEMA_VERSION = 1
+
+#: Scalar counter fields of :class:`SimulationResult`; the config and the
+#: per-VC/per-node/per-message lists are handled explicitly.
+_RESULT_LISTS = ("vc_busy", "node_load", "latency_samples")
+_RESULT_SCALARS = tuple(
+    f.name
+    for f in fields(SimulationResult)
+    if f.name != "config" and f.name not in _RESULT_LISTS
+)
 
 
 def config_to_dict(config: SimConfig) -> dict:
@@ -61,3 +71,36 @@ def pattern_from_dict(payload: dict) -> FaultPattern:
         )
     mesh = Mesh2D(payload["width"], payload["height"])
     return FaultPattern(mesh, frozenset(payload["faulty"]))
+
+
+def result_to_dict(result: SimulationResult) -> dict:
+    """Plain-dict form of a :class:`SimulationResult` (JSON-safe).
+
+    Every stored field round-trips exactly — counters and latency sums
+    are ints, the stat lists are lists of ints — so a result rebuilt by
+    :func:`result_from_dict` is equal to the original field for field
+    (derived properties like ``throughput`` follow).
+    """
+    payload = {
+        "kind": "sim-result",
+        "schema": _SCHEMA_VERSION,
+        "config": config_to_dict(result.config),
+    }
+    for name in _RESULT_SCALARS:
+        payload[name] = getattr(result, name)
+    for name in _RESULT_LISTS:
+        payload[name] = list(getattr(result, name))
+    return payload
+
+
+def result_from_dict(payload: dict) -> SimulationResult:
+    """Rebuild a :class:`SimulationResult` written by :func:`result_to_dict`."""
+    if payload.get("kind") != "sim-result":
+        raise ValueError("payload is not a sim-result")
+    if payload.get("schema") != _SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported sim-result schema {payload.get('schema')!r}"
+        )
+    kwargs = {name: payload[name] for name in _RESULT_SCALARS}
+    kwargs.update({name: list(payload[name]) for name in _RESULT_LISTS})
+    return SimulationResult(config=config_from_dict(payload["config"]), **kwargs)

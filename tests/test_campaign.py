@@ -129,6 +129,64 @@ class TestRunner:
         assert len(seen) == 1 and seen[0].startswith("[test]")
 
 
+class TestRunnerWorkers:
+    def test_workers_match_sequential(self, tmp_path):
+        spec = tiny_spec(
+            algorithms=("nhop", "phop"), rates=(0.005, 0.02),
+            fault_counts=(0, 3), fault_sets=2,
+        )
+        seq = CampaignRunner(spec, tmp_path / "seq")
+        par = CampaignRunner(spec, tmp_path / "par")
+        assert seq.run() == par.run(workers=2) == 12
+        assert seq.load_results() == par.load_results()
+
+    def test_workers_resume(self, tmp_path):
+        spec = tiny_spec(algorithms=("nhop", "phop"), rates=(0.005, 0.02))
+        runner = CampaignRunner(spec, tmp_path)
+        assert runner.run(workers=2) == 4
+        assert runner.run(workers=2) == 0
+        lines = (tmp_path / "results.jsonl").read_text().splitlines()
+        (tmp_path / "results.jsonl").write_text("\n".join(lines[:2]) + "\n")
+        assert runner.run(workers=2) == 2
+        assert len(runner.load_results()) == 4
+
+
+class TestRunnerStore:
+    def test_campaign_reuses_cells_across_runs(self, tmp_path):
+        from repro.store import ResultStore
+
+        spec = tiny_spec(algorithms=("nhop",), rates=(0.005, 0.02))
+        store = tmp_path / "store"
+        a = CampaignRunner(spec, tmp_path / "a", store=store)
+        a.run()
+        assert a._evaluator.stats.misses == 2
+        b = CampaignRunner(spec, tmp_path / "b", store=store)
+        b.run()
+        assert b._evaluator.stats.hits == 2 and b._evaluator.stats.misses == 0
+        assert a.load_results() == b.load_results()
+        assert len(ResultStore(store)) == 2
+
+    def test_workers_share_store(self, tmp_path):
+        from repro.store import ResultStore
+
+        spec = tiny_spec(algorithms=("nhop", "phop"), rates=(0.005, 0.02))
+        store = tmp_path / "store"
+        warm = CampaignRunner(spec, tmp_path / "warm", store=store)
+        warm.run()  # sequential fill
+        par = CampaignRunner(spec, tmp_path / "par", store=store)
+        par.run(workers=2)  # workers reopen the same store: all hits
+        assert warm.load_results() == par.load_results()
+        assert len(ResultStore(store)) == 4  # nothing duplicated
+
+    def test_store_matches_uncached(self, tmp_path):
+        spec = tiny_spec(rates=(0.005,), fault_counts=(0, 3))
+        plain = CampaignRunner(spec, tmp_path / "plain")
+        cached = CampaignRunner(spec, tmp_path / "cached", store=tmp_path / "s")
+        plain.run()
+        cached.run()
+        assert plain.load_results() == cached.load_results()
+
+
 class TestLoadCampaign:
     def test_load(self, tmp_path):
         spec = tiny_spec()

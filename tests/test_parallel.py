@@ -32,6 +32,27 @@ class TestParallelMap:
         parallel_map(double, [1, 2], workers=1, progress=seen.append, label="x")
         assert len(seen) == 2 and seen[0].startswith("[x]")
 
+    def test_progress_with_named_tuple_results(self):
+        seen = []
+        parallel_map(
+            lambda job: (f"alg-{job}", job),
+            [1, 2],
+            workers=1,
+            progress=seen.append,
+            label="x",
+        )
+        assert seen == ["[x] alg-1: done", "[x] alg-2: done"]
+
+    @pytest.mark.parametrize("worker", [lambda j: j * 2, lambda j: {"v": j}])
+    def test_progress_falls_back_to_job_index(self, worker):
+        # Workers returning scalars or dicts must not break the progress
+        # callback (it used to assume result[0] was a printable label).
+        seen = []
+        out = parallel_map(worker, [5, 6], workers=1, progress=seen.append,
+                           label="x")
+        assert len(out) == 2
+        assert seen == ["[x] job 1: done", "[x] job 2: done"]
+
 
 class TestParallelSweep:
     def test_matches_sequential(self):
