@@ -8,6 +8,7 @@ Examples::
     python -m repro.experiments all --algorithms nhop phop duato-nbc
     python -m repro.experiments all --store            # cache in .repro-store
     python -m repro.experiments store stats            # inspect the cache
+    python -m repro.experiments verify check --all     # static routing analysis
 """
 
 from __future__ import annotations
@@ -48,6 +49,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.store.cli import main as store_main
 
         return store_main(argv[1:])
+    if argv and argv[0] == "verify":
+        # Static-analysis verbs (model checker + linter):
+        # python -m repro.experiments verify {check,lint,cdg} ...
+        from repro.verify.cli import main as verify_main
+
+        return verify_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the figures of the IPPS 2007 routing study.",

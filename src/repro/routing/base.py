@@ -106,11 +106,29 @@ class RoutingAlgorithm:
         mdirs = mesh.minimal_directions(node, msg.dst)
         neighbors = mesh.neighbor_table(node)
         free_dirs = tuple(d for d in mdirs if not faulty[neighbors[d]])
-        if free_dirs and self._may_exit_ring(msg, node):
+        route_dirs = self.route_dirs(msg, node, mdirs, free_dirs)
+        if route_dirs and self._may_exit_ring(msg, node):
             if msg.ring is not None:
                 msg.ring = None  # ring exit: minimal routing resumes
-            return self.tiers_for(msg, node, free_dirs)
+            return self.tiers_for(msg, node, route_dirs)
         return [self._ring_tier(msg, node, mdirs)]
+
+    def route_dirs(
+        self,
+        msg: Message,
+        node: int,
+        mdirs: tuple[int, ...],
+        free_dirs: tuple[int, ...],
+    ) -> tuple[int, ...]:
+        """Fault-free minimal directions this scheme may actually use.
+
+        Returning ``()`` declares the message fault-blocked even though a
+        minimal neighbor is alive: deterministic schemes whose one
+        permitted hop is faulty must take the ring, because detouring on
+        the other minimal dimension reintroduces exactly the turns their
+        channel ordering forbids.
+        """
+        return free_dirs
 
     def _may_exit_ring(self, msg: Message, node: int) -> bool:
         """Whether a message in ring transit may resume minimal routing.

@@ -35,6 +35,7 @@ class BouraAdaptive(RoutingAlgorithm):
     """Boura's 3-class fully adaptive partition ("Boura (Adaptive)")."""
 
     name = "boura"
+    deadlock_free = True
 
     def build_budget(self, mesh: Mesh2D, total_vcs: int) -> VcBudget:
         return boura_budget(total_vcs)
@@ -57,6 +58,7 @@ class BouraFaultTolerant(BouraAdaptive):
     """Boura's scheme with unsafe-node labeling ("Boura (Fault-Tolerant)")."""
 
     name = "boura-ft"
+    deadlock_free = True
 
     def __init__(self) -> None:
         super().__init__()

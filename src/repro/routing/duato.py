@@ -14,7 +14,7 @@ channels and extra virtual channels are allocated to class I".
 from __future__ import annotations
 
 from repro.routing.base import RoutingAlgorithm, Tier
-from repro.routing.budgets import VcBudget, adaptive_escape_budget, hop_class_budget
+from repro.routing.budgets import ROLE_ADAPTIVE, VcBudget, adaptive_escape_budget, hop_class_budget
 from repro.routing.hop_based import Nbc, Pbc
 from repro.simulator.message import Message
 from repro.topology.directions import EAST, WEST
@@ -25,10 +25,32 @@ class DuatoXY(RoutingAlgorithm):
     """Duato's routing with 2 XY dimension-order escape VCs."""
 
     name = "duato"
+    deadlock_free = True
     escape_count = 2
 
     def build_budget(self, mesh: Mesh2D, total_vcs: int) -> VcBudget:
         return adaptive_escape_budget(total_vcs, escape=self.escape_count)
+
+    def candidate_tiers(self, msg: Message, node: int) -> list[Tier]:
+        # The escape network must stay deadlock-free on its own; masking
+        # the escape hop to "first *fault-free* minimal direction" lets it
+        # turn Y-before-X around a fault region and close a channel cycle
+        # (found by repro.verify).  So the escape layer is the *fortified*
+        # e-cube: strict XY while the XY hop is alive, the B-C fault ring
+        # when it is not.
+        mesh = self.mesh
+        faulty = self.faults.faulty_mask
+        mdirs = mesh.minimal_directions(node, msg.dst)
+        neighbors = mesh.neighbor_table(node)
+        free_dirs = tuple(d for d in mdirs if not faulty[neighbors[d]])
+        if not free_dirs or not self._may_exit_ring(msg, node):
+            return [self._ring_tier(msg, node, mdirs)]
+        if msg.ring is not None:
+            msg.ring = None  # ring exit: minimal routing resumes
+        if free_dirs[0] == mdirs[0]:
+            return self.tiers_for(msg, node, free_dirs)
+        tier1: Tier = [(d, self.budget.adaptive_vcs) for d in free_dirs]
+        return [tier1, self._ring_tier(msg, node, mdirs)]
 
     def tiers_for(self, msg: Message, node: int, dirs: tuple[int, ...]) -> list[Tier]:
         adaptive = self.budget.adaptive_vcs
@@ -54,6 +76,7 @@ class DuatoPbc(_DuatoHop, Pbc):
     """Duato's methodology with Pbc as the escape layer."""
 
     name = "duato-pbc"
+    deadlock_free = True
 
     def build_budget(self, mesh: Mesh2D, total_vcs: int) -> VcBudget:
         n_classes = self.n_classes(mesh)
@@ -65,8 +88,22 @@ class DuatoNbc(_DuatoHop, Nbc):
     """Duato's methodology with Nbc as the escape layer."""
 
     name = "duato-nbc"
+    deadlock_free = True
 
     def build_budget(self, mesh: Mesh2D, total_vcs: int) -> VcBudget:
         n_classes = self.n_classes(mesh)
         adaptive = total_vcs - n_classes - 4
         return hop_class_budget(n_classes, total_vcs, adaptive=adaptive)
+
+    def _account(self, msg: Message, node: int, direction: int, vc: int) -> None:
+        # NHop's labeling argument needs every hop out of a label-1 node
+        # to bump the class schedule; a class-I (adaptive) hop bypasses
+        # the class-VC allocation where that bump lives, so a
+        # card-holding message could re-enter the escape classes at an
+        # unchanged class and close a same-class cycle (repro.verify
+        # exhibits one on a fault-free 4x4).  Advance the floor here.
+        if (
+            self.budget.role_of[vc] == ROLE_ADAPTIVE
+            and self.mesh.checkerboard_label(node)
+        ):
+            msg.cls = self._capped(msg.cls + 1)

@@ -23,12 +23,29 @@ class ECube(RoutingAlgorithm):
     """Deterministic XY routing with B-C fault rings."""
 
     name = "ecube"
+    deadlock_free = True
 
     def build_budget(self, mesh: Mesh2D, total_vcs: int) -> VcBudget:
         return free_pool_budget(total_vcs)
 
+    def route_dirs(
+        self,
+        msg: Message,
+        node: int,
+        mdirs: tuple[int, ...],
+        free_dirs: tuple[int, ...],
+    ) -> tuple[int, ...]:
+        # E-cube is fault-blocked exactly when its dimension-order hop is
+        # faulty (B-C TC'95): detouring on the other minimal dimension
+        # would reintroduce the Y-before-X turns dimension order forbids
+        # (repro.verify finds the resulting channel cycle around any
+        # interior fault region).
+        if free_dirs and free_dirs[0] == mdirs[0]:
+            return free_dirs
+        return ()
+
     def tiers_for(self, msg: Message, node: int, dirs: tuple[int, ...]) -> list[Tier]:
-        # minimal_directions lists X before Y; the e-cube choice is the
-        # first fault-free entry (X unless the X-way neighbor is faulty,
-        # in which case the paper's fortification detours via Y/rings).
+        # minimal_directions lists X before Y, and route_dirs() guarantees
+        # dirs[0] is the dimension-order hop; when that hop is faulty the
+        # message traverses the fault ring instead.
         return [[(dirs[0], self.budget.adaptive_vcs)]]

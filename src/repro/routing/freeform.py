@@ -39,6 +39,7 @@ class FullyAdaptive(MinimalAdaptive):
     """Minimal-Adaptive plus bounded misrouting."""
 
     name = "fully-adaptive"
+    deadlock_free = False
     max_misroutes = 10
 
     def tiers_for(self, msg: Message, node: int, dirs: tuple[int, ...]) -> list[Tier]:

@@ -64,6 +64,7 @@ class PHop(_HopScheme):
     """Positive-Hop routing (class = hops taken)."""
 
     name = "phop"
+    deadlock_free = True
 
     def n_classes(self, mesh: Mesh2D) -> int:
         return mesh.diameter + 1
@@ -83,6 +84,7 @@ class Pbc(PHop):
     """PHop with bonus cards."""
 
     name = "pbc"
+    deadlock_free = True
     bonus_cards = True
 
 
@@ -90,6 +92,7 @@ class NHop(_HopScheme):
     """Negative-Hop routing (class = negative hops taken)."""
 
     name = "nhop"
+    deadlock_free = True
 
     def n_classes(self, mesh: Mesh2D) -> int:
         return 1 + mesh.diameter // 2
@@ -121,4 +124,5 @@ class Nbc(NHop):
     """NHop with bonus cards."""
 
     name = "nbc"
+    deadlock_free = True
     bonus_cards = True

@@ -27,6 +27,7 @@ class WestFirst(RoutingAlgorithm):
     """West-First turn-model routing with B-C fault rings."""
 
     name = "west-first"
+    deadlock_free = True
 
     def build_budget(self, mesh: Mesh2D, total_vcs: int) -> VcBudget:
         return free_pool_budget(total_vcs)

@@ -1,0 +1,40 @@
+"""Static analysis for the routing layer (:mod:`repro.verify`).
+
+Two independent layers:
+
+* :mod:`repro.verify.cdg` — a **routing model checker**: exhaustively
+  enumerates the channel-dependency graph implied by
+  :meth:`~repro.routing.base.RoutingAlgorithm.candidate_tiers` over all
+  reachable ``(node, message-state)`` pairs on a small mesh and checks
+  Duato's condition (the extended CDG restricted to the escape layer must
+  be acyclic, and every routing decision must supply an escape channel).
+* :mod:`repro.verify.lint` — an AST linter enforcing project invariants
+  (import boundaries, seeded RNG use, tier-shape annotations, explicit
+  ``name``/``deadlock_free`` declarations, no mutable default args).
+
+Run both from the command line::
+
+    python -m repro.verify check --all      # model-check every algorithm
+    python -m repro.verify lint             # lint src/repro
+    python -m repro.verify cdg --algorithm duato --pattern center-block
+"""
+
+from __future__ import annotations
+
+from repro.verify.cdg import CdgChecker, CdgReport, Violation, check_algorithm
+from repro.verify.corpus import CORPUS_NAMES, corpus_pattern, default_corpus
+from repro.verify.lint import Finding, RULES, lint_paths, lint_source
+
+__all__ = [
+    "CdgChecker",
+    "CdgReport",
+    "Violation",
+    "check_algorithm",
+    "CORPUS_NAMES",
+    "corpus_pattern",
+    "default_corpus",
+    "Finding",
+    "RULES",
+    "lint_paths",
+    "lint_source",
+]

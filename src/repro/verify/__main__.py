@@ -1,0 +1,6 @@
+"""``python -m repro.verify`` entry point."""
+
+from repro.verify.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

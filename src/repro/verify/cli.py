@@ -1,0 +1,224 @@
+"""Command-line front end for :mod:`repro.verify`.
+
+::
+
+    python -m repro.verify check --all              # model-check every algorithm
+    python -m repro.verify check --algorithm duato --pattern center-block
+    python -m repro.verify lint                     # lint src/repro
+    python -m repro.verify lint path/to/file.py --json
+    python -m repro.verify cdg --algorithm ecube --pattern center-block
+
+Also reachable as ``python -m repro.experiments verify ...``.
+
+Exit codes: ``check`` is 0 iff every checked algorithm meets its
+declaration — a ``deadlock_free=True`` algorithm must produce no pure
+cycle and no invariant violation on any corpus pattern (documented
+ring-residual cycles are reported but tolerated, DESIGN.md §3.7), and a
+``deadlock_free=False`` algorithm must produce at least one concrete
+counterexample cycle (the negative oracle).  ``lint`` is 0 iff there are
+no findings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.routing.registry import ALGORITHM_NAMES, make_algorithm
+from repro.verify.cdg import CdgChecker, CdgReport
+from repro.verify.corpus import CORPUS_NAMES, corpus_pattern
+from repro.verify.lint import lint_paths
+
+__all__ = ["main", "check_main", "lint_main", "cdg_main"]
+
+#: Default lint targets, relative to the repo root.
+_DEFAULT_LINT_PATHS = ("src/repro",)
+
+
+def _fmt_cycle(cycle: list[tuple[int, int, int]]) -> str:
+    return " -> ".join(f"({n},{d},{vc})" for n, d, vc in cycle)
+
+
+def _algorithm_verdict(reports: list[CdgReport]) -> tuple[bool, str]:
+    """(passed, reason) for one algorithm's corpus reports."""
+    declared = reports[0].declared_deadlock_free
+    statuses = {r.pattern: r.status for r in reports}
+    if declared:
+        bad = {p: s for p, s in statuses.items() if s in ("cycle", "violation")}
+        if bad:
+            return False, f"declared deadlock-free but found {bad}"
+        residual = [p for p, s in statuses.items() if s == "ring-residual"]
+        if residual:
+            return True, f"ok (ring-residual on {', '.join(residual)})"
+        return True, "ok"
+    if any(r.cycle is not None for r in reports):
+        return True, "counterexample cycle found (declared not deadlock-free)"
+    return False, "declared NOT deadlock-free but no counterexample cycle found"
+
+
+def check_main(args: argparse.Namespace) -> int:
+    names = list(ALGORITHM_NAMES) if args.all else args.algorithm
+    if not names:
+        print("check: give --all or --algorithm NAME", file=sys.stderr)
+        return 2
+    patterns = args.pattern or list(CORPUS_NAMES)
+    results: dict[str, list[CdgReport]] = {}
+    for name in names:
+        results[name] = []
+        for pname in patterns:
+            checker = CdgChecker(
+                make_algorithm(name),
+                corpus_pattern(pname, args.width),
+                total_vcs=args.vcs,
+                pattern_name=pname,
+            )
+            results[name].append(checker.run())
+
+    verdicts = {name: _algorithm_verdict(reports) for name, reports in results.items()}
+    ok = all(passed for passed, _ in verdicts.values())
+
+    if args.json:
+        payload = {
+            "ok": ok,
+            "mesh": [args.width, args.width],
+            "total_vcs": args.vcs,
+            "algorithms": {
+                name: {
+                    "passed": verdicts[name][0],
+                    "reason": verdicts[name][1],
+                    "reports": [r.to_payload() for r in reports],
+                }
+                for name, reports in results.items()
+            },
+        }
+        print(json.dumps(payload, indent=2))
+        return 0 if ok else 1
+
+    for name, reports in results.items():
+        passed, reason = verdicts[name]
+        flag = "PASS" if passed else "FAIL"
+        print(f"{flag}  {name:<18} {reason}")
+        for r in reports:
+            line = f"      {r.pattern:<14} {r.status:<14} states={r.n_states}"
+            line += f" channels={r.n_channels} edges={r.n_edges}"
+            print(line)
+            if r.cycle is not None and (r.status == "cycle" or args.verbose):
+                print(f"        cycle: {_fmt_cycle(r.cycle)}")
+            for v in r.violations:
+                print(f"        violation[{v.kind}] at node {v.node}: {v.detail}")
+    n_fail = sum(1 for passed, _ in verdicts.values() if not passed)
+    print(
+        f"{len(results) - n_fail}/{len(results)} algorithms meet their "
+        f"declaration on the {args.width}x{args.width} corpus"
+    )
+    return 0 if ok else 1
+
+
+def lint_main(args: argparse.Namespace) -> int:
+    paths = [Path(p) for p in (args.path or _DEFAULT_LINT_PATHS)]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"lint: no such path: {missing[0]}", file=sys.stderr)
+        return 2
+    findings = lint_paths(paths, select=set(args.select) if args.select else None)
+    if args.json:
+        print(json.dumps([f.to_payload() for f in findings], indent=2))
+    else:
+        for f in findings:
+            print(f.render())
+        print(f"{len(findings)} finding(s) in {', '.join(map(str, paths))}")
+    return 1 if findings else 0
+
+
+def cdg_main(args: argparse.Namespace) -> int:
+    checker = CdgChecker(
+        make_algorithm(args.algorithm),
+        corpus_pattern(args.pattern, args.width),
+        total_vcs=args.vcs,
+        pattern_name=args.pattern,
+    )
+    report = checker.run()
+    if args.json:
+        payload = report.to_payload()
+        if args.edges:
+            payload["cdg_edges"] = [
+                [list(a), list(b)] for a, b in checker.concrete_edges()
+            ]
+        print(json.dumps(payload, indent=2))
+    else:
+        print(
+            f"{report.algorithm} on {report.pattern} "
+            f"({report.width}x{report.height}, {report.total_vcs} VCs): "
+            f"{report.status}"
+        )
+        print(
+            f"  states={report.n_states} channels={report.n_channels} "
+            f"edges={report.n_edges} escape_vcs={list(report.escape_vcs)}"
+        )
+        if report.cycle is not None:
+            print(f"  cycle: {_fmt_cycle(report.cycle)}")
+        for v in report.violations:
+            print(f"  violation[{v.kind}] at node {v.node}: {v.detail}")
+        if args.edges:
+            for a, b in checker.concrete_edges():
+                print(f"  {a} -> {b}")
+    return 0 if report.status in ("ok", "ring-residual") else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-verify",
+        description="Static deadlock-freedom and invariant analysis.",
+    )
+    sub = parser.add_subparsers(dest="verb", required=True)
+
+    p_check = sub.add_parser(
+        "check", help="model-check algorithms against the fault corpus"
+    )
+    p_check.add_argument("--all", action="store_true", help="every registered algorithm")
+    p_check.add_argument(
+        "--algorithm", action="append", default=[], metavar="NAME",
+        help="check one algorithm (repeatable)",
+    )
+    p_check.add_argument(
+        "--pattern", action="append", default=[], choices=CORPUS_NAMES,
+        help="restrict to one corpus pattern (repeatable; default: all)",
+    )
+    p_check.add_argument("--width", type=int, default=4, help="mesh side (default 4)")
+    p_check.add_argument("--vcs", type=int, default=16, help="VCs per channel (default 16)")
+    p_check.add_argument("--json", action="store_true", help="machine-readable output")
+    p_check.add_argument(
+        "--verbose", action="store_true", help="print ring-residual cycles too"
+    )
+    p_check.set_defaults(func=check_main)
+
+    p_lint = sub.add_parser("lint", help="run the project-rule AST linter")
+    p_lint.add_argument(
+        "path", nargs="*", help="files or directories (default: src/repro)"
+    )
+    p_lint.add_argument(
+        "--select", action="append", default=[], metavar="REPxxx",
+        help="run only these rule ids (repeatable)",
+    )
+    p_lint.add_argument("--json", action="store_true", help="machine-readable output")
+    p_lint.set_defaults(func=lint_main)
+
+    p_cdg = sub.add_parser(
+        "cdg", help="dump the channel-dependency graph for one case"
+    )
+    p_cdg.add_argument("--algorithm", required=True, choices=ALGORITHM_NAMES)
+    p_cdg.add_argument("--pattern", default="fault-free", choices=CORPUS_NAMES)
+    p_cdg.add_argument("--width", type=int, default=4)
+    p_cdg.add_argument("--vcs", type=int, default=16)
+    p_cdg.add_argument("--edges", action="store_true", help="include every CDG edge")
+    p_cdg.add_argument("--json", action="store_true", help="machine-readable output")
+    p_cdg.set_defaults(func=cdg_main)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,54 @@
+"""The fault-pattern corpus the model checker runs against.
+
+Small, named configurations chosen to exercise every structural case of
+the Boppana–Chalasani overlay: no faults, a closed f-ring in the mesh
+interior, an open f-chain (region touching the boundary/corner), and two
+regions whose rings coexist.  Sizes default to the 4x4 mesh so a full
+``check --all`` stays interactive; ``--width`` scales the same shapes up.
+"""
+
+from __future__ import annotations
+
+from repro.faults.generator import pattern_from_rectangles
+from repro.faults.pattern import FaultPattern
+from repro.faults.regions import FaultRegion
+from repro.topology.mesh import Mesh2D
+
+CORPUS_NAMES: tuple[str, ...] = (
+    "fault-free",
+    "center-block",
+    "corner-block",
+    "multi-ring",
+)
+
+
+def corpus_pattern(name: str, width: int = 4, height: int | None = None) -> FaultPattern:
+    """Build the named corpus pattern on a ``width x height`` mesh."""
+    mesh = Mesh2D(width, height)
+    if name == "fault-free":
+        return FaultPattern.fault_free(mesh)
+    if name == "center-block":
+        # A single faulty node just off-center: closed f-ring for meshes
+        # of width/height >= 4.
+        cx, cy = mesh.width // 2 - 1, mesh.height // 2 - 1
+        return pattern_from_rectangles(mesh, [FaultRegion(cx, cy, cx, cy)])
+    if name == "corner-block":
+        # A 2x2 block in the mesh corner: its ring is an open f-chain.
+        return pattern_from_rectangles(mesh, [FaultRegion(0, 0, 1, 1)])
+    if name == "multi-ring":
+        # Two separate regions: one interior (closed ring), one on the
+        # east edge (f-chain); their rings share columns on a 4x4.
+        cx, cy = mesh.width // 2 - 1, mesh.height // 2 - 1
+        ex = mesh.width - 1
+        return pattern_from_rectangles(
+            mesh,
+            [FaultRegion(cx, cy, cx, cy), FaultRegion(ex, cy, ex, cy)],
+        )
+    raise ValueError(f"unknown corpus pattern {name!r}; known: {CORPUS_NAMES}")
+
+
+def default_corpus(
+    width: int = 4, height: int | None = None
+) -> list[tuple[str, FaultPattern]]:
+    """All corpus patterns on the given mesh size, in canonical order."""
+    return [(name, corpus_pattern(name, width, height)) for name in CORPUS_NAMES]

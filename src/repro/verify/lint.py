@@ -1,0 +1,375 @@
+"""Project-rule AST linter (:mod:`ast`-based, zero dependencies).
+
+Rules encode invariants of *this* codebase that generic linters cannot
+know.  Each rule has a stable id (``REPxxx``), a one-line summary, and a
+check implemented against the parsed AST.  Two scopes exist:
+
+* **module rules** run per file,
+* **project rules** run once over the whole parsed file set (needed to
+  resolve class hierarchies across modules).
+
+Adding a rule: write a ``_rule_xxx`` function with the matching scope
+signature and register it in :data:`RULES`.  See ``docs/verify.md`` for
+the catalog and rationale.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Modules (path fragments, "/"-separated) where stdlib ``random``
+#: module-level functions are tolerated: nowhere.  Seeded
+#: ``random.Random`` instances are fine everywhere; *unseeded* draws are
+#: additionally tolerated under these prefixes (the traffic layer owns
+#: randomness and is always handed a seeded rng anyway).
+_RANDOM_ALLOWED_PREFIXES = ("repro/traffic/",)
+
+#: ``random`` attributes that are classes/constructors, not draws.
+_RANDOM_SAFE_ATTRS = {"Random", "SystemRandom", "seed"}
+
+#: Import-boundary catalog: a module whose path contains the key prefix
+#: must not import any module starting with one of the value prefixes.
+#: ``repro.routing`` stays a pure decision layer: it may see messages,
+#: budgets, faults and topology, never the engine, experiments or store.
+_IMPORT_BOUNDARIES: dict[str, tuple[str, ...]] = {
+    "repro/routing/": (
+        "repro.simulator.engine",
+        "repro.experiments",
+        "repro.store",
+        "repro.metrics",
+    ),
+    "repro/topology/": (
+        "repro.routing",
+        "repro.simulator",
+        "repro.faults",
+        "repro.experiments",
+    ),
+    "repro/faults/": (
+        "repro.simulator",
+        "repro.routing",
+        "repro.experiments",
+    ),
+}
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                     ast.SetComp)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def to_payload(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class _Module:
+    path: str  # repo-relative, "/"-separated
+    tree: ast.Module
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def _iter_code_nodes(tree: ast.Module):
+    """Walk the AST, skipping ``if TYPE_CHECKING:`` bodies (those imports
+    never execute, so boundary rules must not fire on them)."""
+    stack: list[ast.AST] = [tree]
+    while stack:
+        node = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.If) and _is_type_checking_test(child.test):
+                stack.extend(child.orelse)
+                continue
+            stack.append(child)
+        yield node
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    return (isinstance(test, ast.Name) and test.id == "TYPE_CHECKING") or (
+        isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
+    )
+
+
+def _base_name(expr: ast.expr) -> str | None:
+    """Terminal name of a base-class expression (``a.b.C`` -> ``C``)."""
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return None
+
+
+def _annotation_text(expr: ast.expr | None) -> str:
+    return "" if expr is None else ast.unparse(expr).replace(" ", "")
+
+
+# ----------------------------------------------------------------------
+# REP001 — mutable default arguments
+# ----------------------------------------------------------------------
+def _rule_mutable_defaults(mod: _Module) -> list[Finding]:
+    found = []
+    for node in ast.walk(mod.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if isinstance(default, _MUTABLE_LITERALS) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in ("list", "dict", "set")
+            ):
+                found.append(Finding(
+                    "REP001", mod.path, default.lineno, default.col_offset,
+                    f"mutable default argument in {node.name}()",
+                ))
+    return found
+
+
+# ----------------------------------------------------------------------
+# REP002 — unseeded stdlib random outside the traffic layer
+# ----------------------------------------------------------------------
+def _rule_unseeded_random(mod: _Module) -> list[Finding]:
+    if any(mod.path.find(p) >= 0 for p in _RANDOM_ALLOWED_PREFIXES):
+        return []
+    random_names: set[str] = set()
+    found = []
+    for node in ast.walk(mod.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random":
+                    random_names.add(alias.asname or "random")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "random":
+                for alias in node.names:
+                    if alias.name not in _RANDOM_SAFE_ATTRS:
+                        found.append(Finding(
+                            "REP002", mod.path, node.lineno, node.col_offset,
+                            f"'from random import {alias.name}' pulls an "
+                            "unseeded global-RNG function; pass a seeded "
+                            "random.Random instead",
+                        ))
+    if random_names:
+        for node in ast.walk(mod.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id in random_names
+                and node.attr not in _RANDOM_SAFE_ATTRS
+            ):
+                found.append(Finding(
+                    "REP002", mod.path, node.lineno, node.col_offset,
+                    f"random.{node.attr} draws from the unseeded global RNG; "
+                    "use a seeded random.Random instance",
+                ))
+    return found
+
+
+# ----------------------------------------------------------------------
+# REP003 — layer import boundaries
+# ----------------------------------------------------------------------
+def _rule_import_boundaries(mod: _Module) -> list[Finding]:
+    forbidden: tuple[str, ...] = ()
+    for prefix, banned in _IMPORT_BOUNDARIES.items():
+        if prefix in mod.path:
+            forbidden = banned
+            break
+    if not forbidden:
+        return []
+    found = []
+    for node in _iter_code_nodes(mod.tree):
+        targets: list[str] = []
+        if isinstance(node, ast.Import):
+            targets = [alias.name for alias in node.names]
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            targets = [node.module]
+        for target in targets:
+            for banned in forbidden:
+                if target == banned or target.startswith(banned + "."):
+                    found.append(Finding(
+                        "REP003", mod.path, node.lineno, node.col_offset,
+                        f"layer boundary: modules under "
+                        f"{mod.path.rsplit('/', 1)[0]}/ must not import "
+                        f"{target}",
+                    ))
+    return found
+
+
+# ----------------------------------------------------------------------
+# REP004 — routing algorithms declare name and deadlock_free
+# (project scope: the class hierarchy spans several modules)
+# ----------------------------------------------------------------------
+def _rule_algorithm_declarations(mods: list[_Module]) -> list[Finding]:
+    classes: dict[str, tuple[_Module, ast.ClassDef]] = {}
+    for mod in mods:
+        if "repro/routing/" not in mod.path:
+            continue
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.ClassDef):
+                classes[node.name] = (mod, node)
+
+    def derives_from_algorithm(name: str, seen: frozenset[str]) -> bool:
+        if name == "RoutingAlgorithm":
+            return True
+        entry = classes.get(name)
+        if entry is None or name in seen:
+            return False
+        _, node = entry
+        return any(
+            base is not None and derives_from_algorithm(base, seen | {name})
+            for base in map(_base_name, node.bases)
+        )
+
+    found = []
+    for name, (mod, node) in classes.items():
+        if name == "RoutingAlgorithm" or name.startswith("_"):
+            continue  # the interface itself / private mixins
+        if not derives_from_algorithm(name, frozenset()):
+            continue
+        declared = {
+            target.id
+            for stmt in node.body
+            if isinstance(stmt, ast.Assign)
+            for target in stmt.targets
+            if isinstance(target, ast.Name)
+        }
+        declared |= {
+            stmt.target.id
+            for stmt in node.body
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name)
+        }
+        for attr in ("name", "deadlock_free"):
+            if attr not in declared:
+                found.append(Finding(
+                    "REP004", mod.path, node.lineno, node.col_offset,
+                    f"routing algorithm {name} must declare {attr!r} in its "
+                    "class body (explicit, not inherited: the verifier and "
+                    "the experiment defaults key on it)",
+                ))
+    return found
+
+
+# ----------------------------------------------------------------------
+# REP005 — tier-returning methods carry the list[Tier] annotation
+# ----------------------------------------------------------------------
+def _rule_tier_annotations(mod: _Module) -> list[Finding]:
+    if "repro/routing/" not in mod.path:
+        return []
+    found = []
+    for node in ast.walk(mod.tree):
+        if not isinstance(node, ast.FunctionDef):
+            continue
+        if node.name not in ("tiers_for", "candidate_tiers"):
+            continue
+        annotation = _annotation_text(node.returns)
+        if annotation != "list[Tier]":
+            found.append(Finding(
+                "REP005", mod.path, node.lineno, node.col_offset,
+                f"{node.name}() must be annotated '-> list[Tier]' "
+                f"(found {annotation or 'no annotation'!r}); the tier shape "
+                "is a checked engine contract",
+            ))
+    return found
+
+
+# ----------------------------------------------------------------------
+# Catalog
+# ----------------------------------------------------------------------
+#: rule id -> (scope, summary, implementation).
+RULES: dict[str, tuple[str, str, object]] = {
+    "REP001": (
+        "module",
+        "no mutable default arguments",
+        _rule_mutable_defaults,
+    ),
+    "REP002": (
+        "module",
+        "no unseeded stdlib-random draws outside repro.traffic",
+        _rule_unseeded_random,
+    ),
+    "REP003": (
+        "module",
+        "layer import boundaries (routing/topology/faults stay pure)",
+        _rule_import_boundaries,
+    ),
+    "REP004": (
+        "project",
+        "routing algorithms declare name and deadlock_free explicitly",
+        _rule_algorithm_declarations,
+    ),
+    "REP005": (
+        "module",
+        "tiers_for/candidate_tiers annotated '-> list[Tier]'",
+        _rule_tier_annotations,
+    ),
+}
+
+
+def lint_modules(
+    mods: list[_Module], select: set[str] | None = None
+) -> list[Finding]:
+    """Run the rule catalog over parsed modules."""
+    findings: list[Finding] = []
+    for rule_id, (scope, _summary, impl) in sorted(RULES.items()):
+        if select is not None and rule_id not in select:
+            continue
+        if scope == "project":
+            findings.extend(impl(mods))
+        else:
+            for mod in mods:
+                findings.extend(impl(mod))
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
+
+
+def lint_paths(
+    paths: list[Path], select: set[str] | None = None
+) -> list[Finding]:
+    """Lint every ``*.py`` file under *paths* (files or directories)."""
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    mods = []
+    findings = []
+    for file in files:
+        rel = file.as_posix()
+        try:
+            tree = ast.parse(file.read_text(), filename=str(file))
+        except SyntaxError as exc:
+            findings.append(Finding(
+                "REP000", rel, exc.lineno or 0, exc.offset or 0,
+                f"syntax error: {exc.msg}",
+            ))
+            continue
+        mods.append(_Module(path=rel, tree=tree))
+    return findings + lint_modules(mods, select)
+
+
+def lint_source(
+    source: str, path: str = "<string>", select: set[str] | None = None
+) -> list[Finding]:
+    """Lint a source string (unit tests / embedding)."""
+    tree = ast.parse(source, filename=path)
+    return lint_modules([_Module(path=path, tree=tree)], select)

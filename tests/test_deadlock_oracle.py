@@ -1,0 +1,104 @@
+"""Direct tests for the wait-for-graph oracle `find_dependency_cycle`.
+
+The integration tests exercise the oracle through full simulations; here
+we build the wait-for graph by hand so the two decisive shapes are pinned
+exactly: a genuine circular wait returns the cycle, and a congestion-only
+stall (acyclic wait-for graph, however deep) returns ``None``.
+"""
+
+from repro.routing.registry import make_algorithm
+from repro.simulator.config import SimConfig
+from repro.simulator.deadlock import find_dependency_cycle
+from repro.simulator.engine import Simulation
+from repro.topology.directions import LOCAL
+from repro.simulator.message import Message
+
+
+def make_sim(width: int = 2, vcs: int = 5) -> Simulation:
+    cfg = SimConfig(
+        width=width,
+        vcs_per_channel=vcs,
+        message_length=4,
+        injection_rate=0.0,
+        cycles=10,
+        warmup=0,
+        seed=1,
+    )
+    return Simulation(cfg, make_algorithm("minimal-adaptive"))
+
+
+def block_header(sim: Simulation, node: int, dst: int, msg_id: int):
+    """Park a message's header on *node*'s local input VC, unrouted."""
+    msg = Message(msg_id, node, dst, sim.config.message_length, 0)
+    sim.algorithm.new_message(msg)
+    invc = sim.input_vc(node, LOCAL, 0)
+    invc.msg = msg
+    invc.blocked_since = 0
+    sim._needs_routing[invc] = None
+    return invc
+
+
+class TestCircularWait:
+    def test_two_vc_circular_wait_returns_cycle(self):
+        """A holds what B wants and vice versa -> the cycle, exactly."""
+        sim = make_sim()
+        mesh = sim.mesh
+        # A at node 0 heads for node 3 (may use E or N); B at node 1
+        # heads for node 2 (may use W or N).  Cross-own every output VC
+        # each one could request.
+        invc_a = block_header(sim, mesh.node_id(0, 0), mesh.node_id(1, 1), 0)
+        invc_b = block_header(sim, mesh.node_id(1, 0), mesh.node_id(0, 1), 1)
+        for d, vcs in (t for tier in sim.algorithm.candidate_tiers(invc_a.msg, invc_a.node) for t in tier):
+            for v in vcs:
+                sim.output_vc(invc_a.node, d, v).owner = invc_b
+        for d, vcs in (t for tier in sim.algorithm.candidate_tiers(invc_b.msg, invc_b.node) for t in tier):
+            for v in vcs:
+                sim.output_vc(invc_b.node, d, v).owner = invc_a
+
+        cycle = find_dependency_cycle(sim)
+        assert cycle is not None
+        assert sorted(cycle) == [(0, LOCAL, 0), (1, LOCAL, 0)]
+
+    def test_cycle_triples_are_input_vc_coordinates(self):
+        sim = make_sim()
+        invc_a = block_header(sim, 0, 3, 0)
+        invc_b = block_header(sim, 1, 2, 1)
+        for invc, other in ((invc_a, invc_b), (invc_b, invc_a)):
+            for tier in sim.algorithm.candidate_tiers(invc.msg, invc.node):
+                for d, vcs in tier:
+                    for v in vcs:
+                        sim.output_vc(invc.node, d, v).owner = other
+        cycle = find_dependency_cycle(sim)
+        for node, port, vc in cycle:
+            assert 0 <= node < sim.mesh.n_nodes
+            assert 0 <= port <= LOCAL
+            assert 0 <= vc < sim.config.vcs_per_channel
+
+
+class TestCongestionOnly:
+    def test_chain_wait_returns_none(self):
+        """A waits on B, B's wants are all free: stall, not deadlock."""
+        sim = make_sim()
+        invc_a = block_header(sim, 0, 3, 0)
+        invc_b = block_header(sim, 1, 2, 1)
+        for tier in sim.algorithm.candidate_tiers(invc_a.msg, invc_a.node):
+            for d, vcs in tier:
+                for v in vcs:
+                    sim.output_vc(invc_a.node, d, v).owner = invc_b
+        # B's candidates stay unowned: the wait-for graph is A -> B only.
+        assert find_dependency_cycle(sim) is None
+
+    def test_wait_on_unblocked_holder_returns_none(self):
+        """Depending on a holder that is *moving* (not blocked) is fine."""
+        sim = make_sim()
+        invc_a = block_header(sim, 0, 3, 0)
+        # The owner is an input VC that is not in the blocked set.
+        mover = sim.input_vc(1, LOCAL, 0)
+        for tier in sim.algorithm.candidate_tiers(invc_a.msg, invc_a.node):
+            for d, vcs in tier:
+                for v in vcs:
+                    sim.output_vc(invc_a.node, d, v).owner = mover
+        assert find_dependency_cycle(sim) is None
+
+    def test_empty_network_returns_none(self):
+        assert find_dependency_cycle(make_sim()) is None

@@ -97,7 +97,11 @@ class TestDuatoHopVariants:
         alg.on_vc_allocated(msg, src, EAST, adaptive_vc)
         assert msg.neg_hops == 1
         assert msg.counted_hops == 1
-        assert msg.cls == -1  # no class VC used yet
+        # The negative hop advances the class floor even though no class
+        # VC was used: a class-I hop out of a label-1 node must not let a
+        # card-holding message re-enter the classes at an unchanged class
+        # (same-class escape cycle, see repro.verify).
+        assert msg.cls == 0
         # The escape tier at the next node starts at class >= neg_hops.
         nxt = mesh.neighbor(src, EAST)
         tier2 = alg.candidate_tiers(msg, nxt)[1]

@@ -1,0 +1,130 @@
+"""Model-checker (`repro.verify.cdg`) tests: the positive and negative
+oracles of the static deadlock-freedom analysis.
+
+* every algorithm declared ``deadlock_free=True`` must verify on the 4x4
+  corpus (fault-free strictly acyclic; faulty patterns may only show the
+  documented ring-residual cycles, DESIGN.md §3.7);
+* the algorithms declared ``deadlock_free=False`` must yield a concrete
+  counterexample cycle in `find_dependency_cycle`'s triple format.
+"""
+
+import pytest
+
+from repro.routing.base import Tier
+from repro.routing.freeform import MinimalAdaptive
+from repro.routing.registry import ALGORITHM_NAMES, make_algorithm
+from repro.simulator.message import Message
+from repro.verify.cdg import CdgChecker, check_algorithm
+from repro.verify.corpus import CORPUS_NAMES, corpus_pattern, default_corpus
+
+SAFE = tuple(n for n in ALGORITHM_NAMES if make_algorithm(n).deadlock_free)
+UNSAFE = tuple(n for n in ALGORITHM_NAMES if not make_algorithm(n).deadlock_free)
+
+
+def run(name: str, pattern: str, width: int = 4, vcs: int = 16):
+    return check_algorithm(
+        name, corpus_pattern(pattern, width), vcs, pattern_name=pattern
+    )
+
+
+class TestPositiveOracle:
+    @pytest.mark.parametrize("name", SAFE)
+    def test_fault_free_strictly_acyclic(self, name):
+        report = run(name, "fault-free")
+        assert report.status == "ok", (report.cycle, report.violations)
+
+    @pytest.mark.parametrize("name", SAFE)
+    @pytest.mark.parametrize("pattern", [p for p in CORPUS_NAMES if p != "fault-free"])
+    def test_faulty_patterns_at_worst_ring_residual(self, name, pattern):
+        report = run(name, pattern)
+        assert report.status in ("ok", "ring-residual"), (
+            report.cycle,
+            report.violations,
+        )
+        if report.status == "ring-residual":
+            # the waiver applies only to cycles through a shared ring VC
+            assert any(vc in report.ring_vcs for (_, _, vc) in report.cycle)
+
+
+class TestNegativeOracle:
+    @pytest.mark.parametrize("name", UNSAFE)
+    def test_counterexample_cycle_found(self, name):
+        report = run(name, "fault-free")
+        assert report.cycle, f"{name} declared unsafe but no cycle found"
+
+    def test_fully_adaptive_cycle_is_concrete(self):
+        """Triples match find_dependency_cycle's (node, dir, vc) format
+        and consecutive channels are physically adjacent."""
+        report = run("fully-adaptive", "fault-free")
+        mesh = corpus_pattern("fault-free").mesh
+        cycle = report.cycle
+        assert len(cycle) >= 2
+        for i, (node, direction, vc) in enumerate(cycle):
+            assert 0 <= node < mesh.n_nodes
+            assert 0 <= direction < 4
+            assert 0 <= vc < report.total_vcs
+            # the dependency's tail sits where this channel delivers
+            nxt_node = mesh.neighbor(node, direction)
+            assert nxt_node >= 0
+            assert cycle[(i + 1) % len(cycle)][0] == nxt_node
+
+
+class TestRegressions:
+    """Defects the checker originally surfaced must stay fixed."""
+
+    def test_duato_nbc_fault_free_acyclic(self):
+        # Bonus cards + class-I hops used to re-enter the escape classes
+        # at an unchanged class (same-class cycle); DuatoNbc now advances
+        # the class floor on adaptive hops out of label-1 nodes.
+        assert run("duato-nbc", "fault-free").status == "ok"
+
+    @pytest.mark.parametrize("name", ["ecube", "duato"])
+    def test_dimension_order_never_turns_around_faults(self, name):
+        # Masked escape hops used to take Y-before-X around an interior
+        # fault region, closing a pure (non-ring) escape cycle; both now
+        # detour on the B-C ring instead.
+        report = run(name, "center-block")
+        assert report.status in ("ok", "ring-residual")
+
+
+class _BadTierShape(MinimalAdaptive):
+    name = "bad-tier-shape"
+    deadlock_free = False
+
+    def tiers_for(self, msg: Message, node: int, dirs: tuple[int, ...]) -> list[Tier]:
+        return [[(dirs[0], list(self.budget.adaptive_vcs))]]  # list, not tuple
+
+
+class TestInvariantViolations:
+    def test_tier_shape_violation_reported(self):
+        checker = CdgChecker(
+            _BadTierShape(), corpus_pattern("fault-free"), 16,
+            pattern_name="fault-free",
+        )
+        report = checker.run()
+        assert any(v.kind == "tier-shape" for v in report.violations)
+        assert report.status == "violation"
+
+
+class TestReportShape:
+    def test_payload_keys(self):
+        payload = run("ecube", "fault-free").to_payload()
+        for key in (
+            "algorithm", "pattern", "mesh", "states", "channels", "edges",
+            "escape_vcs", "ring_vcs", "ok", "status", "cycle", "violations",
+        ):
+            assert key in payload
+
+    def test_corpus_has_all_structural_cases(self):
+        names = [n for n, _ in default_corpus(4)]
+        assert names == list(CORPUS_NAMES)
+        # closed interior ring, open corner chain, two coexisting rings
+        assert len(corpus_pattern("center-block").rings) == 1
+        assert not corpus_pattern("corner-block").rings[0].closed
+        assert len(corpus_pattern("multi-ring").rings) == 2
+
+    def test_checker_is_fast_enough_for_ci(self):
+        # acceptance: the full 13-algorithm corpus finishes in <60s; a
+        # single algorithm must therefore stay comfortably under 5s.
+        report = run("phop", "center-block")
+        assert report.elapsed < 5.0

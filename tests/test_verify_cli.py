@@ -1,0 +1,89 @@
+"""CLI tests for ``python -m repro.verify`` and the experiments verb."""
+
+import json
+
+import pytest
+
+from repro.verify.cli import main
+
+
+class TestCheckVerb:
+    def test_single_safe_algorithm_passes(self, capsys):
+        rc = main(["check", "--algorithm", "duato", "--pattern", "fault-free"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "PASS" in out
+
+    def test_unsafe_algorithm_needs_counterexample(self, capsys):
+        # fully-adaptive is declared deadlock_free=False; finding its
+        # cycle *is* the pass condition (negative oracle).
+        rc = main(["check", "--algorithm", "fully-adaptive", "--pattern", "fault-free"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "counterexample" in out
+
+    def test_json_payload_shape(self, capsys):
+        rc = main([
+            "check", "--algorithm", "ecube", "--pattern", "corner-block", "--json",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert payload["ok"] is True
+        report = payload["algorithms"]["ecube"]["reports"][0]
+        assert report["pattern"] == "corner-block"
+        assert report["status"] == "ok"
+
+    def test_no_selection_is_usage_error(self, capsys):
+        assert main(["check"]) == 2
+
+
+class TestLintVerb:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main(["lint", "src/repro"]) == 0
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        f = tmp_path / "dirty.py"
+        f.write_text("def f(a=[]):\n    pass\n")
+        assert main(["lint", str(f)]) == 1
+        assert "REP001" in capsys.readouterr().out
+
+    def test_json_output(self, tmp_path, capsys):
+        f = tmp_path / "dirty.py"
+        f.write_text("def f(a=[]):\n    pass\n")
+        main(["lint", str(f), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["rule"] == "REP001"
+
+    def test_missing_path_is_usage_error(self, tmp_path):
+        assert main(["lint", str(tmp_path / "nope")]) == 2
+
+
+class TestCdgVerb:
+    def test_dumps_cycle_for_unsafe_algorithm(self, capsys):
+        rc = main([
+            "cdg", "--algorithm", "fully-adaptive", "--pattern", "fault-free",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 1  # a pure cycle is a failing status for cdg
+        assert "cycle:" in out
+
+    def test_json_includes_edges_on_request(self, capsys):
+        rc = main([
+            "cdg", "--algorithm", "ecube", "--pattern", "fault-free",
+            "--json", "--edges",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert payload["status"] == "ok"
+        assert payload["cdg_edges"], "fault-free e-cube still has CDG edges"
+        (a, b) = payload["cdg_edges"][0]
+        assert len(a) == 3 and len(b) == 3
+
+
+class TestExperimentsPassthrough:
+    def test_verify_verb_reaches_cli(self, capsys):
+        from repro.experiments.cli import main as experiments_main
+
+        rc = experiments_main(["verify", "lint", "src/repro"])
+        assert rc == 0
+        assert "0 finding(s)" in capsys.readouterr().out

@@ -1,0 +1,147 @@
+"""AST-linter (`repro.verify.lint`) tests: one synthetic snippet per
+rule, plus the repo-wide clean run the CI gate relies on."""
+
+from pathlib import Path
+
+from repro.verify.lint import RULES, lint_paths, lint_source
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def rules_of(findings):
+    return {f.rule for f in findings}
+
+
+class TestMutableDefaults:
+    def test_flags_literal_and_constructor_defaults(self):
+        src = (
+            "def f(a=[]):\n    pass\n"
+            "def g(b={}):\n    pass\n"
+            "def h(c=list()):\n    pass\n"
+        )
+        findings = lint_source(src, select={"REP001"})
+        assert len(findings) == 3
+        assert rules_of(findings) == {"REP001"}
+
+    def test_accepts_none_and_tuples(self):
+        src = "def f(a=None, b=(), c=1):\n    pass\n"
+        assert lint_source(src, select={"REP001"}) == []
+
+    def test_flags_kwonly_defaults(self):
+        src = "def f(*, a={}):\n    pass\n"
+        assert len(lint_source(src, select={"REP001"})) == 1
+
+
+class TestUnseededRandom:
+    def test_flags_global_rng_draw(self):
+        src = "import random\nx = random.randint(0, 5)\n"
+        findings = lint_source(src, path="src/repro/simulator/x.py", select={"REP002"})
+        assert rules_of(findings) == {"REP002"}
+
+    def test_flags_from_import(self):
+        src = "from random import shuffle\n"
+        findings = lint_source(src, path="src/repro/simulator/x.py", select={"REP002"})
+        assert rules_of(findings) == {"REP002"}
+
+    def test_accepts_seeded_instances(self):
+        src = "import random\nrng = random.Random(42)\ny = rng.random()\n"
+        assert lint_source(src, path="src/repro/simulator/x.py", select={"REP002"}) == []
+
+    def test_traffic_layer_is_exempt(self):
+        src = "import random\nx = random.random()\n"
+        assert lint_source(src, path="src/repro/traffic/x.py", select={"REP002"}) == []
+
+
+class TestImportBoundaries:
+    def test_routing_must_not_import_engine(self):
+        src = "from repro.simulator.engine import Simulation\n"
+        findings = lint_source(src, path="src/repro/routing/x.py", select={"REP003"})
+        assert rules_of(findings) == {"REP003"}
+
+    def test_routing_may_import_message(self):
+        src = "from repro.simulator.message import Message\n"
+        assert lint_source(src, path="src/repro/routing/x.py", select={"REP003"}) == []
+
+    def test_type_checking_guard_is_exempt(self):
+        src = (
+            "from typing import TYPE_CHECKING\n"
+            "if TYPE_CHECKING:\n"
+            "    from repro.simulator.engine import Simulation\n"
+        )
+        assert lint_source(src, path="src/repro/routing/x.py", select={"REP003"}) == []
+
+    def test_topology_stays_leaf_layer(self):
+        src = "import repro.routing.base\n"
+        findings = lint_source(src, path="src/repro/topology/x.py", select={"REP003"})
+        assert rules_of(findings) == {"REP003"}
+
+
+class TestAlgorithmDeclarations:
+    def test_missing_declarations_flagged(self):
+        src = (
+            "class RoutingAlgorithm:\n    pass\n"
+            "class Sneaky(RoutingAlgorithm):\n    pass\n"
+        )
+        findings = lint_source(src, path="src/repro/routing/x.py", select={"REP004"})
+        assert len(findings) == 2  # name and deadlock_free
+        assert rules_of(findings) == {"REP004"}
+
+    def test_full_declarations_pass(self):
+        src = (
+            "class RoutingAlgorithm:\n    pass\n"
+            "class Fine(RoutingAlgorithm):\n"
+            "    name = 'fine'\n"
+            "    deadlock_free = True\n"
+        )
+        assert lint_source(src, path="src/repro/routing/x.py", select={"REP004"}) == []
+
+    def test_private_mixins_exempt(self):
+        src = (
+            "class RoutingAlgorithm:\n    pass\n"
+            "class _Mixin(RoutingAlgorithm):\n    pass\n"
+        )
+        assert lint_source(src, path="src/repro/routing/x.py", select={"REP004"}) == []
+
+
+class TestTierAnnotations:
+    def test_wrong_return_annotation_flagged(self):
+        src = "def candidate_tiers(self, msg, node) -> list:\n    return []\n"
+        findings = lint_source(src, path="src/repro/routing/x.py", select={"REP005"})
+        assert rules_of(findings) == {"REP005"}
+
+    def test_exact_annotation_passes(self):
+        src = (
+            "def candidate_tiers(self, msg, node) -> list[Tier]:\n"
+            "    return []\n"
+        )
+        assert lint_source(src, path="src/repro/routing/x.py", select={"REP005"}) == []
+
+    def test_only_routing_layer_checked(self):
+        src = "def candidate_tiers(self, msg, node):\n    return []\n"
+        assert lint_source(src, path="src/repro/verify/x.py", select={"REP005"}) == []
+
+
+class TestHarness:
+    def test_catalog_is_documented(self):
+        for rule_id, (scope, summary, impl) in RULES.items():
+            assert rule_id.startswith("REP")
+            assert scope in ("module", "project")
+            assert summary
+            assert callable(impl)
+
+    def test_syntax_error_becomes_rep000(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        findings = lint_paths([bad])
+        assert rules_of(findings) == {"REP000"}
+
+    def test_repo_source_tree_is_clean(self):
+        """The CI gate: `python -m repro.verify lint` exits 0."""
+        assert lint_paths([REPO / "src" / "repro"]) == []
+
+    def test_findings_sorted_and_renderable(self):
+        src = "def g(b={}):\n    pass\n\ndef f(a=[]):\n    pass\n"
+        findings = lint_source(src, path="m.py")
+        lines = [f.line for f in findings]
+        assert lines == sorted(lines)
+        assert all(f.render().startswith("m.py:") for f in findings)
