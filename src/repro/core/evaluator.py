@@ -71,6 +71,13 @@ class Evaluator:
         Zero-argument callable producing a fresh
         :class:`~repro.traffic.patterns.TrafficPattern` per run
         (default: uniform traffic).
+    instrument:
+        Optional callable invoked with every :class:`Simulation` just
+        before ``run()`` — the observability hook (attach a telemetry
+        registry or tracer; see
+        :func:`repro.obs.telemetry.make_instrument`).  Instrumentation
+        covers **executed** runs only: a :class:`~repro.store.cache.
+        CachedEvaluator` cache hit never constructs a Simulation.
     """
 
     def __init__(
@@ -79,11 +86,13 @@ class Evaluator:
         *,
         seed: int = 2007,
         pattern_factory=None,
+        instrument=None,
     ) -> None:
         self.base_config = base_config
         self.seed = seed
         self.mesh = Mesh2D(base_config.width, base_config.height)
         self.pattern_factory = pattern_factory
+        self.instrument = instrument
 
     # ------------------------------------------------------------------
     # Fault cases
@@ -160,6 +169,8 @@ class Evaluator:
             self.pattern_factory() if self.pattern_factory else None
         )
         sim = Simulation(cfg, alg, faults=faults, pattern=pattern)
+        if self.instrument is not None:
+            self.instrument(sim)
         return sim.run()
 
     def run_single(

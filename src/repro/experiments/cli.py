@@ -9,6 +9,8 @@ Examples::
     python -m repro.experiments all --store            # cache in .repro-store
     python -m repro.experiments store stats            # inspect the cache
     python -m repro.experiments verify check --all     # static routing analysis
+    python -m repro.experiments obs bench --label pr3  # perf trajectory
+    python -m repro.experiments fig3 --telemetry       # engine counters
 """
 
 from __future__ import annotations
@@ -55,6 +57,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.verify.cli import main as verify_main
 
         return verify_main(argv[1:])
+    if argv and argv[0] == "obs":
+        # Observability verbs (perf harness + instrumented smoke):
+        # python -m repro.experiments obs {bench,compare,smoke} ...
+        from repro.obs.cli import main as obs_main
+
+        return obs_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the figures of the IPPS 2007 routing study.",
@@ -120,6 +128,31 @@ def main(argv: list[str] | None = None) -> int:
         "($REPRO_STORE_DIR or .repro-store).  A second identical run "
         "serves every cell from the cache.",
     )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="attach one telemetry registry to every executed simulation "
+        "and print the aggregated engine counters at the end (keeps "
+        "figure runs in process; cache hits are not re-simulated and "
+        "therefore not counted)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="record message lifecycles across all executed simulations "
+        "and export them (.jsonl for JSON-lines, anything else for "
+        "Chrome trace format)",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=int,
+        default=1,
+        metavar="N",
+        help="with --trace-out: trace only 1-in-N messages, chosen "
+        "deterministically by message id (default 1 = all)",
+    )
     args = parser.parse_args(argv)
     if args.store is False:  # flag absent: caching off
         store = None
@@ -129,6 +162,17 @@ def main(argv: list[str] | None = None) -> int:
         store = ResultStore(
             args.store if args.store is not None else default_store_dir()
         )
+
+    telemetry = tracer = instrument = None
+    if args.telemetry or args.trace_out is not None:
+        from repro.obs.telemetry import TelemetryRegistry, make_instrument
+        from repro.obs.trace_export import lifecycle_tracer
+
+        if args.telemetry:
+            telemetry = TelemetryRegistry()
+        if args.trace_out is not None:
+            tracer = lifecycle_tracer(sample=args.trace_sample)
+        instrument = make_instrument(telemetry=telemetry, tracer=tracer)
 
     if args.experiment == "report":
         from repro.experiments.report import summarize_directory
@@ -183,7 +227,7 @@ def main(argv: list[str] | None = None) -> int:
     if "fig1" in wanted or "fig2" in wanted:
         sweep = run_sweep(
             profile, algorithms, seed=args.seed, progress=progress,
-            workers=args.workers, store=store,
+            workers=args.workers, store=store, instrument=instrument,
         )
         _dump(args.out, f"sweep_{profile.name}", sweep.to_payload())
         if "fig1" in wanted:
@@ -194,7 +238,8 @@ def main(argv: list[str] | None = None) -> int:
             print()
     if "fig3" in wanted:
         usage = run_vc_usage(
-            profile, algorithms, seed=args.seed, progress=progress, store=store
+            profile, algorithms, seed=args.seed, progress=progress,
+            store=store, instrument=instrument,
         )
         _dump(args.out, f"fig3_{profile.name}", usage.to_payload())
         print(print_fig3(usage))
@@ -202,7 +247,7 @@ def main(argv: list[str] | None = None) -> int:
     if "fig4" in wanted or "fig5" in wanted:
         study = run_fault_study(
             profile, algorithms, seed=args.seed, progress=progress,
-            workers=args.workers, store=store,
+            workers=args.workers, store=store, instrument=instrument,
         )
         _dump(args.out, f"faults_{profile.name}", study.to_payload())
         if "fig4" in wanted:
@@ -213,12 +258,25 @@ def main(argv: list[str] | None = None) -> int:
             print()
     if "fig6" in wanted:
         fring = run_fring_study(
-            profile, algorithms, seed=args.seed, progress=progress, store=store
+            profile, algorithms, seed=args.seed, progress=progress,
+            store=store, instrument=instrument,
         )
         _dump(args.out, f"fig6_{profile.name}", fring.to_payload())
         print(print_fig6(fring))
         print()
 
+    if telemetry is not None:
+        print(telemetry.render(prefix="engine."))
+        print()
+    if tracer is not None:
+        from repro.obs.trace_export import write_trace
+
+        snapshot = telemetry.snapshot() if telemetry is not None else None
+        n = write_trace(
+            args.trace_out, tracer, label=args.experiment,
+            telemetry_snapshot=snapshot,
+        )
+        print(f"[trace: {n} events -> {args.trace_out}]")
     if progress:
         progress(f"[total {time.time() - t0:.1f}s]")
     return 0

@@ -52,24 +52,29 @@ def run_fault_study(
     progress=None,
     workers: int = 1,
     store=None,
+    instrument=None,
 ) -> FaultStudyResult:
     """Run the full-load fault sweep behind Figures 4 and 5.
 
     ``workers > 1`` fans algorithms out to a process pool (registered
     profiles only, as in :func:`repro.experiments.fig_sweep.run_sweep`).
     *store* routes every cell through the shared result cache.
+    *instrument* observes every executed simulation and keeps the study
+    in process (overrides ``workers``, as in ``run_sweep``).
     """
     from repro.store import make_evaluator, store_dir_of
 
     algorithms = algorithms or profile.algorithms
-    evaluator = make_evaluator(profile.config, seed=seed, store=store)
+    evaluator = make_evaluator(
+        profile.config, seed=seed, store=store, instrument=instrument
+    )
     n_nodes = evaluator.mesh.n_nodes
     result = FaultStudyResult(
         profile=profile.name,
         fault_counts=tuple(profile.fault_counts),
         fault_percents=tuple(100.0 * n / n_nodes for n in profile.fault_counts),
     )
-    if workers > 1 and len(algorithms) > 1:
+    if workers > 1 and instrument is None and len(algorithms) > 1:
         from repro.experiments.parallel import _fault_worker, parallel_map
         from repro.experiments.profiles import get_profile
 

@@ -61,16 +61,22 @@ def run_fring_study(
     seed: int = 2007,
     progress=None,
     store=None,
+    instrument=None,
 ) -> FRingResult:
     """Run the Figure 6 traffic-load study.
 
     *store* routes every cell through the shared result cache (the
-    per-node load counters are part of the cached payload).
+    per-node load counters are part of the cached payload).  *instrument*
+    observes every executed simulation — with a telemetry registry
+    attached, the engine's ``engine.fring.*.traversals`` counters break
+    the ring-VC traffic down per fault ring/chain.
     """
     from repro.store import make_evaluator
 
     algorithms = algorithms or profile.algorithms
-    evaluator = make_evaluator(profile.config, seed=seed, store=store)
+    evaluator = make_evaluator(
+        profile.config, seed=seed, store=store, instrument=instrument
+    )
     faulty = figure6_fault_pattern(evaluator.mesh)
     fault_free = FaultPattern.fault_free(evaluator.mesh)
     ring_nodes = faulty.ring_nodes

@@ -58,6 +58,7 @@ def run_sweep(
     progress=None,
     workers: int = 1,
     store=None,
+    instrument=None,
 ) -> SweepResult:
     """Run the fault-free rate sweep behind Figures 1 and 2.
 
@@ -70,6 +71,11 @@ def run_sweep(
     *store* (a :class:`repro.store.ResultStore` or directory) routes
     every cell through the result cache: cells simulated before — by
     this driver or any other — are served from the store.
+
+    *instrument* (see :class:`~repro.core.evaluator.Evaluator`) observes
+    every executed simulation; it keeps the sweep in process (a shared
+    telemetry registry cannot span a process pool), so it overrides
+    ``workers``.
     """
     from repro.store import make_evaluator, store_dir_of
 
@@ -77,7 +83,7 @@ def run_sweep(
     result = SweepResult(
         profile=profile.name, loads=profile.sweep_loads, rates=profile.sweep_rates
     )
-    if workers > 1 and len(algorithms) > 1:
+    if workers > 1 and instrument is None and len(algorithms) > 1:
         from repro.experiments.parallel import _sweep_worker, parallel_map
         from repro.experiments.profiles import get_profile
 
@@ -95,7 +101,9 @@ def run_sweep(
             result.throughput[alg] = thr
             result.latency[alg] = lat
         return result
-    evaluator = make_evaluator(profile.config, seed=seed, store=store)
+    evaluator = make_evaluator(
+        profile.config, seed=seed, store=store, instrument=instrument
+    )
     for alg in algorithms:
         points = evaluator.rate_sweep(alg, profile.sweep_rates)
         result.throughput[alg] = [p.throughput for p in points]

@@ -50,16 +50,23 @@ def run_vc_usage(
     seed: int = 2007,
     progress=None,
     store=None,
+    instrument=None,
 ) -> VcUsageResult:
     """Run the VC-utilization study behind Figure 3.
 
     *store* routes every cell through the shared result cache (the
-    per-VC busy counters are part of the cached payload).
+    per-VC busy counters are part of the cached payload).  *instrument*
+    observes every executed simulation (the engine feeds Figure 3's
+    ``vc_busy`` and an attached registry's ``engine.vc_busy.<role>``
+    counters from the same occupancy sweep, so the two views reconcile
+    exactly; see :func:`repro.metrics.vc_usage.reconcile_vc_usage`).
     """
     from repro.store import make_evaluator
 
     algorithms = algorithms or profile.algorithms
-    evaluator = make_evaluator(profile.config, seed=seed, store=store)
+    evaluator = make_evaluator(
+        profile.config, seed=seed, store=store, instrument=instrument
+    )
     case = evaluator.fault_case(profile.vc_usage_faults, 1)
     rate = profile.rate(profile.vc_usage_load)
     result = VcUsageResult(profile=profile.name, n_faults=profile.vc_usage_faults)

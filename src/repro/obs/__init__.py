@@ -1,0 +1,65 @@
+"""Observability for the simulation engine.
+
+Three layers, all opt-in and all zero-cost when unused:
+
+* :mod:`repro.obs.telemetry` — cycle-stamped counters, gauges and
+  histograms the engine publishes into when a
+  :class:`~repro.obs.telemetry.TelemetryRegistry` is attached
+  (``Simulation(..., telemetry=registry)``).  With no registry the
+  engine pays one ``is not None`` attribute check per publish site.
+* :mod:`repro.obs.trace_export` — message-lifecycle traces (on the
+  existing :class:`~repro.simulator.trace.Tracer` hooks) exported as
+  Chrome-trace JSON or JSONL, with deterministic 1-in-N sampling.
+* :mod:`repro.obs.bench` — a headless pinned-workload perf harness
+  (``python -m repro.obs bench``) writing ``BENCH_<label>.json``
+  trajectories, plus a regression gate (``python -m repro.obs
+  compare``).
+
+See ``docs/observability.md`` for the counter catalog and workflows.
+"""
+
+from repro.obs.bench import (
+    WORKLOADS,
+    Workload,
+    bench_key,
+    compare_payloads,
+    parse_regress,
+    run_suite,
+    write_bench_file,
+)
+from repro.obs.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    TelemetryRegistry,
+    make_instrument,
+)
+from repro.obs.trace_export import (
+    chrome_trace,
+    jsonl_lines,
+    lifecycle_tracer,
+    write_chrome_trace,
+    write_jsonl,
+    write_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "TelemetryRegistry",
+    "WORKLOADS",
+    "Workload",
+    "bench_key",
+    "chrome_trace",
+    "compare_payloads",
+    "jsonl_lines",
+    "lifecycle_tracer",
+    "make_instrument",
+    "parse_regress",
+    "run_suite",
+    "write_bench_file",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_trace",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.obs`` entry point."""
+
+from repro.obs.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,395 @@
+"""Headless perf harness: a pinned workload suite with JSON trajectories.
+
+``python -m repro.obs bench --label pr3`` executes every pinned workload
+and writes a canonical ``BENCH_pr3.json`` at the current directory (the
+repo root, by convention).  ``python -m repro.obs compare A.json B.json
+--max-regress 15%`` exits nonzero when any shared workload regressed, so
+a non-blocking CI lane can track the repo's performance trajectory
+commit over commit.
+
+Methodology:
+
+* **Engine workloads** mirror ``benchmarks/bench_simulator_micro.py``:
+  the network is warmed to steady state, then a fixed number of cycles
+  is timed.  Timing runs use ``telemetry=None`` (the production hot
+  path); a separate, untimed **twin run with telemetry attached** — same
+  seed, hence bit-identical — supplies the flit-hop count, so the file
+  reports both ``cycles_per_sec`` and ``flit_hops_per_sec`` without the
+  instrumented path contaminating the timings.
+* Every workload is repeated ``--repeats`` times from scratch; the
+  **minimum** wall time is the headline (least-noise estimator), with
+  all samples recorded.
+* Each workload carries a **key**: a SHA-256 digest (via
+  :func:`repro.store.keys.canonical_json`) of its full parameter spec.
+  ``compare`` only compares workloads whose keys match, so a re-pinned
+  workload silently stops gating instead of producing bogus deltas.
+* ``peak_rss_kb`` is ``ru_maxrss`` after the workload (process-lifetime
+  peak: monotone across the suite, meaningful per-file).
+
+Wall-clock calls live here, *outside* ``repro.simulator`` — the REP006
+lint rule keeps them out of the engine, where cycle-stamped telemetry is
+the sanctioned mechanism.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import random
+import resource
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.store.keys import canonical_json
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "Workload",
+    "WORKLOADS",
+    "bench_key",
+    "compare_payloads",
+    "parse_regress",
+    "run_suite",
+    "write_bench_file",
+]
+
+BENCH_SCHEMA = 1
+
+
+def bench_key(name: str, params: dict) -> str:
+    """Stable digest of one workload's full parameter spec.
+
+    Deliberately excludes :data:`~repro.simulator.engine.ENGINE_VERSION`:
+    perf comparisons across engine changes are exactly what the
+    trajectory is for (the file records the version at top level).
+    """
+    payload = canonical_json({"kind": "bench-key", "name": name, "params": params})
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One pinned benchmark workload.
+
+    ``kind`` selects the runner: ``"engine"`` times warmed
+    ``Simulation.step`` cycles; ``"ops"`` times a callable built by
+    :func:`_ops_runner` and reports operations/second.
+    """
+
+    name: str
+    kind: str
+    params: dict
+
+    @property
+    def key(self) -> str:
+        return bench_key(self.name, self.params)
+
+
+#: The pinned suite.  Changing any parameter changes the workload's key,
+#: which un-gates it in ``compare`` — bump deliberately, not silently.
+WORKLOADS: tuple[Workload, ...] = (
+    Workload("engine_moderate", "engine", {
+        "algorithm": "nhop", "width": 10, "vcs": 24, "message_length": 16,
+        "rate": 0.01, "warm": 500, "cycles": 1000, "seed": 5, "faults": 0,
+    }),
+    Workload("engine_saturated", "engine", {
+        "algorithm": "duato-nbc", "width": 10, "vcs": 24,
+        "message_length": 16, "rate": 0.05, "warm": 500, "cycles": 1000,
+        "seed": 5, "faults": 0,
+    }),
+    Workload("engine_faulty_rings", "engine", {
+        "algorithm": "duato-nbc", "width": 10, "vcs": 24,
+        "message_length": 16, "rate": 0.02, "warm": 500, "cycles": 1000,
+        "seed": 7, "faults": 5,
+    }),
+    Workload("fault_pattern_generation", "ops", {
+        "op": "fault_patterns", "width": 10, "faults": 10, "draws": 30,
+        "seed": 11,
+    }),
+    Workload("routing_candidates", "ops", {
+        "op": "candidate_tiers", "algorithm": "nbc", "width": 10, "vcs": 24,
+        "calls": 20000,
+    }),
+    Workload("simulation_construction", "ops", {
+        "op": "construction", "algorithm": "duato-nbc", "width": 10,
+        "vcs": 24, "message_length": 100, "builds": 3,
+    }),
+)
+
+
+# ----------------------------------------------------------------------
+# Runners
+# ----------------------------------------------------------------------
+def _build_engine_sim(params: dict, telemetry=None):
+    from repro.faults.generator import generate_block_fault_pattern
+    from repro.faults.pattern import FaultPattern
+    from repro.routing.registry import make_algorithm
+    from repro.simulator.config import SimConfig
+    from repro.simulator.engine import Simulation
+    from repro.topology.mesh import Mesh2D
+
+    cfg = SimConfig(
+        width=params["width"],
+        vcs_per_channel=params["vcs"],
+        message_length=params["message_length"],
+        injection_rate=params["rate"],
+        cycles=params["warm"] + params["cycles"],
+        warmup=0,
+        seed=params["seed"],
+        on_deadlock="drain",
+    )
+    mesh = Mesh2D(cfg.width, cfg.height)
+    if params["faults"]:
+        faults = generate_block_fault_pattern(
+            mesh, params["faults"], random.Random(params["seed"])
+        )
+    else:
+        faults = FaultPattern.fault_free(mesh)
+    return Simulation(
+        cfg, make_algorithm(params["algorithm"]), faults=faults,
+        telemetry=telemetry,
+    )
+
+
+def _run_engine_workload(params: dict, repeats: int) -> dict:
+    from repro.obs.telemetry import TelemetryRegistry
+
+    cycles = params["cycles"]
+    # Untimed twin: warm without instruments, attach, count the measured
+    # window.  Same seed as the timed runs -> identical flit schedule.
+    registry = TelemetryRegistry()
+    twin = _build_engine_sim(params)
+    twin.step(params["warm"])
+    twin.attach_telemetry(registry)
+    twin.step(cycles)
+    flit_hops = registry.value("engine.flits.hops")
+    delivered = registry.value("engine.messages.delivered")
+
+    samples = []
+    for _ in range(repeats):
+        sim = _build_engine_sim(params)
+        sim.step(params["warm"])
+        t0 = time.perf_counter()
+        sim.step(cycles)
+        samples.append(time.perf_counter() - t0)
+    best = min(samples)
+    return {
+        "seconds": best,
+        "samples": samples,
+        "cycles": cycles,
+        "cycles_per_sec": cycles / best if best else float("inf"),
+        "flit_hops": flit_hops,
+        "flit_hops_per_sec": flit_hops / best if best else float("inf"),
+        "delivered_messages": delivered,
+    }
+
+
+def _ops_runner(params: dict):
+    """(callable, ops) for an ``"ops"`` workload."""
+    op = params["op"]
+    if op == "fault_patterns":
+        from repro.faults.generator import generate_block_fault_pattern
+        from repro.topology.mesh import Mesh2D
+
+        mesh = Mesh2D(params["width"])
+        draws, faults, seed = params["draws"], params["faults"], params["seed"]
+
+        def run() -> None:
+            for i in range(draws):
+                generate_block_fault_pattern(
+                    mesh, faults, random.Random(seed + i)
+                )
+
+        return run, draws
+    if op == "candidate_tiers":
+        from repro.routing.registry import make_algorithm
+        from repro.simulator.config import SimConfig
+        from repro.simulator.engine import Simulation
+
+        cfg = SimConfig(
+            width=params["width"], vcs_per_channel=params["vcs"],
+            message_length=16,
+        )
+        sim = Simulation(cfg, make_algorithm(params["algorithm"]))
+        msg = sim.submit_message(0, sim.mesh.n_nodes - 1)
+        alg, calls = sim.algorithm, params["calls"]
+
+        def run() -> None:
+            for _ in range(calls):
+                alg.candidate_tiers(msg, 0)
+
+        return run, calls
+    if op == "construction":
+        from repro.routing.registry import make_algorithm
+        from repro.simulator.config import SimConfig
+        from repro.simulator.engine import Simulation
+
+        cfg = SimConfig(
+            width=params["width"], vcs_per_channel=params["vcs"],
+            message_length=params["message_length"],
+        )
+        builds = params["builds"]
+
+        def run() -> None:
+            for _ in range(builds):
+                Simulation(cfg, make_algorithm(params["algorithm"]))
+
+        return run, builds
+    raise ValueError(f"unknown ops workload {op!r}")
+
+
+def _run_ops_workload(params: dict, repeats: int) -> dict:
+    run, ops = _ops_runner(params)
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        run()
+        samples.append(time.perf_counter() - t0)
+    best = min(samples)
+    return {
+        "seconds": best,
+        "samples": samples,
+        "ops": ops,
+        "ops_per_sec": ops / best if best else float("inf"),
+    }
+
+
+def run_suite(
+    *,
+    workloads: tuple[Workload, ...] = WORKLOADS,
+    repeats: int = 3,
+    select: tuple[str, ...] | None = None,
+    progress=None,
+) -> dict:
+    """Execute the suite; returns the per-workload metrics dict."""
+    out: dict[str, dict] = {}
+    for w in workloads:
+        if select and w.name not in select:
+            continue
+        if progress:
+            progress(f"[bench] {w.name}: running")
+        if w.kind == "engine":
+            metrics = _run_engine_workload(w.params, repeats)
+        else:
+            metrics = _run_ops_workload(w.params, repeats)
+        metrics["key"] = w.key
+        metrics["params"] = dict(w.params)
+        metrics["peak_rss_kb"] = resource.getrusage(
+            resource.RUSAGE_SELF
+        ).ru_maxrss
+        out[w.name] = metrics
+        if progress:
+            progress(
+                f"[bench] {w.name}: {metrics['seconds']:.3f}s "
+                f"(rss {metrics['peak_rss_kb']} kB)"
+            )
+    return out
+
+
+def write_bench_file(
+    path: Path | str,
+    label: str,
+    workload_metrics: dict,
+    *,
+    repeats: int,
+) -> dict:
+    """Assemble and write the canonical ``BENCH_<label>.json`` payload."""
+    from repro.simulator.engine import ENGINE_VERSION
+
+    payload = {
+        "kind": "bench",
+        "schema": BENCH_SCHEMA,
+        "label": label,
+        "engine_version": ENGINE_VERSION,
+        "created_unix": int(time.time()),
+        "repeats": repeats,
+        "host": {
+            "platform": platform.platform(),
+            "python": sys.version.split()[0],
+            "machine": platform.machine(),
+        },
+        "workloads": workload_metrics,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Comparison
+# ----------------------------------------------------------------------
+def parse_regress(text: str) -> float:
+    """``"15%"`` or ``"0.15"`` -> 0.15 (fraction of allowed regression)."""
+    text = text.strip()
+    value = float(text[:-1]) / 100.0 if text.endswith("%") else float(text)
+    if not 0 <= value < 1:
+        raise ValueError(f"max-regress must be in [0, 1), got {text!r}")
+    return value
+
+
+#: Rate metrics compared per workload, in preference order (higher=better).
+_RATE_METRICS = ("cycles_per_sec", "flit_hops_per_sec", "ops_per_sec")
+
+
+def compare_payloads(
+    old: dict, new: dict, *, max_regress: float = 0.15
+) -> tuple[list[dict], int]:
+    """Compare two bench payloads.
+
+    Returns ``(rows, exit_code)``: one row per shared same-key workload
+    and rate metric, with exit code 1 when any metric regressed beyond
+    *max_regress*, 2 when nothing was comparable, else 0.
+    """
+    rows: list[dict] = []
+    regressed = False
+    old_w = old.get("workloads", {})
+    new_w = new.get("workloads", {})
+    for name in sorted(set(old_w) & set(new_w)):
+        a, b = old_w[name], new_w[name]
+        if a.get("key") != b.get("key"):
+            rows.append({
+                "workload": name, "metric": "-", "status": "skipped",
+                "note": "workload spec changed (key mismatch)",
+            })
+            continue
+        for metric in _RATE_METRICS:
+            if metric not in a or metric not in b:
+                continue
+            old_rate, new_rate = a[metric], b[metric]
+            if not old_rate:
+                continue
+            delta = (new_rate - old_rate) / old_rate
+            bad = delta < -max_regress
+            regressed = regressed or bad
+            rows.append({
+                "workload": name,
+                "metric": metric,
+                "old": old_rate,
+                "new": new_rate,
+                "delta_pct": 100.0 * delta,
+                "status": "REGRESSED" if bad else "ok",
+            })
+    compared = [r for r in rows if r["status"] != "skipped"]
+    if not compared:
+        return rows, 2
+    return rows, 1 if regressed else 0
+
+
+def render_comparison(rows: list[dict], *, max_regress: float) -> str:
+    lines = [
+        f"{'workload':<26} {'metric':<18} {'old':>12} {'new':>12} {'delta':>8}"
+    ]
+    for row in rows:
+        if row["status"] == "skipped":
+            lines.append(f"{row['workload']:<26} {row['note']}")
+            continue
+        flag = "  <-- REGRESSED" if row["status"] == "REGRESSED" else ""
+        lines.append(
+            f"{row['workload']:<26} {row['metric']:<18} "
+            f"{row['old']:>12.1f} {row['new']:>12.1f} "
+            f"{row['delta_pct']:>+7.1f}%{flag}"
+        )
+    lines.append(f"(gate: regression beyond {100 * max_regress:.0f}% fails)")
+    return "\n".join(lines)

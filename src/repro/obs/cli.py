@@ -1,0 +1,242 @@
+"""Observability verbs: ``python -m repro.obs {bench,compare,smoke}``.
+
+* ``bench --label pr3`` runs the pinned perf suite and writes
+  ``BENCH_pr3.json`` (see :mod:`repro.obs.bench`).
+* ``compare BENCH_a.json BENCH_b.json --max-regress 15%`` exits 1 when
+  any shared workload's rate metric regressed beyond the gate, 2 when
+  nothing was comparable, else 0 — the non-blocking CI perf lane.
+* ``smoke`` runs one instrumented simulation, prints every telemetry
+  counter, and self-verifies that the counters reconcile with the
+  engine's :class:`~repro.simulator.engine.SimulationResult` aggregates
+  (per-role VC occupancy vs ``vc_busy``, ejected flits vs delivered
+  messages).  ``--trace-out file.json`` additionally exports a
+  Chrome-trace (or ``.jsonl``) of the sampled message lifecycles.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+from pathlib import Path
+
+
+def bench_main(argv: list[str]) -> int:
+    from repro.obs.bench import run_suite, WORKLOADS, write_bench_file
+
+    parser = argparse.ArgumentParser(
+        prog="repro-obs bench",
+        description="Run the pinned perf suite and write BENCH_<label>.json.",
+    )
+    parser.add_argument(
+        "--label", required=True,
+        help="output label: writes BENCH_<label>.json",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repetitions per workload; minimum is kept (default 3)",
+    )
+    parser.add_argument(
+        "--only", nargs="+", default=None, metavar="NAME",
+        choices=[w.name for w in WORKLOADS],
+        help="run a subset of workloads (partial files compare per-name)",
+    )
+    parser.add_argument(
+        "--out-dir", type=Path, default=Path("."),
+        help="directory for BENCH_<label>.json (default: current dir)",
+    )
+    parser.add_argument(
+        "--store", type=Path, nargs="?", const=None, default=False,
+        metavar="DIR",
+        help="also archive the payload in the content-addressed result "
+        "store (optional DIR overrides the default location)",
+    )
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    progress = None if args.quiet else (lambda s: print(s, file=sys.stderr))
+    metrics = run_suite(
+        repeats=args.repeats,
+        select=tuple(args.only) if args.only else None,
+        progress=progress,
+    )
+    if not metrics:
+        print("no workloads selected", file=sys.stderr)
+        return 2
+    path = args.out_dir / f"BENCH_{args.label}.json"
+    payload = write_bench_file(path, args.label, metrics, repeats=args.repeats)
+    print(f"[bench] wrote {path} ({len(metrics)} workloads)")
+    if args.store is not False:
+        from repro.store import ResultStore, default_store_dir
+        from repro.store.keys import canonical_json
+        import hashlib
+
+        store = ResultStore(
+            args.store if args.store is not None else default_store_dir()
+        )
+        key = hashlib.sha256(
+            canonical_json({"kind": "bench-run", "label": args.label,
+                            "created": payload["created_unix"]}).encode()
+        ).hexdigest()
+        store.put(key, payload)
+        print(f"[bench] archived under key {key[:16]}… in {store.root}")
+    return 0
+
+
+def compare_main(argv: list[str]) -> int:
+    from repro.obs.bench import (
+        compare_payloads, parse_regress, render_comparison,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro-obs compare",
+        description="Gate a new BENCH file against a baseline "
+        "(exit 1 on regression, 2 when nothing is comparable).",
+    )
+    parser.add_argument("old", type=Path, help="baseline BENCH_*.json")
+    parser.add_argument("new", type=Path, help="candidate BENCH_*.json")
+    parser.add_argument(
+        "--max-regress", default="15%",
+        help="allowed rate-metric drop, '15%%' or '0.15' (default 15%%)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        tolerance = parse_regress(args.max_regress)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        old = json.loads(args.old.read_text())
+        new = json.loads(args.new.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rows, code = compare_payloads(old, new, max_regress=tolerance)
+    print(
+        f"comparing {args.old.name} (engine v{old.get('engine_version', '?')})"
+        f" -> {args.new.name} (engine v{new.get('engine_version', '?')})"
+    )
+    print(render_comparison(rows, max_regress=tolerance))
+    if code == 2:
+        print("no comparable workloads (keys changed?)", file=sys.stderr)
+    return code
+
+
+def smoke_main(argv: list[str]) -> int:
+    from repro.faults.generator import generate_block_fault_pattern
+    from repro.faults.pattern import FaultPattern
+    from repro.metrics.vc_usage import reconcile_vc_usage
+    from repro.obs.telemetry import TelemetryRegistry
+    from repro.obs.trace_export import lifecycle_tracer, write_trace
+    from repro.routing.registry import make_algorithm
+    from repro.simulator.config import SimConfig
+    from repro.simulator.engine import Simulation
+    from repro.topology.mesh import Mesh2D
+
+    parser = argparse.ArgumentParser(
+        prog="repro-obs smoke",
+        description="One instrumented run: print counters, self-verify "
+        "that telemetry reconciles with the engine's aggregates.",
+    )
+    parser.add_argument("--algorithm", default="duato-nbc")
+    parser.add_argument("--width", type=int, default=10)
+    parser.add_argument("--vcs", type=int, default=24)
+    parser.add_argument("--faults", type=int, default=5)
+    parser.add_argument("--rate", type=float, default=0.02)
+    parser.add_argument("--cycles", type=int, default=3000)
+    parser.add_argument("--seed", type=int, default=2007)
+    parser.add_argument(
+        "--trace-out", type=Path, default=None, metavar="FILE",
+        help="export sampled lifecycle trace (.json Chrome / .jsonl)",
+    )
+    parser.add_argument(
+        "--trace-sample", type=int, default=1, metavar="N",
+        help="trace 1-in-N messages (deterministic by message id)",
+    )
+    args = parser.parse_args(argv)
+
+    cfg = SimConfig(
+        width=args.width, vcs_per_channel=args.vcs, message_length=16,
+        injection_rate=args.rate, cycles=args.cycles, warmup=0,
+        seed=args.seed, on_deadlock="drain", collect_vc_stats=True,
+    )
+    mesh = Mesh2D(cfg.width, cfg.height)
+    if args.faults:
+        faults = generate_block_fault_pattern(
+            mesh, args.faults, random.Random(args.seed)
+        )
+    else:
+        faults = FaultPattern.fault_free(mesh)
+    registry = TelemetryRegistry()
+    sim = Simulation(
+        cfg, make_algorithm(args.algorithm), faults=faults,
+        telemetry=registry,
+    )
+    tracer = None
+    if args.trace_out is not None:
+        tracer = lifecycle_tracer(sample=args.trace_sample)
+        sim.tracer = tracer
+    result = sim.run()
+
+    print(registry.render(prefix="engine."))
+    failures = []
+    if registry.value("engine.messages.generated") != result.generated:
+        failures.append(
+            f"generated: telemetry "
+            f"{registry.value('engine.messages.generated')} "
+            f"!= result {result.generated}"
+        )
+    if registry.value("engine.messages.delivered") != result.delivered:
+        failures.append(
+            f"delivered: telemetry "
+            f"{registry.value('engine.messages.delivered')} "
+            f"!= result {result.delivered}"
+        )
+    ejected = registry.value("engine.flits.ejected")
+    if ejected != result.delivered_flits:
+        failures.append(
+            f"ejected flits: telemetry {ejected} "
+            f"!= result {result.delivered_flits}"
+        )
+    try:
+        rollup = reconcile_vc_usage(result, registry, sim.algorithm.budget)
+        print(f"[smoke] per-role VC occupancy reconciled: {rollup}")
+    except ValueError as exc:
+        failures.append(str(exc))
+    if tracer is not None:
+        n = write_trace(
+            args.trace_out, tracer,
+            label=f"{args.algorithm} {args.width}x{args.width}",
+            telemetry_snapshot=registry.snapshot(),
+        )
+        print(f"[smoke] wrote {n} trace events to {args.trace_out}")
+    if failures:
+        for line in failures:
+            print(f"[smoke] FAIL: {line}", file=sys.stderr)
+        return 1
+    print(
+        f"[smoke] ok: {result.delivered}/{result.generated} messages, "
+        "telemetry reconciles with SimulationResult"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    verbs = {"bench": bench_main, "compare": compare_main, "smoke": smoke_main}
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        print(f"verbs: {', '.join(sorted(verbs))}")
+        return 0
+    verb = argv[0]
+    if verb not in verbs:
+        print(f"unknown verb {verb!r}; expected one of "
+              f"{', '.join(sorted(verbs))}", file=sys.stderr)
+        return 2
+    return verbs[verb](argv[1:])
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,251 @@
+"""Near-zero-overhead engine telemetry: counters, gauges, histograms.
+
+The registry is the sanctioned runtime-observability mechanism for the
+simulation engine (the project linter's REP006 forbids wall-clock calls
+inside :mod:`repro.simulator`): every instrument is **cycle-stamped** —
+updates carry the simulation cycle, never ``time.time()`` — so telemetry
+is exactly reproducible and free of clock syscalls in the hot path.
+
+Design rules:
+
+* **Disabled = one attribute check.**  The engine guards every publish
+  site with ``if self.telemetry is not None:``; a run constructed with
+  ``telemetry=None`` (the default) executes no instrument code at all.
+* **Enabled = attribute bumps.**  The engine binds instrument objects
+  once (:meth:`~repro.simulator.engine.Simulation.attach_telemetry`) and
+  hot paths do ``counter.inc(cycle)`` — a slot write and an int add, no
+  dict lookup, no string formatting.
+* **One registry, many runs.**  A registry may be attached to several
+  simulations in sequence (e.g. one per algorithm in a figure sweep);
+  counters then accumulate across runs.  Use :meth:`TelemetryRegistry.
+  reset` or a fresh registry for per-run numbers.
+
+The engine's counter catalog is documented in ``docs/observability.md``;
+:func:`repro.metrics.vc_usage.reconcile_vc_usage` cross-checks the
+per-role occupancy counters against the Figure 3 ``vc_busy`` aggregates.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "TelemetryRegistry",
+    "make_instrument",
+]
+
+
+class Counter:
+    """A monotonically increasing, cycle-stamped counter."""
+
+    __slots__ = ("name", "value", "last_cycle")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+        self.last_cycle = -1
+
+    def inc(self, cycle: int, n: int = 1) -> None:
+        self.value += n
+        self.last_cycle = cycle
+
+    def reset(self) -> None:
+        self.value = 0
+        self.last_cycle = -1
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "counter",
+            "value": self.value,
+            "last_cycle": self.last_cycle,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """A point-in-time value with the cycle it was last set."""
+
+    __slots__ = ("name", "value", "last_cycle")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+        self.last_cycle = -1
+
+    def set(self, cycle: int, value) -> None:
+        self.value = value
+        self.last_cycle = cycle
+
+    def reset(self) -> None:
+        self.value = 0
+        self.last_cycle = -1
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "gauge",
+            "value": self.value,
+            "last_cycle": self.last_cycle,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name!r}, value={self.value})"
+
+
+#: Default histogram bucket upper bounds (cycles): powers of two give a
+#: latency profile from "one router" to "deeply saturated".
+DEFAULT_BOUNDS = (16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192)
+
+
+class Histogram:
+    """A fixed-bucket histogram (upper-bound buckets plus overflow)."""
+
+    __slots__ = ("name", "bounds", "counts", "total", "sum", "last_cycle")
+
+    def __init__(self, name: str, bounds: tuple[int, ...] = DEFAULT_BOUNDS) -> None:
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.name = name
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(bounds) + 1)  # last bucket = overflow
+        self.total = 0
+        self.sum = 0
+        self.last_cycle = -1
+
+    def observe(self, cycle: int, value: int) -> None:
+        self.counts[bisect_right(self.bounds, value)] += 1
+        self.total += 1
+        self.sum += value
+        self.last_cycle = cycle
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else float("nan")
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.sum = 0
+        self.last_cycle = -1
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "histogram",
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "total": self.total,
+            "sum": self.sum,
+            "last_cycle": self.last_cycle,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name!r}, total={self.total})"
+
+
+class TelemetryRegistry:
+    """Named instruments; get-or-create accessors, snapshot export.
+
+    Instruments are plain objects (no locks — the engine is
+    single-threaded per process); process pools should give each worker
+    its own registry and merge snapshots afterwards.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = self._instruments[name] = Counter(name)
+        elif not isinstance(inst, Counter):
+            raise TypeError(f"{name!r} is already a {type(inst).__name__}")
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = self._instruments[name] = Gauge(name)
+        elif not isinstance(inst, Gauge):
+            raise TypeError(f"{name!r} is already a {type(inst).__name__}")
+        return inst
+
+    def histogram(
+        self, name: str, bounds: tuple[int, ...] = DEFAULT_BOUNDS
+    ) -> Histogram:
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = self._instruments[name] = Histogram(name, bounds)
+        elif not isinstance(inst, Histogram):
+            raise TypeError(f"{name!r} is already a {type(inst).__name__}")
+        return inst
+
+    # ------------------------------------------------------------------
+    def get(self, name: str):
+        """The instrument named *name*, or ``None``."""
+        return self._instruments.get(name)
+
+    def value(self, name: str, default: int = 0):
+        """Shorthand: the value of a counter/gauge (``default`` if absent)."""
+        inst = self._instruments.get(name)
+        return default if inst is None else inst.value
+
+    def names(self) -> list[str]:
+        return sorted(self._instruments)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def reset(self) -> None:
+        """Zero every instrument (names and types are kept)."""
+        for inst in self._instruments.values():
+            inst.reset()
+
+    def snapshot(self) -> dict:
+        """JSON-safe dump of every instrument, sorted by name."""
+        return {
+            name: self._instruments[name].snapshot()
+            for name in sorted(self._instruments)
+        }
+
+    def render(self, prefix: str = "") -> str:
+        """A human-readable table of instruments (optionally filtered)."""
+        lines = []
+        for name in sorted(self._instruments):
+            if prefix and not name.startswith(prefix):
+                continue
+            inst = self._instruments[name]
+            if isinstance(inst, Histogram):
+                lines.append(
+                    f"{name:<40} n={inst.total} mean={inst.mean:.1f}"
+                )
+            else:
+                lines.append(f"{name:<40} {inst.value}")
+        return "\n".join(lines)
+
+
+def make_instrument(telemetry: TelemetryRegistry | None = None, tracer=None):
+    """A per-run hook for :class:`repro.core.evaluator.Evaluator`.
+
+    The returned callable attaches *telemetry* (a shared registry,
+    accumulating across runs) and/or *tracer* (a shared
+    :class:`~repro.simulator.trace.Tracer`) to every
+    :class:`~repro.simulator.engine.Simulation` the evaluator executes.
+    Note that cache hits in a :class:`~repro.store.CachedEvaluator` do
+    not re-simulate, so instrumented counters cover executed runs only.
+    """
+
+    def instrument(sim) -> None:
+        if telemetry is not None:
+            sim.attach_telemetry(telemetry)
+        if tracer is not None:
+            sim.tracer = tracer
+
+    return instrument

@@ -25,6 +25,10 @@ ROLE_ADAPTIVE = 1
 ROLE_ESCAPE = 2
 ROLE_RING = 3
 
+#: Printable role names, indexed by the ``ROLE_*`` tags (telemetry
+#: counters and the Figure 3 class rollup key on these).
+ROLE_NAMES = ("class", "adaptive", "escape", "ring")
+
 N_RING_CLASSES = 4
 
 

@@ -178,7 +178,16 @@ class SimulationResult:
 
 
 class Simulation:
-    """One simulation run binding a config, algorithm and fault pattern."""
+    """One simulation run binding a config, algorithm and fault pattern.
+
+    ``telemetry`` optionally attaches a
+    :class:`repro.obs.TelemetryRegistry`; the engine then publishes
+    cycle-stamped counters (injections, flit hops, blocked-header cycles,
+    per-role VC occupancy, f-ring traversals, watchdog drains — see
+    ``docs/observability.md``).  With ``telemetry=None`` (the default)
+    every publish site reduces to a single attribute check, so the hot
+    path is unchanged.
+    """
 
     def __init__(
         self,
@@ -186,6 +195,7 @@ class Simulation:
         algorithm: RoutingAlgorithm,
         faults: FaultPattern | None = None,
         pattern: TrafficPattern | None = None,
+        telemetry=None,
     ) -> None:
         self.config = config
         self.mesh = Mesh2D(config.width, config.height)
@@ -235,6 +245,12 @@ class Simulation:
 
         #: Optional event recorder (see :mod:`repro.simulator.trace`).
         self.tracer = None
+
+        #: Optional telemetry registry (see :mod:`repro.obs.telemetry`).
+        #: ``None`` keeps every publish site a no-op attribute check.
+        self.telemetry = None
+        if telemetry is not None:
+            self.attach_telemetry(telemetry)
 
         self.result = SimulationResult(
             algorithm=algorithm.name,
@@ -290,12 +306,62 @@ class Simulation:
         return iter(self._active)
 
     # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def attach_telemetry(self, registry) -> None:
+        """Bind a :class:`repro.obs.TelemetryRegistry` to this run.
+
+        Instruments are resolved once here, so the per-event cost while
+        running is an attribute bump; call before :meth:`run` (counters
+        accumulate, so one registry may be attached to several runs in
+        sequence).  Attaching also enables the per-cycle VC-occupancy
+        sweep (the same pass Figure 3's ``collect_vc_stats`` uses), so
+        per-role occupancy and ``vc_busy`` agree by construction.
+        """
+        from repro.routing.budgets import ROLE_NAMES, ROLE_RING
+
+        self.telemetry = registry
+        budget = self.algorithm.budget
+        self._role_of = budget.role_of if budget is not None else ()
+        self._ring_role = ROLE_RING
+        c = registry.counter
+        self._t_generated = c("engine.messages.generated")
+        self._t_injected = c("engine.messages.injected")
+        self._t_delivered = c("engine.messages.delivered")
+        self._t_flit_hops = c("engine.flits.hops")
+        self._t_ejected = c("engine.flits.ejected")
+        self._t_blocked = c("engine.headers.blocked_cycles")
+        self._t_drain_deadlock = c("engine.drains.deadlock")
+        self._t_drain_livelock = c("engine.drains.livelock")
+        self._t_alloc_role = tuple(
+            c(f"engine.vc_alloc.{name}") for name in ROLE_NAMES
+        )
+        self._t_busy_role = tuple(
+            c(f"engine.vc_busy.{name}") for name in ROLE_NAMES
+        )
+        self._t_latency = registry.histogram("engine.latency")
+        self._g_inflight = registry.gauge("engine.inflight_flits")
+        self._t_fring: dict[int, object] = {}
+
+    def _fring_counter(self, ring):
+        """The per-f-ring traversal counter (lazy, keyed by identity)."""
+        counter = self._t_fring.get(id(ring))
+        if counter is None:
+            r = ring.region
+            kind = "ring" if ring.closed else "chain"
+            counter = self.telemetry.counter(
+                f"engine.fring.{kind}[{r.x0},{r.y0},{r.x1},{r.y1}].traversals"
+            )
+            self._t_fring[id(ring)] = counter
+        return counter
+
+    # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
         """Run the configured number of cycles and return the statistics."""
         cfg = self.config
-        collect = cfg.collect_vc_stats or cfg.collect_node_stats
+        collect_vc = cfg.collect_vc_stats or self.telemetry is not None
         for _ in range(cfg.cycles):
             cycle = self.cycle
             self._generate(cycle)
@@ -304,7 +370,7 @@ class Simulation:
             self._switch_and_traverse(cycle)
             if cycle % _WATCHDOG_INTERVAL == 0:
                 self._watchdog(cycle)
-            if collect and cycle >= cfg.warmup and cfg.collect_vc_stats:
+            if collect_vc and cycle >= cfg.warmup:
                 self._collect_vc(cycle)
             self.cycle += 1
         self.result.class_caps = self.algorithm.class_caps
@@ -313,6 +379,7 @@ class Simulation:
     def step(self, cycles: int = 1) -> None:
         """Advance the simulation a fixed number of cycles (for tests)."""
         cfg = self.config
+        collect_vc = cfg.collect_vc_stats or self.telemetry is not None
         for _ in range(cycles):
             cycle = self.cycle
             self._generate(cycle)
@@ -321,7 +388,7 @@ class Simulation:
             self._switch_and_traverse(cycle)
             if cycle % _WATCHDOG_INTERVAL == 0:
                 self._watchdog(cycle)
-            if cfg.collect_vc_stats and cycle >= cfg.warmup:
+            if collect_vc and cycle >= cfg.warmup:
                 self._collect_vc(cycle)
             self.cycle += 1
 
@@ -341,6 +408,8 @@ class Simulation:
         self._queues[src].append(msg)
         self._inj_pending[src] = None
         self.total_generated += 1
+        if self.telemetry is not None:
+            self._t_generated.inc(msg.created)
         if msg.created >= self.config.warmup:
             self.result.generated += 1
         return msg
@@ -412,6 +481,8 @@ class Simulation:
         if kind == HEAD or msg.length == 1:
             if self.tracer is not None:
                 self.tracer.record(cycle, "inject", msg.id, invc.node)
+            if self.telemetry is not None:
+                self._t_injected.inc(cycle)
         if invc.msg is None:
             invc.msg = msg
             invc.blocked_since = cycle
@@ -458,6 +529,8 @@ class Simulation:
                     )
                     break
             if granted is None:
+                if self.telemetry is not None:
+                    self._t_blocked.inc(cycle)
                 continue
             granted.owner = invc
             invc.out_ovc = granted
@@ -468,6 +541,11 @@ class Simulation:
                 self.tracer.record(
                     cycle, "alloc", msg.id, node, (granted.port, granted.vc)
                 )
+            if self.telemetry is not None and not granted.is_ejection:
+                role = self._role_of[granted.vc]
+                self._t_alloc_role[role].inc(cycle)
+                if role == self._ring_role and msg.ring is not None:
+                    self._fring_counter(msg.ring).inc(cycle)
             if not granted.is_ejection:
                 alg.on_vc_allocated(msg, node, granted.port, granted.vc)
 
@@ -513,14 +591,21 @@ class Simulation:
                 node_load[invc.node] += 1
             if self.tracer is not None:
                 self.tracer.record(cycle, "move", msg.id, invc.node, kind)
+            if self.telemetry is not None:
+                self._t_flit_hops.inc(cycle)
             if ovc.is_ejection:
                 if measuring:
                     result.delivered_flits += 1
+                if self.telemetry is not None:
+                    self._t_ejected.inc(cycle)
                 if kind == TAIL:
                     msg.delivered = cycle
                     self.total_delivered += 1
                     if self.tracer is not None:
                         self.tracer.record(cycle, "deliver", msg.id, invc.node)
+                    if self.telemetry is not None:
+                        self._t_delivered.inc(cycle)
+                        self._t_latency.observe(cycle, cycle - msg.created)
                     if measuring:
                         result.delivered += 1
                         lat = msg.delivered - msg.created
@@ -566,6 +651,8 @@ class Simulation:
     def _watchdog(self, cycle: int) -> None:
         timeout = self._timeout
         action = self.config.on_deadlock
+        if self.telemetry is not None:
+            self._g_inflight.set(cycle, self.flits_in_network())
         stuck = [
             invc
             for invc in self._needs_routing
@@ -615,6 +702,11 @@ class Simulation:
                 self.cycle, "drain", msg.id, msg.src,
                 "livelock" if livelock else "deadlock",
             )
+        if self.telemetry is not None:
+            if livelock:
+                self._t_drain_livelock.inc(self.cycle)
+            else:
+                self._t_drain_deadlock.inc(self.cycle)
         if self.cycle >= self.config.warmup:
             if livelock:
                 self.result.dropped_livelock += 1
@@ -654,13 +746,29 @@ class Simulation:
     # Statistics
     # ------------------------------------------------------------------
     def _collect_vc(self, cycle: int) -> None:
+        if self.telemetry is None:
+            vc_busy = self.result.vc_busy
+            for invc in self._needs_routing:
+                if invc.port != LOCAL:
+                    vc_busy[invc.vc] += 1
+            for invc in self._active:
+                if invc.port != LOCAL:
+                    vc_busy[invc.vc] += 1
+            return
+        # Telemetry attached: the same sweep also feeds the per-role
+        # occupancy counters, so Figure 3's vc_busy and the telemetry
+        # view agree by construction (reconcile_vc_usage checks this).
+        track = self.config.collect_vc_stats
         vc_busy = self.result.vc_busy
-        for invc in self._needs_routing:
-            if invc.port != LOCAL:
-                vc_busy[invc.vc] += 1
-        for invc in self._active:
-            if invc.port != LOCAL:
-                vc_busy[invc.vc] += 1
+        role_of = self._role_of
+        busy_role = self._t_busy_role
+        for source in (self._needs_routing, self._active):
+            for invc in source:
+                if invc.port != LOCAL:
+                    vc = invc.vc
+                    if track:
+                        vc_busy[vc] += 1
+                    busy_role[role_of[vc]].inc(cycle)
 
     def check_invariants(self) -> None:
         """Verify internal consistency (used by the test suite).

@@ -33,6 +33,11 @@ class Tracer:
         When given, record only events of these message ids.
     kinds:
         When given, record only these event kinds.
+    sample:
+        Record only messages whose id is divisible by *sample* (default
+        1 = every message).  Message ids are assigned deterministically
+        from the run seed, so sampled traces are exactly reproducible,
+        and a full-scale run's trace stays bounded by ``1/sample``.
     sink:
         Optional callable invoked with every recorded event (e.g.
         ``print`` for live debugging).
@@ -43,18 +48,24 @@ class Tracer:
         capacity: int = 100_000,
         message_ids: set[int] | None = None,
         kinds: set[str] | None = None,
+        sample: int = 1,
         sink: Callable[[tuple], None] | None = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be positive")
+        if sample < 1:
+            raise ValueError("sample must be >= 1")
         self.events: deque[tuple] = deque(maxlen=capacity)
         self.message_ids = message_ids
         self.kinds = kinds
+        self.sample = sample
         self.sink = sink
         self.counts: Counter[str] = Counter()
 
     # ------------------------------------------------------------------
     def record(self, cycle: int, kind: str, msg_id: int, node: int, detail=None):
+        if self.sample > 1 and msg_id % self.sample:
+            return
         if self.kinds is not None and kind not in self.kinds:
             return
         if self.message_ids is not None and msg_id not in self.message_ids:

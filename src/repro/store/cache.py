@@ -72,11 +72,17 @@ class CachedEvaluator(Evaluator):
         *,
         seed: int = 2007,
         pattern_factory=None,
+        instrument=None,
         store: ResultStore | Path | str | None = None,
         enabled: bool = True,
         traffic_label: str | None = None,
     ) -> None:
-        super().__init__(base_config, seed=seed, pattern_factory=pattern_factory)
+        super().__init__(
+            base_config,
+            seed=seed,
+            pattern_factory=pattern_factory,
+            instrument=instrument,
+        )
         self.store = store if isinstance(store, ResultStore) else ResultStore(store)
         self.enabled = enabled
         if traffic_label is None and pattern_factory is None:
@@ -127,20 +133,29 @@ def make_evaluator(
     *,
     seed: int = 2007,
     pattern_factory=None,
+    instrument=None,
     store: ResultStore | Path | str | None = None,
     **cache_kwargs,
 ) -> Evaluator:
     """A plain Evaluator, or a cached one when *store* is given.
 
     This is the single switch the experiment drivers use: ``store=None``
-    preserves the original uncached behavior exactly.
+    preserves the original uncached behavior exactly.  ``instrument``
+    (see :class:`~repro.core.evaluator.Evaluator`) observes executed
+    runs only — cache hits skip the simulation entirely.
     """
     if store is None:
-        return Evaluator(base_config, seed=seed, pattern_factory=pattern_factory)
+        return Evaluator(
+            base_config,
+            seed=seed,
+            pattern_factory=pattern_factory,
+            instrument=instrument,
+        )
     return CachedEvaluator(
         base_config,
         seed=seed,
         pattern_factory=pattern_factory,
+        instrument=instrument,
         store=store,
         **cache_kwargs,
     )

@@ -3,6 +3,7 @@
 ::
 
     python -m repro.verify check --all              # model-check every algorithm
+    python -m repro.verify check --all --workers 4  # fan cases out to a pool
     python -m repro.verify check --algorithm duato --pattern center-block
     python -m repro.verify lint                     # lint src/repro
     python -m repro.verify lint path/to/file.py --json
@@ -58,23 +59,43 @@ def _algorithm_verdict(reports: list[CdgReport]) -> tuple[bool, str]:
     return False, "declared NOT deadlock-free but no counterexample cycle found"
 
 
+def _check_job(job: tuple[str, str, int, int]) -> tuple[str, str, CdgReport]:
+    """Model-check one (algorithm, pattern) case — picklable pool worker."""
+    name, pname, width, vcs = job
+    checker = CdgChecker(
+        make_algorithm(name),
+        corpus_pattern(pname, width),
+        total_vcs=vcs,
+        pattern_name=pname,
+    )
+    return name, pname, checker.run()
+
+
 def check_main(args: argparse.Namespace) -> int:
     names = list(ALGORITHM_NAMES) if args.all else args.algorithm
     if not names:
         print("check: give --all or --algorithm NAME", file=sys.stderr)
         return 2
     patterns = args.pattern or list(CORPUS_NAMES)
-    results: dict[str, list[CdgReport]] = {}
-    for name in names:
-        results[name] = []
-        for pname in patterns:
-            checker = CdgChecker(
-                make_algorithm(name),
-                corpus_pattern(pname, args.width),
-                total_vcs=args.vcs,
-                pattern_name=pname,
-            )
-            results[name].append(checker.run())
+    # The (algorithm, pattern) cases are independent; fan them out over a
+    # process pool when --workers > 1 (workers <= 1 stays in process).
+    from repro.experiments.parallel import parallel_map
+
+    jobs = [
+        (name, pname, args.width, args.vcs)
+        for name in names
+        for pname in patterns
+    ]
+    progress = (
+        (lambda s: print(s, file=sys.stderr))
+        if getattr(args, "workers", 1) > 1 and not args.json
+        else None
+    )
+    results: dict[str, list[CdgReport]] = {name: [] for name in names}
+    for name, _pname, report in parallel_map(
+        _check_job, jobs, getattr(args, "workers", 1), progress, label="check"
+    ):
+        results[name].append(report)
 
     verdicts = {name: _algorithm_verdict(reports) for name, reports in results.items()}
     ok = all(passed for passed, _ in verdicts.values())
@@ -191,6 +212,11 @@ def main(argv: list[str] | None = None) -> int:
     p_check.add_argument("--json", action="store_true", help="machine-readable output")
     p_check.add_argument(
         "--verbose", action="store_true", help="print ring-residual cycles too"
+    )
+    p_check.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool size over the (algorithm, pattern) cases "
+        "(default 1 = in process); results are order-independent",
     )
     p_check.set_defaults(func=check_main)
 

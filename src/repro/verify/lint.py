@@ -293,6 +293,103 @@ def _rule_tier_annotations(mod: _Module) -> list[Finding]:
 
 
 # ----------------------------------------------------------------------
+# REP006 — no wall-clock time in simulator hot paths
+# ----------------------------------------------------------------------
+#: Modules where wall-clock reads are forbidden: the cycle-driven engine
+#: core and the telemetry layer it publishes into.  Simulation behavior
+#: and observations must be functions of the cycle counter alone —
+#: wall-clock reads there break determinism of anything derived from
+#: them and hide real perf costs from the :mod:`repro.obs.bench`
+#: harness, which times runs from the *outside*.
+_WALLCLOCK_FORBIDDEN_PREFIXES = (
+    "repro/simulator/",
+    "repro/obs/telemetry",
+)
+
+#: ``time`` module attributes that read a clock.
+_WALLCLOCK_ATTRS = {
+    "time", "time_ns",
+    "perf_counter", "perf_counter_ns",
+    "monotonic", "monotonic_ns",
+    "process_time", "process_time_ns",
+    "clock_gettime", "clock_gettime_ns",
+}
+
+
+def _rule_no_wallclock(mod: _Module) -> list[Finding]:
+    if not any(p in mod.path for p in _WALLCLOCK_FORBIDDEN_PREFIXES):
+        return []
+    time_names: set[str] = set()
+    found = []
+    for node in ast.walk(mod.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "time":
+                    time_names.add(alias.asname or "time")
+        elif isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name in _WALLCLOCK_ATTRS:
+                    found.append(Finding(
+                        "REP006", mod.path, node.lineno, node.col_offset,
+                        f"'from time import {alias.name}' in a simulator "
+                        "hot-path module; the engine is cycle-driven — "
+                        "stamp telemetry with the cycle counter, time runs "
+                        "from outside (repro.obs.bench)",
+                    ))
+    if time_names:
+        for node in ast.walk(mod.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id in time_names
+                and node.attr in _WALLCLOCK_ATTRS
+            ):
+                found.append(Finding(
+                    "REP006", mod.path, node.lineno, node.col_offset,
+                    f"time.{node.attr}() in a simulator hot-path module; "
+                    "the engine is cycle-driven — stamp telemetry with the "
+                    "cycle counter, time runs from outside (repro.obs.bench)",
+                ))
+    return found
+
+
+# ----------------------------------------------------------------------
+# REP007 — figure drivers stay profile-driven
+# ----------------------------------------------------------------------
+def _rule_figure_drivers(mod: _Module) -> list[Finding]:
+    name = mod.path.rsplit("/", 1)[-1]
+    if "repro/experiments/" not in mod.path or not name.startswith("fig_"):
+        return []
+    found = []
+    for node in mod.tree.body:  # top-level functions only
+        if not isinstance(node, ast.FunctionDef):
+            continue
+        if not node.name.startswith("run_"):
+            continue
+        params = [a.arg for a in node.args.posonlyargs + node.args.args]
+        if not params or params[0] != "profile":
+            found.append(Finding(
+                "REP007", mod.path, node.lineno, node.col_offset,
+                f"figure driver {node.name}() must take 'profile' as its "
+                "first parameter (drivers are parameterized by the "
+                "registered profiles in repro.experiments.profiles, so "
+                "every figure runs at quick/smoke/paper scale)",
+            ))
+    for node in ast.walk(mod.tree):
+        if (
+            isinstance(node, ast.Call)
+            and _base_name(node.func) == "SimConfig"
+        ):
+            found.append(Finding(
+                "REP007", mod.path, node.lineno, node.col_offset,
+                "figure drivers must not construct SimConfig inline; the "
+                "simulation scale belongs to the profile registry "
+                "(repro.experiments.profiles), not to one figure",
+            ))
+    return found
+
+
+# ----------------------------------------------------------------------
 # Catalog
 # ----------------------------------------------------------------------
 #: rule id -> (scope, summary, implementation).
@@ -321,6 +418,17 @@ RULES: dict[str, tuple[str, str, object]] = {
         "module",
         "tiers_for/candidate_tiers annotated '-> list[Tier]'",
         _rule_tier_annotations,
+    ),
+    "REP006": (
+        "module",
+        "no wall-clock reads in repro.simulator / telemetry hot paths",
+        _rule_no_wallclock,
+    ),
+    "REP007": (
+        "module",
+        "figure drivers are profile-driven (run_*(profile, ...), no "
+        "inline SimConfig)",
+        _rule_figure_drivers,
     ),
 }
 

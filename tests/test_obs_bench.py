@@ -1,0 +1,179 @@
+"""Tests for the repro.obs.bench harness and the compare gate."""
+
+import json
+
+import pytest
+
+from repro.obs.bench import (
+    WORKLOADS,
+    Workload,
+    bench_key,
+    compare_payloads,
+    parse_regress,
+    run_suite,
+    write_bench_file,
+)
+from repro.obs.cli import main as obs_main
+
+
+# ----------------------------------------------------------------------
+# Keys
+# ----------------------------------------------------------------------
+def test_bench_key_is_stable_and_param_sensitive():
+    a = bench_key("w", {"x": 1, "y": 2})
+    assert a == bench_key("w", {"y": 2, "x": 1})  # canonical ordering
+    assert a != bench_key("w", {"x": 1, "y": 3})
+    assert a != bench_key("other", {"x": 1, "y": 2})
+    assert len(a) == 16
+
+
+def test_pinned_workloads_have_unique_names_and_keys():
+    names = [w.name for w in WORKLOADS]
+    keys = [w.key for w in WORKLOADS]
+    assert len(set(names)) == len(names)
+    assert len(set(keys)) == len(keys)
+    kinds = {w.kind for w in WORKLOADS}
+    assert kinds == {"engine", "ops"}
+
+
+# ----------------------------------------------------------------------
+# parse_regress
+# ----------------------------------------------------------------------
+def test_parse_regress():
+    assert parse_regress("15%") == pytest.approx(0.15)
+    assert parse_regress("0.15") == pytest.approx(0.15)
+    assert parse_regress(" 7% ") == pytest.approx(0.07)
+    with pytest.raises(ValueError):
+        parse_regress("150%")
+    with pytest.raises(ValueError):
+        parse_regress("-1%")
+
+
+# ----------------------------------------------------------------------
+# Suite execution (smallest workload only, 1 repeat: keeps the test fast)
+# ----------------------------------------------------------------------
+def test_run_suite_metrics_shape(tmp_path):
+    tiny = (
+        Workload("tiny_ops", "ops", {
+            "op": "fault_patterns", "width": 6, "faults": 2, "draws": 2,
+            "seed": 1,
+        }),
+    )
+    metrics = run_suite(workloads=tiny, repeats=2)
+    m = metrics["tiny_ops"]
+    assert m["key"] == tiny[0].key
+    assert m["seconds"] == min(m["samples"]) and len(m["samples"]) == 2
+    assert m["ops"] == 2 and m["ops_per_sec"] > 0
+    assert m["peak_rss_kb"] > 0
+
+    payload = write_bench_file(
+        tmp_path / "BENCH_t.json", "t", metrics, repeats=2
+    )
+    on_disk = json.loads((tmp_path / "BENCH_t.json").read_text())
+    assert on_disk == payload
+    assert on_disk["kind"] == "bench" and on_disk["label"] == "t"
+    assert on_disk["engine_version"] >= 1
+    assert "tiny_ops" in on_disk["workloads"]
+
+
+def test_engine_workload_reports_rates():
+    w = Workload("mini_engine", "engine", {
+        "algorithm": "nhop", "width": 5, "vcs": 16, "message_length": 4,
+        "rate": 0.01, "warm": 50, "cycles": 100, "seed": 3, "faults": 0,
+    })
+    m = run_suite(workloads=(w,), repeats=1)["mini_engine"]
+    assert m["cycles"] == 100
+    assert m["cycles_per_sec"] > 0
+    assert m["flit_hops"] > 0
+    assert m["flit_hops_per_sec"] > 0
+
+
+# ----------------------------------------------------------------------
+# compare
+# ----------------------------------------------------------------------
+def _payload(rate, key="k1"):
+    return {
+        "kind": "bench",
+        "engine_version": 1,
+        "workloads": {
+            "w": {"key": key, "cycles_per_sec": rate, "params": {}},
+        },
+    }
+
+
+def test_compare_ok_within_tolerance():
+    rows, code = compare_payloads(
+        _payload(1000.0), _payload(900.0), max_regress=0.15
+    )
+    assert code == 0
+    assert rows[0]["status"] == "ok"
+
+
+def test_compare_flags_regression():
+    rows, code = compare_payloads(
+        _payload(1000.0), _payload(800.0), max_regress=0.15
+    )
+    assert code == 1
+    assert rows[0]["status"] == "REGRESSED"
+    assert rows[0]["delta_pct"] == pytest.approx(-20.0)
+
+
+def test_compare_improvement_never_fails():
+    _rows, code = compare_payloads(
+        _payload(1000.0), _payload(5000.0), max_regress=0.0
+    )
+    assert code == 0
+
+
+def test_compare_key_mismatch_is_skipped():
+    rows, code = compare_payloads(
+        _payload(1000.0, key="old"), _payload(10.0, key="new")
+    )
+    assert code == 2  # nothing comparable
+    assert rows[0]["status"] == "skipped"
+
+
+def test_compare_disjoint_workloads():
+    old = {"workloads": {"a": {"key": "x", "cycles_per_sec": 1.0}}}
+    new = {"workloads": {"b": {"key": "y", "cycles_per_sec": 1.0}}}
+    rows, code = compare_payloads(old, new)
+    assert code == 2 and rows == []
+
+
+# ----------------------------------------------------------------------
+# CLI exit codes
+# ----------------------------------------------------------------------
+def _write(path, payload):
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def test_cli_compare_exit_codes(tmp_path, capsys):
+    good = _write(tmp_path / "a.json", _payload(1000.0))
+    same = _write(tmp_path / "b.json", _payload(990.0))
+    slow = _write(tmp_path / "c.json", _payload(100.0))
+    assert obs_main(["compare", good, same, "--max-regress", "15%"]) == 0
+    assert obs_main(["compare", good, slow, "--max-regress", "15%"]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSED" in out
+    assert obs_main(["compare", good, str(tmp_path / "nope.json")]) == 2
+    assert obs_main(["compare", good, same, "--max-regress", "bogus"]) == 2
+
+
+def test_cli_unknown_verb():
+    assert obs_main(["frobnicate"]) == 2
+    assert obs_main([]) == 0  # help text
+
+
+def test_cli_bench_writes_file(tmp_path, capsys):
+    code = obs_main([
+        "bench", "--label", "unit", "--repeats", "1",
+        "--only", "fault_pattern_generation",
+        "--out-dir", str(tmp_path), "--quiet",
+    ])
+    assert code == 0
+    payload = json.loads((tmp_path / "BENCH_unit.json").read_text())
+    assert list(payload["workloads"]) == ["fault_pattern_generation"]
+    # Self-compare of a fresh file is always clean.
+    path = str(tmp_path / "BENCH_unit.json")
+    assert obs_main(["compare", path, path]) == 0

@@ -36,6 +36,26 @@ class TestCheckVerb:
     def test_no_selection_is_usage_error(self, capsys):
         assert main(["check"]) == 2
 
+    def test_workers_matches_serial(self, capsys):
+        """A pooled check returns the exact per-case reports of a serial
+        one (order included: jobs are regrouped deterministically)."""
+        argv = [
+            "check", "--algorithm", "ecube", "--algorithm", "duato",
+            "--pattern", "fault-free", "--pattern", "corner-block",
+            "--json",
+        ]
+        rc_serial = main(argv)
+        serial = json.loads(capsys.readouterr().out)
+        rc_pooled = main(argv + ["--workers", "2"])
+        pooled = json.loads(capsys.readouterr().out)
+        assert rc_serial == rc_pooled == 0
+        # elapsed differs between processes; everything else must match.
+        for payload in (serial, pooled):
+            for alg in payload["algorithms"].values():
+                for report in alg["reports"]:
+                    report.pop("elapsed", None)
+        assert pooled == serial
+
 
 class TestLintVerb:
     def test_clean_tree_exits_zero(self, capsys):

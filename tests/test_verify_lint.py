@@ -121,6 +121,86 @@ class TestTierAnnotations:
         assert lint_source(src, path="src/repro/verify/x.py", select={"REP005"}) == []
 
 
+class TestNoWallclock:
+    def test_flags_time_calls_in_simulator(self):
+        src = (
+            "import time\n"
+            "def step(self):\n"
+            "    t0 = time.perf_counter()\n"
+            "    now = time.time()\n"
+        )
+        findings = lint_source(
+            src, path="src/repro/simulator/engine.py", select={"REP006"}
+        )
+        assert len(findings) == 2
+        assert rules_of(findings) == {"REP006"}
+
+    def test_flags_from_time_import(self):
+        src = "from time import perf_counter\n"
+        findings = lint_source(
+            src, path="src/repro/obs/telemetry.py", select={"REP006"}
+        )
+        assert rules_of(findings) == {"REP006"}
+
+    def test_aliased_import_still_flagged(self):
+        src = "import time as clock\nx = clock.monotonic()\n"
+        findings = lint_source(
+            src, path="src/repro/simulator/trace.py", select={"REP006"}
+        )
+        assert rules_of(findings) == {"REP006"}
+
+    def test_non_clock_time_attrs_allowed(self):
+        src = "import time\nx = time.struct_time\n"
+        assert lint_source(
+            src, path="src/repro/simulator/engine.py", select={"REP006"}
+        ) == []
+
+    def test_wallclock_outside_hot_path_allowed(self):
+        src = "import time\nt = time.perf_counter()\n"
+        assert lint_source(
+            src, path="src/repro/obs/bench.py", select={"REP006"}
+        ) == []
+
+
+class TestFigureDrivers:
+    def test_driver_without_profile_param_flagged(self):
+        src = "def run_sweep(algorithms, seed=1):\n    pass\n"
+        findings = lint_source(
+            src, path="src/repro/experiments/fig_sweep.py", select={"REP007"}
+        )
+        assert rules_of(findings) == {"REP007"}
+
+    def test_inline_simconfig_flagged(self):
+        src = (
+            "from repro.simulator.config import SimConfig\n"
+            "def run_thing(profile):\n"
+            "    cfg = SimConfig(width=10)\n"
+        )
+        findings = lint_source(
+            src, path="src/repro/experiments/fig_thing.py", select={"REP007"}
+        )
+        assert rules_of(findings) == {"REP007"}
+
+    def test_profile_first_driver_passes(self):
+        src = "def run_sweep(profile, algorithms=None, *, seed=1):\n    pass\n"
+        assert lint_source(
+            src, path="src/repro/experiments/fig_sweep.py", select={"REP007"}
+        ) == []
+
+    def test_only_fig_modules_checked(self):
+        src = (
+            "from repro.simulator.config import SimConfig\n"
+            "def run_custom():\n"
+            "    return SimConfig(width=4)\n"
+        )
+        assert lint_source(
+            src, path="src/repro/experiments/profiles.py", select={"REP007"}
+        ) == []
+        assert lint_source(
+            src, path="src/repro/core/evaluator.py", select={"REP007"}
+        ) == []
+
+
 class TestHarness:
     def test_catalog_is_documented(self):
         for rule_id, (scope, summary, impl) in RULES.items():
