@@ -166,24 +166,54 @@ def _execute_cell(evaluator: Evaluator, cases: dict, key: dict) -> dict:
     }
 
 
-def _campaign_worker(args: tuple[dict, list[dict], str | None]) -> list[dict]:
+def _campaign_worker(
+    args: tuple[dict, list[dict], str | None, bool],
+) -> dict:
     """Pool worker: run a chunk of campaign cells, return finished rows.
 
-    Only the parent writes ``results.jsonl``; when a store directory is
-    given, the shared :class:`~repro.store.ResultStore` is the
-    cross-process dedup point — a cell simulated by any worker (or any
-    earlier figure run) is a cache hit everywhere else.
+    Only the parent writes ``results.jsonl`` and ``events.jsonl``; the
+    worker ships each cell's wall seconds home alongside the rows, plus
+    its telemetry snapshot (when the parent asked for one — fresh
+    registry per worker, merged by the parent) and its evaluator's cache
+    counters.  When a store directory is given, the shared
+    :class:`~repro.store.ResultStore` is the cross-process dedup point —
+    a cell simulated by any worker (or any earlier figure run) is a
+    cache hit everywhere else.
     """
-    spec_payload, keys, store_dir = args
+    import os
+    import time
+
+    from repro.experiments.parallel import _worker_registry, \
+        evaluator_cache_dict
+
+    spec_payload, keys, store_dir, with_telemetry = args
     spec = CampaignSpec.from_dict(spec_payload)
-    evaluator = make_evaluator(spec.config, seed=spec.seed, store=store_dir)
+    registry, instrument = _worker_registry(with_telemetry)
+    evaluator = make_evaluator(
+        spec.config, seed=spec.seed, store=store_dir, instrument=instrument
+    )
     cases = _draw_cases(evaluator, spec)
     rows = []
+    cells = []
     for key in keys:
+        t0 = time.perf_counter()
         row = _execute_cell(evaluator, cases, key)
         row["id"] = _key_id(key)
         rows.append(row)
-    return rows
+        cells.append(
+            {
+                "id": row["id"],
+                "seconds": time.perf_counter() - t0,
+                "cycles": spec.config.cycles,
+            }
+        )
+    return {
+        "rows": rows,
+        "cells": cells,
+        "pid": os.getpid(),
+        "snapshot": None if registry is None else registry.snapshot(),
+        "cache": evaluator_cache_dict(evaluator),
+    }
 
 
 class CampaignRunner:
@@ -192,6 +222,17 @@ class CampaignRunner:
     *store* (a :class:`~repro.store.ResultStore` or directory) routes
     every cell through the content-addressed result cache, shared with
     the figure drivers and with pool workers when ``run(workers=N)``.
+
+    *instrument* (see :class:`~repro.core.evaluator.Evaluator`) observes
+    every executed cell.  Telemetry-only
+    :class:`~repro.obs.telemetry.Instrument` objects distribute across
+    ``run(workers=N)`` pools — each worker attaches a fresh registry and
+    the parent merges the snapshots — while tracer-carrying instruments
+    (and arbitrary callables) force the sequential path.
+
+    Every :meth:`run` appends its lifecycle to ``events.jsonl`` next to
+    ``results.jsonl`` (see :mod:`repro.obs.manifest`); render it with
+    ``python -m repro.obs report <dir>/events.jsonl``.
     """
 
     def __init__(
@@ -200,14 +241,19 @@ class CampaignRunner:
         out_dir: Path | str,
         *,
         store: ResultStore | Path | str | None = None,
+        instrument=None,
     ) -> None:
         self.spec = spec
         self.out_dir = Path(out_dir)
         self.out_dir.mkdir(parents=True, exist_ok=True)
         self.results_path = self.out_dir / "results.jsonl"
         self.manifest_path = self.out_dir / "manifest.json"
+        self.events_path = self.out_dir / "events.jsonl"
         self.store = store
-        self._evaluator = make_evaluator(spec.config, seed=spec.seed, store=store)
+        self.instrument = instrument
+        self._evaluator = make_evaluator(
+            spec.config, seed=spec.seed, store=store, instrument=instrument
+        )
         # Draw the fault cases once; they are part of the manifest.
         self._cases = _draw_cases(self._evaluator, spec)
 
@@ -245,16 +291,46 @@ class CampaignRunner:
 
         ``workers > 1`` fans the pending cells out to a process pool in
         contiguous chunks (one per worker).  The parent remains the only
-        writer of ``results.jsonl``; cross-process work sharing happens
-        through the result store, when one is configured.
+        writer of ``results.jsonl`` and ``events.jsonl``; cross-process
+        work sharing happens through the result store, when one is
+        configured, and worker telemetry snapshots merge into the
+        parent instrument's registry.
         """
+        import time
+
+        from repro.experiments.parallel import (
+            cache_delta,
+            evaluator_cache_dict,
+            merge_worker_output,
+            pool_safe_instrument,
+        )
+        from repro.obs.manifest import ManifestWriter
+        from repro.store.cache import CacheStats
+
         self.write_manifest()
         done = self.completed_ids() if resume else set()
         pending = [
             key for key in self.spec.job_keys() if _key_id(key) not in done
         ]
         executed = 0
-        with self.results_path.open("a" if resume else "w") as sink:
+        cache_totals = CacheStats()
+        have_cache = False
+        pool = (
+            workers > 1
+            and len(pending) > 1
+            and pool_safe_instrument(self.instrument)
+        )
+        registry = getattr(self.instrument, "telemetry", None)
+        with ManifestWriter(self.events_path) as events, \
+                self.results_path.open("a" if resume else "w") as sink:
+            events.run_start(
+                self.spec.name,
+                kind="campaign",
+                workers=workers if pool else 1,
+                store=store_dir_of(self.store),
+                pending=len(pending),
+                resumed=len(done),
+            )
 
             def _emit(row: dict) -> None:
                 sink.write(json.dumps(row) + "\n")
@@ -262,7 +338,7 @@ class CampaignRunner:
                 if progress:
                     progress(f"[{self.spec.name}] {row['id']}")
 
-            if workers > 1 and len(pending) > 1:
+            if pool:
                 from repro.experiments.parallel import parallel_map
 
                 n_chunks = min(workers, len(pending))
@@ -272,20 +348,57 @@ class CampaignRunner:
                 ]
                 spec_payload = self.spec.to_dict()
                 store_dir = store_dir_of(self.store)
-                jobs = [(spec_payload, chunk, store_dir) for chunk in chunks]
-                for rows in parallel_map(
+                with_telemetry = registry is not None
+                jobs = [
+                    (spec_payload, chunk, store_dir, with_telemetry)
+                    for chunk in chunks
+                ]
+                for data in parallel_map(
                     _campaign_worker, jobs, workers, label=self.spec.name
                 ):
-                    for row in rows:
+                    for row, cell in zip(data["rows"], data["cells"]):
                         _emit(row)
                         executed += 1
-                return executed
-
-            for key in pending:
-                row = self._run_job(key)
-                row["id"] = _key_id(key)
-                _emit(row)
-                executed += 1
+                        events.cell_finish(
+                            cell["id"], seconds=cell["seconds"],
+                            worker=data["pid"], cycles=cell["cycles"],
+                        )
+                    merge_worker_output(self.instrument, data)
+                    if data["cache"] is not None:
+                        have_cache = True
+                        cache_totals.add(data["cache"])
+            else:
+                run_before = evaluator_cache_dict(self._evaluator)
+                for key in pending:
+                    cell_id = _key_id(key)
+                    events.cell_start(cell_id)
+                    before = evaluator_cache_dict(self._evaluator)
+                    t0 = time.perf_counter()
+                    row = self._run_job(key)
+                    row["id"] = cell_id
+                    _emit(row)
+                    executed += 1
+                    events.cell_finish(
+                        cell_id,
+                        seconds=time.perf_counter() - t0,
+                        cycles=self.spec.config.cycles,
+                        cache=cache_delta(
+                            before, evaluator_cache_dict(self._evaluator)
+                        ),
+                    )
+                run_delta = cache_delta(
+                    run_before, evaluator_cache_dict(self._evaluator)
+                )
+                if run_delta is not None:
+                    have_cache = True
+                    cache_totals.add(run_delta)
+            events.run_finish(
+                status="ok",
+                cache=cache_totals.as_dict() if have_cache else None,
+                telemetry_digest=(
+                    registry.digest() if registry is not None else None
+                ),
+            )
         return executed
 
     def _run_job(self, key: dict) -> dict:

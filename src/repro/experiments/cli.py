@@ -58,8 +58,8 @@ def main(argv: list[str] | None = None) -> int:
 
         return verify_main(argv[1:])
     if argv and argv[0] == "obs":
-        # Observability verbs (perf harness + instrumented smoke):
-        # python -m repro.experiments obs {bench,compare,smoke} ...
+        # Observability verbs (perf harness, manifests, heatmaps):
+        # python -m repro.experiments obs {bench,compare,smoke,report,heatmap}
         from repro.obs.cli import main as obs_main
 
         return obs_main(argv[1:])
@@ -113,8 +113,8 @@ def main(argv: list[str] | None = None) -> int:
         "--workers",
         type=int,
         default=1,
-        help="process-pool size for the fig1/2 and fig4/5 grids and for "
-        "campaigns (registered profiles only; default 1)",
+        help="process-pool size for the figure grids and campaigns "
+        "(registered profiles only; default 1)",
     )
     parser.add_argument(
         "--store",
@@ -131,10 +131,24 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--telemetry",
         action="store_true",
-        help="attach one telemetry registry to every executed simulation "
-        "and print the aggregated engine counters at the end (keeps "
-        "figure runs in process; cache hits are not re-simulated and "
-        "therefore not counted)",
+        help="attach a telemetry registry to every executed simulation "
+        "and print the aggregated engine counters at the end; with "
+        "--workers N each worker fills a fresh registry and the parent "
+        "merges the snapshots (cache hits are not re-simulated and "
+        "therefore not counted).  --trace-out keeps runs in process.",
+    )
+    parser.add_argument(
+        "--manifest",
+        type=Path,
+        nargs="?",
+        const=None,
+        default=False,
+        metavar="FILE",
+        help="append a JSONL run manifest (cell timings, cache counters, "
+        "telemetry digest); FILE defaults to "
+        "manifests/<experiment>_<profile>.jsonl next to the store (or "
+        "./manifests without one).  Render with 'python -m repro.obs "
+        "report FILE'.",
     )
     parser.add_argument(
         "--trace-out",
@@ -187,7 +201,9 @@ def main(argv: list[str] | None = None) -> int:
             parser.error("campaign requires --spec FILE")
         spec = CampaignSpec.from_dict(json.loads(args.spec.read_text()))
         out_dir = args.out or Path("campaigns") / spec.name
-        runner = CampaignRunner(spec, out_dir, store=store)
+        runner = CampaignRunner(
+            spec, out_dir, store=store, instrument=instrument
+        )
         progress_cb = None if args.quiet else (
             lambda s: print(s, file=sys.stderr)
         )
@@ -197,11 +213,33 @@ def main(argv: list[str] | None = None) -> int:
             f"campaign {spec.name!r}: {executed} jobs executed, "
             f"{len(rows)} total results in {out_dir}"
         )
+        if telemetry is not None:
+            print(telemetry.render(prefix="engine."))
         return 0
 
     profile = get_profile(args.profile)
     algorithms = tuple(args.algorithms) if args.algorithms else None
     progress = None if args.quiet else lambda s: print(s, file=sys.stderr)
+    manifest = None
+    if args.manifest is not False:
+        from repro.obs.manifest import ManifestWriter
+
+        if args.manifest is not None:
+            manifest_path = args.manifest
+        else:
+            base = (
+                store.root / "manifests" if store is not None
+                else Path("manifests")
+            )
+            manifest_path = base / f"{args.experiment}_{args.profile}.jsonl"
+        manifest = ManifestWriter(manifest_path)
+        manifest.run_start(
+            args.experiment,
+            kind="figure",
+            workers=args.workers,
+            store=str(store.root) if store is not None else None,
+            profile=args.profile,
+        )
     if args.experiment == "all":
         wanted: tuple[str, ...] = EXPERIMENTS
     elif args.experiment == "ablations":
@@ -228,6 +266,7 @@ def main(argv: list[str] | None = None) -> int:
         sweep = run_sweep(
             profile, algorithms, seed=args.seed, progress=progress,
             workers=args.workers, store=store, instrument=instrument,
+            manifest=manifest,
         )
         _dump(args.out, f"sweep_{profile.name}", sweep.to_payload())
         if "fig1" in wanted:
@@ -239,7 +278,8 @@ def main(argv: list[str] | None = None) -> int:
     if "fig3" in wanted:
         usage = run_vc_usage(
             profile, algorithms, seed=args.seed, progress=progress,
-            store=store, instrument=instrument,
+            workers=args.workers, store=store, instrument=instrument,
+            manifest=manifest,
         )
         _dump(args.out, f"fig3_{profile.name}", usage.to_payload())
         print(print_fig3(usage))
@@ -248,6 +288,7 @@ def main(argv: list[str] | None = None) -> int:
         study = run_fault_study(
             profile, algorithms, seed=args.seed, progress=progress,
             workers=args.workers, store=store, instrument=instrument,
+            manifest=manifest,
         )
         _dump(args.out, f"faults_{profile.name}", study.to_payload())
         if "fig4" in wanted:
@@ -259,12 +300,23 @@ def main(argv: list[str] | None = None) -> int:
     if "fig6" in wanted:
         fring = run_fring_study(
             profile, algorithms, seed=args.seed, progress=progress,
-            store=store, instrument=instrument,
+            workers=args.workers, store=store, instrument=instrument,
+            manifest=manifest,
         )
         _dump(args.out, f"fig6_{profile.name}", fring.to_payload())
         print(print_fig6(fring))
         print()
 
+    if manifest is not None:
+        manifest.run_finish(
+            status="ok",
+            telemetry_digest=(
+                telemetry.digest() if telemetry is not None else None
+            ),
+        )
+        manifest.close()
+        print(f"[manifest: {manifest.events_written} events -> "
+              f"{manifest.path}]")
     if telemetry is not None:
         print(telemetry.render(prefix="engine."))
         print()

@@ -53,15 +53,26 @@ def run_fault_study(
     workers: int = 1,
     store=None,
     instrument=None,
+    manifest=None,
 ) -> FaultStudyResult:
     """Run the full-load fault sweep behind Figures 4 and 5.
 
     ``workers > 1`` fans algorithms out to a process pool (registered
     profiles only, as in :func:`repro.experiments.fig_sweep.run_sweep`).
     *store* routes every cell through the shared result cache.
-    *instrument* observes every executed simulation and keeps the study
-    in process (overrides ``workers``, as in ``run_sweep``).
+    *instrument* observes every executed simulation; telemetry-only
+    instruments are pool-safe (worker snapshots merge in the parent,
+    as in ``run_sweep``), tracers keep the study in process.
+    *manifest* receives one ``cell`` event per algorithm.
     """
+    import time
+
+    from repro.experiments.parallel import (
+        cache_delta,
+        evaluator_cache_dict,
+        merge_worker_output,
+        pool_safe_instrument,
+    )
     from repro.store import make_evaluator, store_dir_of
 
     algorithms = algorithms or profile.algorithms
@@ -74,7 +85,11 @@ def run_fault_study(
         fault_counts=tuple(profile.fault_counts),
         fault_percents=tuple(100.0 * n / n_nodes for n in profile.fault_counts),
     )
-    if workers > 1 and instrument is None and len(algorithms) > 1:
+    if (
+        workers > 1
+        and len(algorithms) > 1
+        and pool_safe_instrument(instrument)
+    ):
         from repro.experiments.parallel import _fault_worker, parallel_map
         from repro.experiments.profiles import get_profile
 
@@ -83,25 +98,46 @@ def run_fault_study(
                 "workers > 1 requires a registered profile (the pool "
                 "rebuilds it by name); run custom profiles with workers=1"
             )
+        with_telemetry = (
+            instrument is not None and instrument.telemetry is not None
+        )
         jobs = [
             (profile.name, alg, seed, tuple(profile.fault_counts),
-             profile.fault_sets, store_dir_of(store))
+             profile.fault_sets, store_dir_of(store), with_telemetry)
             for alg in algorithms
         ]
-        for alg, pts in parallel_map(
+        for alg, data in parallel_map(
             _fault_worker, jobs, workers, progress, label="fig4/5"
         ):
-            result.points[alg] = pts
+            result.points[alg] = data["points"]
+            merge_worker_output(instrument, data)
+            if manifest is not None:
+                manifest.cell_finish(
+                    alg, seconds=data["seconds"], worker=data["pid"],
+                    cycles=data["cycles"], cache=data["cache"],
+                )
         return result
     cases: list[FaultCase] = [
         evaluator.fault_case(n, profile.fault_sets) for n in profile.fault_counts
     ]
+    n_runs = sum(len(case.patterns) for case in cases)
     rate = profile.full_load_rate
     for alg in algorithms:
+        if manifest is not None:
+            manifest.cell_start(alg)
+        before = evaluator_cache_dict(evaluator)
+        t0 = time.perf_counter()
         pts = [
             evaluator.run_case(alg, case, injection_rate=rate) for case in cases
         ]
         result.points[alg] = pts
+        if manifest is not None:
+            manifest.cell_finish(
+                alg,
+                seconds=time.perf_counter() - t0,
+                cycles=n_runs * profile.config.cycles,
+                cache=cache_delta(before, evaluator_cache_dict(evaluator)),
+            )
         if progress:
             progress(f"[fig4/5] {alg}: done ({len(pts)} fault cases)")
     return result

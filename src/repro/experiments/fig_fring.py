@@ -60,20 +60,74 @@ def run_fring_study(
     *,
     seed: int = 2007,
     progress=None,
+    workers: int = 1,
     store=None,
     instrument=None,
+    manifest=None,
 ) -> FRingResult:
     """Run the Figure 6 traffic-load study.
 
+    ``workers > 1`` fans algorithms out to a process pool (registered
+    profiles only, as in :func:`repro.experiments.fig_sweep.run_sweep`).
     *store* routes every cell through the shared result cache (the
     per-node load counters are part of the cached payload).  *instrument*
     observes every executed simulation — with a telemetry registry
     attached, the engine's ``engine.fring.*.traversals`` counters break
-    the ring-VC traffic down per fault ring/chain.
+    the ring-VC traffic down per fault ring/chain and the
+    ``engine.node_flit_hops`` labeled counter carries the spatial load
+    surface (see :mod:`repro.obs.heatmap`); telemetry-only instruments
+    are pool-safe, tracers stay in process.  *manifest* receives one
+    ``cell`` event per algorithm.
     """
-    from repro.store import make_evaluator
+    import time
+
+    from repro.experiments.parallel import (
+        cache_delta,
+        evaluator_cache_dict,
+        merge_worker_output,
+        pool_safe_instrument,
+    )
+    from repro.store import make_evaluator, store_dir_of
 
     algorithms = algorithms or profile.algorithms
+    if (
+        workers > 1
+        and len(algorithms) > 1
+        and pool_safe_instrument(instrument)
+    ):
+        from repro.experiments.parallel import _fring_worker, parallel_map
+        from repro.experiments.profiles import get_profile
+
+        if get_profile(profile.name) != profile:
+            raise ValueError(
+                "workers > 1 requires a registered profile (the pool "
+                "rebuilds it by name); run custom profiles with workers=1"
+            )
+        from repro.topology.mesh import Mesh2D
+
+        mesh = Mesh2D(profile.config.width, profile.config.height)
+        result = FRingResult(
+            profile=profile.name, n_faults=figure6_fault_pattern(mesh).n_faulty
+        )
+        with_telemetry = (
+            instrument is not None and instrument.telemetry is not None
+        )
+        jobs = [
+            (profile.name, alg, seed, store_dir_of(store), with_telemetry)
+            for alg in algorithms
+        ]
+        for alg, data in parallel_map(
+            _fring_worker, jobs, workers, progress, label="fig6"
+        ):
+            result.splits[alg] = data["splits"]
+            result.corner_ratios[alg] = data["corner_ratio"]
+            merge_worker_output(instrument, data)
+            if manifest is not None:
+                manifest.cell_finish(
+                    alg, seconds=data["seconds"], worker=data["pid"],
+                    cycles=data["cycles"], cache=data["cache"],
+                )
+        return result
     evaluator = make_evaluator(
         profile.config, seed=seed, store=store, instrument=instrument
     )
@@ -83,6 +137,10 @@ def run_fring_study(
     rate = profile.full_load_rate
     result = FRingResult(profile=profile.name, n_faults=faulty.n_faulty)
     for alg in algorithms:
+        if manifest is not None:
+            manifest.cell_start(alg)
+        before = evaluator_cache_dict(evaluator)
+        t0 = time.perf_counter()
         cases: dict[str, TrafficLoadSplit] = {}
         for label, fp in (("0%", fault_free), ("faulty", faulty)):
             run = evaluator.run_single(
@@ -96,6 +154,13 @@ def run_fring_study(
                     run, faulty
                 ).corner_ratio
         result.splits[alg] = cases
+        if manifest is not None:
+            manifest.cell_finish(
+                alg,
+                seconds=time.perf_counter() - t0,
+                cycles=2 * profile.config.cycles,
+                cache=cache_delta(before, evaluator_cache_dict(evaluator)),
+            )
         if progress:
             progress(f"[fig6] {alg}: done")
     return result

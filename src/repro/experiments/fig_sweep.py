@@ -59,6 +59,7 @@ def run_sweep(
     workers: int = 1,
     store=None,
     instrument=None,
+    manifest=None,
 ) -> SweepResult:
     """Run the fault-free rate sweep behind Figures 1 and 2.
 
@@ -73,17 +74,36 @@ def run_sweep(
     this driver or any other — are served from the store.
 
     *instrument* (see :class:`~repro.core.evaluator.Evaluator`) observes
-    every executed simulation; it keeps the sweep in process (a shared
-    telemetry registry cannot span a process pool), so it overrides
-    ``workers``.
+    every executed simulation.  A telemetry-only
+    :class:`~repro.obs.telemetry.Instrument` is pool-safe: each worker
+    attaches a fresh registry and the parent merges the snapshots, so
+    the merged counters match a sequential run exactly.  Instruments
+    carrying a tracer (or arbitrary callables) keep the sweep in
+    process.
+
+    *manifest* (a :class:`~repro.obs.manifest.ManifestWriter`) receives
+    one ``cell`` event per algorithm with its wall seconds, simulated
+    cycles and cache counters.
     """
+    import time
+
+    from repro.experiments.parallel import (
+        cache_delta,
+        evaluator_cache_dict,
+        merge_worker_output,
+        pool_safe_instrument,
+    )
     from repro.store import make_evaluator, store_dir_of
 
     algorithms = algorithms or profile.algorithms
     result = SweepResult(
         profile=profile.name, loads=profile.sweep_loads, rates=profile.sweep_rates
     )
-    if workers > 1 and instrument is None and len(algorithms) > 1:
+    if (
+        workers > 1
+        and len(algorithms) > 1
+        and pool_safe_instrument(instrument)
+    ):
         from repro.experiments.parallel import _sweep_worker, parallel_map
         from repro.experiments.profiles import get_profile
 
@@ -92,22 +112,43 @@ def run_sweep(
                 "workers > 1 requires a registered profile (the pool "
                 "rebuilds it by name); run custom profiles with workers=1"
             )
+        with_telemetry = (
+            instrument is not None and instrument.telemetry is not None
+        )
         jobs = [
-            (profile.name, alg, seed, store_dir_of(store)) for alg in algorithms
+            (profile.name, alg, seed, store_dir_of(store), with_telemetry)
+            for alg in algorithms
         ]
-        for alg, thr, lat in parallel_map(
+        for alg, data in parallel_map(
             _sweep_worker, jobs, workers, progress, label="fig1/2"
         ):
-            result.throughput[alg] = thr
-            result.latency[alg] = lat
+            result.throughput[alg] = data["throughput"]
+            result.latency[alg] = data["latency"]
+            merge_worker_output(instrument, data)
+            if manifest is not None:
+                manifest.cell_finish(
+                    alg, seconds=data["seconds"], worker=data["pid"],
+                    cycles=data["cycles"], cache=data["cache"],
+                )
         return result
     evaluator = make_evaluator(
         profile.config, seed=seed, store=store, instrument=instrument
     )
     for alg in algorithms:
+        if manifest is not None:
+            manifest.cell_start(alg)
+        before = evaluator_cache_dict(evaluator)
+        t0 = time.perf_counter()
         points = evaluator.rate_sweep(alg, profile.sweep_rates)
         result.throughput[alg] = [p.throughput for p in points]
         result.latency[alg] = [p.network_latency for p in points]
+        if manifest is not None:
+            manifest.cell_finish(
+                alg,
+                seconds=time.perf_counter() - t0,
+                cycles=len(points) * profile.config.cycles,
+                cache=cache_delta(before, evaluator_cache_dict(evaluator)),
+            )
         if progress:
             progress(f"[fig1/2] {alg}: done ({len(points)} rates)")
     return result

@@ -49,28 +49,77 @@ def run_vc_usage(
     *,
     seed: int = 2007,
     progress=None,
+    workers: int = 1,
     store=None,
     instrument=None,
+    manifest=None,
 ) -> VcUsageResult:
     """Run the VC-utilization study behind Figure 3.
 
+    ``workers > 1`` fans algorithms out to a process pool (registered
+    profiles only, as in :func:`repro.experiments.fig_sweep.run_sweep`).
     *store* routes every cell through the shared result cache (the
     per-VC busy counters are part of the cached payload).  *instrument*
     observes every executed simulation (the engine feeds Figure 3's
     ``vc_busy`` and an attached registry's ``engine.vc_busy.<role>``
     counters from the same occupancy sweep, so the two views reconcile
-    exactly; see :func:`repro.metrics.vc_usage.reconcile_vc_usage`).
+    exactly; see :func:`repro.metrics.vc_usage.reconcile_vc_usage`);
+    telemetry-only instruments are pool-safe, tracers stay in process.
+    *manifest* receives one ``cell`` event per algorithm.
     """
-    from repro.store import make_evaluator
+    import time
+
+    from repro.experiments.parallel import (
+        cache_delta,
+        evaluator_cache_dict,
+        merge_worker_output,
+        pool_safe_instrument,
+    )
+    from repro.store import make_evaluator, store_dir_of
 
     algorithms = algorithms or profile.algorithms
+    result = VcUsageResult(profile=profile.name, n_faults=profile.vc_usage_faults)
+    if (
+        workers > 1
+        and len(algorithms) > 1
+        and pool_safe_instrument(instrument)
+    ):
+        from repro.experiments.parallel import _vc_usage_worker, parallel_map
+        from repro.experiments.profiles import get_profile
+
+        if get_profile(profile.name) != profile:
+            raise ValueError(
+                "workers > 1 requires a registered profile (the pool "
+                "rebuilds it by name); run custom profiles with workers=1"
+            )
+        with_telemetry = (
+            instrument is not None and instrument.telemetry is not None
+        )
+        jobs = [
+            (profile.name, alg, seed, store_dir_of(store), with_telemetry)
+            for alg in algorithms
+        ]
+        for alg, data in parallel_map(
+            _vc_usage_worker, jobs, workers, progress, label="fig3"
+        ):
+            result.usage[alg] = data["usage"]
+            merge_worker_output(instrument, data)
+            if manifest is not None:
+                manifest.cell_finish(
+                    alg, seconds=data["seconds"], worker=data["pid"],
+                    cycles=data["cycles"], cache=data["cache"],
+                )
+        return result
     evaluator = make_evaluator(
         profile.config, seed=seed, store=store, instrument=instrument
     )
     case = evaluator.fault_case(profile.vc_usage_faults, 1)
     rate = profile.rate(profile.vc_usage_load)
-    result = VcUsageResult(profile=profile.name, n_faults=profile.vc_usage_faults)
     for alg in algorithms:
+        if manifest is not None:
+            manifest.cell_start(alg)
+        before = evaluator_cache_dict(evaluator)
+        t0 = time.perf_counter()
         run = evaluator.run_single(
             alg,
             case.patterns[0],
@@ -78,6 +127,13 @@ def run_vc_usage(
             collect_vc_stats=True,
         )
         result.usage[alg] = vc_usage_percent(run)
+        if manifest is not None:
+            manifest.cell_finish(
+                alg,
+                seconds=time.perf_counter() - t0,
+                cycles=profile.config.cycles,
+                cache=cache_delta(before, evaluator_cache_dict(evaluator)),
+            )
         if progress:
             progress(f"[fig3] {alg}: done")
     return result

@@ -4,53 +4,211 @@ The figure sweeps are embarrassingly parallel across algorithms (every
 algorithm runs the same rate/fault grid independently), so the drivers
 accept ``workers=N`` and fan the per-algorithm work out to a process
 pool.  Workers receive only picklable primitives (profile *name*,
-algorithm name, seed, store directory) and rebuild their state locally,
-so the pool works with the default ``spawn``/``fork`` start methods
-alike.
+algorithm name, seed, store directory, telemetry flag) and rebuild their
+state locally, so the pool works with the default ``spawn``/``fork``
+start methods alike.
 
 When a store directory is passed, every worker opens the shared
 :class:`~repro.store.ResultStore` on it; the backend's locked appends
 make one store safe for all workers at once, and cells another worker
 (or an earlier run) already simulated come back as cache hits.
+
+Telemetry distributes by **snapshot + merge**: a registry never crosses
+a process boundary.  When the parent's instrument is a telemetry-only
+:class:`~repro.obs.telemetry.Instrument`, each worker attaches a *fresh*
+registry, and its JSON-safe snapshot rides home with the result for the
+parent to fold in with :meth:`~repro.obs.telemetry.TelemetryRegistry.
+merge` — counters and histograms come out identical to a sequential
+run.  A tracer (ordered event log) cannot merge, so instruments carrying
+one keep the sequential path (:func:`pool_safe_instrument`).
+
+Every worker returns ``(algorithm, data)`` where ``data`` carries the
+driver-specific series plus the bookkeeping the parent's run manifest
+wants: wall ``seconds``, the worker ``pid``, simulated ``cycles``, the
+telemetry ``snapshot`` (or ``None``) and the worker evaluator's cache
+counters (``cache``, or ``None`` without a store).
 """
 
 from __future__ import annotations
 
+import os
+import time
 from collections.abc import Callable, Sequence
 from multiprocessing import get_context
 
 
-def _make_evaluator(profile_config, seed: int, store_dir: str | None):
+def pool_safe_instrument(instrument) -> bool:
+    """Whether the drivers may fan out with *instrument* attached.
+
+    ``None`` and telemetry-only :class:`~repro.obs.telemetry.Instrument`
+    objects are pool-safe (workers replicate the registry and the parent
+    merges snapshots).  Instruments carrying a tracer — and arbitrary
+    callables, whose internals the drivers cannot see — force the
+    sequential in-process path.
+    """
+    if instrument is None:
+        return True
+    from repro.obs.telemetry import Instrument
+
+    return isinstance(instrument, Instrument) and instrument.pool_safe
+
+
+def merge_worker_output(instrument, data: dict) -> None:
+    """Fold one worker's telemetry snapshot into the parent registry."""
+    snapshot = data.get("snapshot")
+    if (
+        snapshot
+        and instrument is not None
+        and getattr(instrument, "telemetry", None) is not None
+    ):
+        instrument.telemetry.merge(snapshot)
+
+
+def evaluator_cache_dict(evaluator) -> dict | None:
+    """The evaluator's cache counters as a dict (``None`` if uncached)."""
+    stats = getattr(evaluator, "stats", None)
+    return None if stats is None else stats.as_dict()
+
+
+def cache_delta(before: dict | None, after: dict | None) -> dict | None:
+    """Per-cell cache counters from two cumulative readings."""
+    if after is None:
+        return None
+    if before is None:
+        return dict(after)
+    return {k: after[k] - before.get(k, 0) for k in after}
+
+
+# ----------------------------------------------------------------------
+# Worker bodies (must stay importable at module top level for pickling)
+# ----------------------------------------------------------------------
+def _worker_registry(with_telemetry: bool):
+    """A fresh ``(registry, instrument)`` pair for one worker."""
+    if not with_telemetry:
+        return None, None
+    from repro.obs.telemetry import TelemetryRegistry, make_instrument
+
+    registry = TelemetryRegistry()
+    return registry, make_instrument(telemetry=registry)
+
+
+def _make_evaluator(profile_config, seed: int, store_dir: str | None,
+                    instrument=None):
     from repro.store.cache import make_evaluator
 
-    return make_evaluator(profile_config, seed=seed, store=store_dir)
-
-
-def _sweep_worker(args: tuple[str, str, int, str | None]) -> tuple[str, list, list]:
-    profile_name, algorithm, seed, store_dir = args
-    from repro.experiments.profiles import get_profile
-
-    profile = get_profile(profile_name)
-    evaluator = _make_evaluator(profile.config, seed, store_dir)
-    points = evaluator.rate_sweep(algorithm, profile.sweep_rates)
-    return (
-        algorithm,
-        [p.throughput for p in points],
-        [p.network_latency for p in points],
+    return make_evaluator(
+        profile_config, seed=seed, store=store_dir, instrument=instrument
     )
 
 
-def _fault_worker(args: tuple[str, str, int, tuple[int, ...], int, str | None]):
-    profile_name, algorithm, seed, fault_counts, fault_sets, store_dir = args
+def _finish_data(data: dict, registry, evaluator, t0: float) -> dict:
+    data["seconds"] = time.perf_counter() - t0
+    data["pid"] = os.getpid()
+    data["snapshot"] = None if registry is None else registry.snapshot()
+    data["cache"] = evaluator_cache_dict(evaluator)
+    return data
+
+
+def _sweep_worker(
+    args: tuple[str, str, int, str | None, bool],
+) -> tuple[str, dict]:
+    profile_name, algorithm, seed, store_dir, with_telemetry = args
     from repro.experiments.profiles import get_profile
 
+    t0 = time.perf_counter()
     profile = get_profile(profile_name)
-    evaluator = _make_evaluator(profile.config, seed, store_dir)
+    registry, instrument = _worker_registry(with_telemetry)
+    evaluator = _make_evaluator(profile.config, seed, store_dir, instrument)
+    points = evaluator.rate_sweep(algorithm, profile.sweep_rates)
+    data = {
+        "throughput": [p.throughput for p in points],
+        "latency": [p.network_latency for p in points],
+        "cycles": len(points) * profile.config.cycles,
+    }
+    return algorithm, _finish_data(data, registry, evaluator, t0)
+
+
+def _fault_worker(
+    args: tuple[str, str, int, tuple[int, ...], int, str | None, bool],
+) -> tuple[str, dict]:
+    (profile_name, algorithm, seed, fault_counts, fault_sets, store_dir,
+     with_telemetry) = args
+    from repro.experiments.profiles import get_profile
+
+    t0 = time.perf_counter()
+    profile = get_profile(profile_name)
+    registry, instrument = _worker_registry(with_telemetry)
+    evaluator = _make_evaluator(profile.config, seed, store_dir, instrument)
     rate = profile.full_load_rate
     cases = [evaluator.fault_case(n, fault_sets) for n in fault_counts]
-    return algorithm, [
-        evaluator.run_case(algorithm, case, injection_rate=rate) for case in cases
+    points = [
+        evaluator.run_case(algorithm, case, injection_rate=rate)
+        for case in cases
     ]
+    data = {
+        "points": points,
+        "cycles": sum(len(c.patterns) for c in cases) * profile.config.cycles,
+    }
+    return algorithm, _finish_data(data, registry, evaluator, t0)
+
+
+def _vc_usage_worker(
+    args: tuple[str, str, int, str | None, bool],
+) -> tuple[str, dict]:
+    profile_name, algorithm, seed, store_dir, with_telemetry = args
+    from repro.experiments.profiles import get_profile
+    from repro.metrics.vc_usage import vc_usage_percent
+
+    t0 = time.perf_counter()
+    profile = get_profile(profile_name)
+    registry, instrument = _worker_registry(with_telemetry)
+    evaluator = _make_evaluator(profile.config, seed, store_dir, instrument)
+    case = evaluator.fault_case(profile.vc_usage_faults, 1)
+    run = evaluator.run_single(
+        algorithm,
+        case.patterns[0],
+        injection_rate=profile.rate(profile.vc_usage_load),
+        collect_vc_stats=True,
+    )
+    data = {
+        "usage": vc_usage_percent(run),
+        "cycles": profile.config.cycles,
+    }
+    return algorithm, _finish_data(data, registry, evaluator, t0)
+
+
+def _fring_worker(
+    args: tuple[str, str, int, str | None, bool],
+) -> tuple[str, dict]:
+    profile_name, algorithm, seed, store_dir, with_telemetry = args
+    from repro.experiments.profiles import get_profile
+    from repro.faults.generator import figure6_fault_pattern
+    from repro.faults.pattern import FaultPattern
+    from repro.metrics.traffic_load import ring_corner_split, traffic_load_split
+
+    t0 = time.perf_counter()
+    profile = get_profile(profile_name)
+    registry, instrument = _worker_registry(with_telemetry)
+    evaluator = _make_evaluator(profile.config, seed, store_dir, instrument)
+    faulty = figure6_fault_pattern(evaluator.mesh)
+    fault_free = FaultPattern.fault_free(evaluator.mesh)
+    ring_nodes = faulty.ring_nodes
+    rate = profile.full_load_rate
+    splits = {}
+    corner_ratio = float("nan")
+    for label, fp in (("0%", fault_free), ("faulty", faulty)):
+        run = evaluator.run_single(
+            algorithm, fp, injection_rate=rate, collect_node_stats=True
+        )
+        splits[label] = traffic_load_split(run, ring_nodes, exclude=fp.faulty)
+        if label == "faulty":
+            corner_ratio = ring_corner_split(run, faulty).corner_ratio
+    data = {
+        "splits": splits,
+        "corner_ratio": corner_ratio,
+        "cycles": 2 * profile.config.cycles,
+    }
+    return algorithm, _finish_data(data, registry, evaluator, t0)
 
 
 def _progress_label(result, index: int) -> str:

@@ -27,10 +27,24 @@ from repro.obs.bench import (
     run_suite,
     write_bench_file,
 )
+from repro.obs.heatmap import (
+    heatmap_csv,
+    node_surface,
+    render_node_heatmap,
+    surface_split,
+)
+from repro.obs.manifest import (
+    ManifestWriter,
+    read_manifest,
+    render_report,
+    summarize_manifest,
+)
 from repro.obs.telemetry import (
     Counter,
     Gauge,
     Histogram,
+    Instrument,
+    LabeledCounter,
     TelemetryRegistry,
     make_instrument,
 )
@@ -47,17 +61,27 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Instrument",
+    "LabeledCounter",
+    "ManifestWriter",
     "TelemetryRegistry",
     "WORKLOADS",
     "Workload",
     "bench_key",
     "chrome_trace",
     "compare_payloads",
+    "heatmap_csv",
     "jsonl_lines",
     "lifecycle_tracer",
     "make_instrument",
+    "node_surface",
     "parse_regress",
+    "read_manifest",
+    "render_node_heatmap",
+    "render_report",
     "run_suite",
+    "summarize_manifest",
+    "surface_split",
     "write_bench_file",
     "write_chrome_trace",
     "write_jsonl",

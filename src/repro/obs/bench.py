@@ -117,6 +117,16 @@ WORKLOADS: tuple[Workload, ...] = (
         "op": "construction", "algorithm": "duato-nbc", "width": 10,
         "vcs": 24, "message_length": 100, "builds": 3,
     }),
+    # Campaign-scale path: spec -> grid -> store round-trip per cell.
+    # Times the orchestration overhead (key hashing, JSONL appends,
+    # store puts) on top of the small engine runs, which the
+    # engine_* workloads cannot see.
+    Workload("campaign_grid_store", "ops", {
+        "op": "campaign", "algorithms": ["nhop", "duato-nbc"],
+        "width": 8, "vcs": 20, "message_length": 16, "cycles": 300,
+        "warmup": 100, "rates": [0.01, 0.03], "fault_counts": [0, 3],
+        "seed": 13,
+    }),
 )
 
 
@@ -238,6 +248,46 @@ def _ops_runner(params: dict):
                 Simulation(cfg, make_algorithm(params["algorithm"]))
 
         return run, builds
+    if op == "campaign":
+        import tempfile
+
+        from repro.experiments.campaign import CampaignRunner, CampaignSpec
+        from repro.simulator.config import SimConfig
+        from repro.store.backend import ResultStore
+
+        spec = CampaignSpec(
+            name="bench-grid",
+            algorithms=tuple(params["algorithms"]),
+            config=SimConfig(
+                width=params["width"],
+                vcs_per_channel=params["vcs"],
+                message_length=params["message_length"],
+                cycles=params["cycles"],
+                warmup=params["warmup"],
+                seed=params["seed"],
+                on_deadlock="drain",
+            ),
+            rates=tuple(params["rates"]),
+            fault_counts=tuple(params["fault_counts"]),
+            seed=params["seed"],
+        )
+
+        def run() -> None:
+            # Fresh store + out dir per repeat: every sample pays the
+            # full simulate-and-put cost, never a cache hit.
+            with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+                root = Path(tmp)
+                runner = CampaignRunner(
+                    spec, root / "out", store=ResultStore(root / "store")
+                )
+                executed = runner.run()
+                if executed != spec.n_jobs:
+                    raise RuntimeError(
+                        f"campaign bench executed {executed} of "
+                        f"{spec.n_jobs} cells"
+                    )
+
+        return run, spec.n_jobs
     raise ValueError(f"unknown ops workload {op!r}")
 
 

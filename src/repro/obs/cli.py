@@ -1,16 +1,27 @@
-"""Observability verbs: ``python -m repro.obs {bench,compare,smoke}``.
+"""Observability verbs: ``python -m repro.obs
+{bench,compare,smoke,report,heatmap}``.
 
-* ``bench --label pr3`` runs the pinned perf suite and writes
-  ``BENCH_pr3.json`` (see :mod:`repro.obs.bench`).
+* ``bench --label pr4`` runs the pinned perf suite and writes
+  ``BENCH_pr4.json`` (see :mod:`repro.obs.bench`).
 * ``compare BENCH_a.json BENCH_b.json --max-regress 15%`` exits 1 when
-  any shared workload's rate metric regressed beyond the gate, 2 when
-  nothing was comparable, else 0 — the non-blocking CI perf lane.
+  any shared workload's rate metric regressed beyond the gate (naming
+  each regressed workload on stderr), 2 when nothing was comparable,
+  else 0 — the non-blocking CI perf lane.
 * ``smoke`` runs one instrumented simulation, prints every telemetry
   counter, and self-verifies that the counters reconcile with the
   engine's :class:`~repro.simulator.engine.SimulationResult` aggregates
   (per-role VC occupancy vs ``vc_busy``, ejected flits vs delivered
   messages).  ``--trace-out file.json`` additionally exports a
   Chrome-trace (or ``.jsonl``) of the sampled message lifecycles.
+* ``report <events.jsonl>`` renders a run manifest (from a campaign's
+  ``events.jsonl`` or a figure run's ``--manifest`` file) as an ASCII
+  dashboard: per-algorithm cell throughput, slowest cells, cache hit
+  rate, ETA-model validation (see :mod:`repro.obs.manifest`).
+* ``heatmap`` runs one instrumented simulation and renders the per-node
+  ``engine.node_flit_hops`` / ``engine.node_blocked`` surface as an
+  ASCII density map (``--csv`` exports ``x,y,value`` rows), plus the
+  Figure 6 f-ring vs other-nodes load split when faults are present
+  (see :mod:`repro.obs.heatmap`).
 """
 
 from __future__ import annotations
@@ -118,7 +129,17 @@ def compare_main(argv: list[str]) -> int:
         f" -> {args.new.name} (engine v{new.get('engine_version', '?')})"
     )
     print(render_comparison(rows, max_regress=tolerance))
-    if code == 2:
+    if code == 1:
+        bad = [r for r in rows if r["status"] == "REGRESSED"]
+        names = ", ".join(
+            f"{r['workload']}.{r['metric']} ({r['delta_pct']:+.1f}%)"
+            for r in bad
+        )
+        print(
+            f"regressed beyond {100 * tolerance:.0f}%: {names}",
+            file=sys.stderr,
+        )
+    elif code == 2:
         print("no comparable workloads (keys changed?)", file=sys.stderr)
     return code
 
@@ -222,10 +243,137 @@ def smoke_main(argv: list[str]) -> int:
     return 0
 
 
+def report_main(argv: list[str]) -> int:
+    from repro.obs.manifest import (
+        read_manifest, render_report, summarize_manifest,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro-obs report",
+        description="Render a run manifest (campaign events.jsonl or a "
+        "figure run's --manifest file) as an ASCII dashboard.",
+    )
+    parser.add_argument(
+        "manifest", type=Path,
+        help="manifest file, or a campaign output directory containing "
+        "events.jsonl",
+    )
+    args = parser.parse_args(argv)
+    path = args.manifest
+    if path.is_dir():
+        path = path / "events.jsonl"
+    try:
+        events = read_manifest(path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not events:
+        print(f"error: {path} holds no events", file=sys.stderr)
+        return 2
+    print(render_report(summarize_manifest(events)))
+    return 0
+
+
+def heatmap_main(argv: list[str]) -> int:
+    from repro.faults.generator import (
+        figure6_fault_pattern, generate_block_fault_pattern,
+    )
+    from repro.faults.pattern import FaultPattern
+    from repro.obs.heatmap import (
+        METRICS, heatmap_csv, node_surface, render_node_heatmap,
+        surface_split,
+    )
+    from repro.obs.telemetry import TelemetryRegistry
+    from repro.routing.registry import make_algorithm
+    from repro.simulator.config import SimConfig
+    from repro.simulator.engine import Simulation
+    from repro.topology.mesh import Mesh2D
+
+    parser = argparse.ArgumentParser(
+        prog="repro-obs heatmap",
+        description="One instrumented run; render the per-node telemetry "
+        "surface as an ASCII density map (and optionally CSV).",
+    )
+    parser.add_argument("--algorithm", default="duato-nbc")
+    parser.add_argument("--width", type=int, default=10)
+    parser.add_argument("--vcs", type=int, default=24)
+    parser.add_argument(
+        "--faults", type=int, default=10,
+        help="random block-faulty nodes (default 10 = the paper's 10%% "
+        "on a 10x10 mesh); 0 for fault-free",
+    )
+    parser.add_argument(
+        "--fig6", action="store_true",
+        help="use the paper's fixed Figure 6 fault layout (2x3 + 1x1 + "
+        "1x1) instead of --faults random nodes",
+    )
+    parser.add_argument("--rate", type=float, default=0.02)
+    parser.add_argument("--cycles", type=int, default=3000)
+    parser.add_argument("--seed", type=int, default=2007)
+    parser.add_argument(
+        "--metric", default="hops", choices=sorted(METRICS),
+        help="which per-node counter to render (default: hops)",
+    )
+    parser.add_argument(
+        "--csv", type=Path, default=None, metavar="FILE",
+        help="also write the surface as x,y,value CSV",
+    )
+    args = parser.parse_args(argv)
+
+    cfg = SimConfig(
+        width=args.width, vcs_per_channel=args.vcs, message_length=16,
+        injection_rate=args.rate, cycles=args.cycles, warmup=0,
+        seed=args.seed, on_deadlock="drain",
+    )
+    mesh = Mesh2D(cfg.width, cfg.height)
+    if args.fig6:
+        faults = figure6_fault_pattern(mesh)
+    elif args.faults:
+        faults = generate_block_fault_pattern(
+            mesh, args.faults, random.Random(args.seed)
+        )
+    else:
+        faults = FaultPattern.fault_free(mesh)
+    registry = TelemetryRegistry()
+    sim = Simulation(
+        cfg, make_algorithm(args.algorithm), faults=faults,
+        telemetry=registry,
+    )
+    result = sim.run()
+    print(render_node_heatmap(
+        faults, registry, metric=args.metric,
+        title=f"{METRICS[args.metric]} — {args.algorithm}, "
+        f"{faults.n_faulty} faults, rate {args.rate}",
+    ))
+    values = node_surface(registry, args.metric)
+    if faults.ring_nodes:
+        split = surface_split(
+            values, faults.ring_nodes, cycles=result.measured_cycles,
+            exclude=faults.faulty,
+        )
+        print(
+            f"\nf-ring nodes: {split.ring_load_pct:.1f}% of peak | "
+            f"other nodes: {split.other_load_pct:.1f}% of peak | "
+            f"hotspot ratio {split.hotspot_ratio:.2f} "
+            f"(peak node {split.peak_node})"
+        )
+    if args.csv is not None:
+        args.csv.parent.mkdir(parents=True, exist_ok=True)
+        args.csv.write_text(heatmap_csv(mesh, values))
+        print(f"[heatmap] wrote {mesh.n_nodes} rows to {args.csv}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
-    verbs = {"bench": bench_main, "compare": compare_main, "smoke": smoke_main}
+    verbs = {
+        "bench": bench_main,
+        "compare": compare_main,
+        "smoke": smoke_main,
+        "report": report_main,
+        "heatmap": heatmap_main,
+    }
     if not argv or argv[0] in ("-h", "--help"):
         print(__doc__)
         print(f"verbs: {', '.join(sorted(verbs))}")

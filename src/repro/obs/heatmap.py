@@ -1,0 +1,153 @@
+"""Spatial telemetry export: per-node heat surfaces from the registry.
+
+The engine publishes two labeled per-node counters when telemetry is
+attached (one slot per mesh node, behind the same ``telemetry is not
+None`` guard as every other instrument):
+
+* ``engine.node_flit_hops`` — crossbar traversals charged to the node a
+  flit left, the telemetry twin of ``SimulationResult.node_load``
+  (identical when ``warmup=0``: ``node_load`` only counts the
+  measurement window, the counter stamps every cycle);
+* ``engine.node_blocked`` — cycles a routable header at the node found
+  no grantable output VC.
+
+This module turns those vectors into Figure 6-style surfaces: an ASCII
+density map (via :func:`repro.experiments.mesh_art.render_heatmap`), a
+plotting-friendly ``x,y,value`` CSV, and an f-ring vs non-f-ring split
+that mirrors :func:`repro.metrics.traffic_load.traffic_load_split`
+number-for-number — the reconciliation test in
+``tests/test_obs_heatmap.py`` ties the telemetry surface at 10% faults
+back to the paper's Fig. 6 claim.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.experiments.mesh_art import render_heatmap
+from repro.metrics.traffic_load import TrafficLoadSplit
+
+__all__ = [
+    "METRICS",
+    "heatmap_csv",
+    "node_surface",
+    "render_node_heatmap",
+    "surface_split",
+]
+
+#: Short metric aliases accepted everywhere a metric name is.
+METRICS = {
+    "hops": "engine.node_flit_hops",
+    "blocked": "engine.node_blocked",
+}
+
+
+def _metric_name(metric: str) -> str:
+    return METRICS.get(metric, metric)
+
+
+def node_surface(source, metric: str = "hops") -> list[int]:
+    """The per-node vector for *metric* from a registry or snapshot.
+
+    *source* is a :class:`~repro.obs.telemetry.TelemetryRegistry` or its
+    :meth:`~repro.obs.telemetry.TelemetryRegistry.snapshot` dict (so
+    surfaces can be pulled from merged worker snapshots or from JSON on
+    disk).  *metric* is ``"hops"``, ``"blocked"``, or a full counter
+    name.
+    """
+    name = _metric_name(metric)
+    if isinstance(source, dict):
+        payload = source.get(name)
+        if payload is None:
+            raise KeyError(f"snapshot has no {name!r} instrument")
+        if payload.get("type") != "labeled_counter":
+            raise TypeError(f"{name!r} is a {payload.get('type')}, "
+                            "not a labeled_counter")
+        return list(payload["values"])
+    inst = source.get(name)
+    if inst is None:
+        raise KeyError(f"registry has no {name!r} instrument")
+    values = getattr(inst, "values", None)
+    if values is None:
+        raise TypeError(f"{name!r} is a {type(inst).__name__}, "
+                        "not a labeled counter")
+    return list(values)
+
+
+def render_node_heatmap(
+    pattern, source, *, metric: str = "hops", title: str = ""
+) -> str:
+    """ASCII density map of a node metric over *pattern*'s mesh."""
+    values = node_surface(source, metric)
+    if not title:
+        title = _metric_name(metric)
+    return render_heatmap(pattern, values, title=title)
+
+
+def heatmap_csv(mesh, values: Sequence[float]) -> str:
+    """``x,y,value`` CSV of a per-node vector (header row included)."""
+    if len(values) != mesh.n_nodes:
+        raise ValueError(
+            f"need {mesh.n_nodes} node values, got {len(values)}"
+        )
+    lines = ["x,y,value"]
+    for node in mesh.nodes():
+        x, y = mesh.coordinates(node)
+        lines.append(f"{x},{y},{values[node]}")
+    return "\n".join(lines) + "\n"
+
+
+def surface_split(
+    values: Sequence[float],
+    ring_nodes: Iterable[int],
+    *,
+    cycles: int,
+    exclude: Iterable[int] = (),
+) -> TrafficLoadSplit:
+    """F-ring vs other split of a raw per-node vector.
+
+    Same computation as :func:`repro.metrics.traffic_load.
+    traffic_load_split`, but over a bare vector (e.g. the
+    ``engine.node_flit_hops`` surface) instead of a
+    ``SimulationResult`` — passing the telemetry surface of a
+    ``warmup=0`` run with *cycles* = ``result.measured_cycles``
+    reproduces that function's output exactly.
+    """
+    if not values:
+        raise ValueError("empty node surface")
+    ring = set(ring_nodes)
+    excluded = set(exclude)
+    cycles = max(cycles, 1)
+    ring_loads = [
+        values[n] / cycles
+        for n in range(len(values))
+        if n in ring and n not in excluded
+    ]
+    other_loads = [
+        values[n] / cycles
+        for n in range(len(values))
+        if n not in ring and n not in excluded
+    ]
+    if not ring_loads or not other_loads:
+        raise ValueError("both node groups must be non-empty")
+    peak = max(
+        values[n] / cycles for n in range(len(values)) if n not in excluded
+    )
+    peak_node = max(
+        (n for n in range(len(values)) if n not in excluded),
+        key=lambda n: values[n],
+    )
+    if peak == 0:
+        return TrafficLoadSplit(
+            0.0, 0.0, 0.0, peak_node, len(ring_loads), len(other_loads)
+        )
+    ring_mean = sum(ring_loads) / len(ring_loads)
+    other_mean = sum(other_loads) / len(other_loads)
+    return TrafficLoadSplit(
+        ring_load_pct=100.0 * ring_mean / peak,
+        other_load_pct=100.0 * other_mean / peak,
+        peak_load_flits_per_cycle=peak,
+        peak_node=peak_node,
+        n_ring_nodes=len(ring_loads),
+        n_other_nodes=len(other_loads),
+    )

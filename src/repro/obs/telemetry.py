@@ -19,6 +19,14 @@ Design rules:
   simulations in sequence (e.g. one per algorithm in a figure sweep);
   counters then accumulate across runs.  Use :meth:`TelemetryRegistry.
   reset` or a fresh registry for per-run numbers.
+* **Distribution = snapshot + merge.**  Registries never cross process
+  boundaries; pool workers attach a *fresh* registry each, ship its
+  JSON-safe :meth:`~TelemetryRegistry.snapshot` back with their result,
+  and the parent folds the snapshots into its own registry with
+  :meth:`~TelemetryRegistry.merge` (counters sum, gauges keep the
+  cycle-latest value, histograms merge bucket-wise).  Counter and
+  histogram contents are therefore identical to a sequential run over
+  the same cells, independent of merge order.
 
 The engine's counter catalog is documented in ``docs/observability.md``;
 :func:`repro.metrics.vc_usage.reconcile_vc_usage` cross-checks the
@@ -33,6 +41,8 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Instrument",
+    "LabeledCounter",
     "TelemetryRegistry",
     "make_instrument",
 ]
@@ -63,8 +73,70 @@ class Counter:
             "last_cycle": self.last_cycle,
         }
 
+    def merge(self, payload: dict) -> None:
+        """Fold another counter's snapshot in: values sum."""
+        self.value += payload["value"]
+        self.last_cycle = max(self.last_cycle, payload["last_cycle"])
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Counter({self.name!r}, value={self.value})"
+
+
+class LabeledCounter:
+    """A fixed-size vector of cycle-stamped counts (e.g. one per node).
+
+    One instrument object covers a whole index space — the engine's
+    spatial counters (``engine.node_flit_hops``, ``engine.node_blocked``)
+    use one slot per mesh node, so the hot path pays a list-index add
+    instead of a dict lookup over hundreds of named counters, and a
+    snapshot ships the whole surface as one array.
+    """
+
+    __slots__ = ("name", "values", "last_cycle")
+
+    def __init__(self, name: str, size: int) -> None:
+        if size <= 0:
+            raise ValueError("labeled counter needs a positive size")
+        self.name = name
+        self.values = [0] * size
+        self.last_cycle = -1
+
+    def inc(self, cycle: int, index: int, n: int = 1) -> None:
+        self.values[index] += n
+        self.last_cycle = cycle
+
+    @property
+    def value(self) -> int:
+        """Total across all labels (what :meth:`TelemetryRegistry.value`
+        and :meth:`~TelemetryRegistry.render` report)."""
+        return sum(self.values)
+
+    def reset(self) -> None:
+        self.values = [0] * len(self.values)
+        self.last_cycle = -1
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "labeled_counter",
+            "values": list(self.values),
+            "last_cycle": self.last_cycle,
+        }
+
+    def merge(self, payload: dict) -> None:
+        """Fold another labeled counter's snapshot in: slot-wise sums."""
+        other = payload["values"]
+        if len(other) != len(self.values):
+            raise ValueError(
+                f"{self.name!r}: cannot merge {len(other)} labels into "
+                f"{len(self.values)}"
+            )
+        values = self.values
+        for i, v in enumerate(other):
+            values[i] += v
+        self.last_cycle = max(self.last_cycle, payload["last_cycle"])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LabeledCounter({self.name!r}, size={len(self.values)})"
 
 
 class Gauge:
@@ -91,6 +163,20 @@ class Gauge:
             "value": self.value,
             "last_cycle": self.last_cycle,
         }
+
+    def merge(self, payload: dict) -> None:
+        """Fold another gauge's snapshot in: the cycle-latest value wins.
+
+        Ties on ``last_cycle`` (e.g. two workers both sampled at the
+        final watchdog tick) keep the larger value so the outcome is
+        independent of merge order.
+        """
+        if payload["last_cycle"] > self.last_cycle or (
+            payload["last_cycle"] == self.last_cycle
+            and payload["value"] > self.value
+        ):
+            self.value = payload["value"]
+            self.last_cycle = payload["last_cycle"]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Gauge({self.name!r}, value={self.value})"
@@ -142,6 +228,20 @@ class Histogram:
             "last_cycle": self.last_cycle,
         }
 
+    def merge(self, payload: dict) -> None:
+        """Fold another histogram's snapshot in: bucket-wise sums."""
+        if tuple(payload["bounds"]) != self.bounds:
+            raise ValueError(
+                f"{self.name!r}: cannot merge histogram with bounds "
+                f"{payload['bounds']} into {list(self.bounds)}"
+            )
+        counts = self.counts
+        for i, c in enumerate(payload["counts"]):
+            counts[i] += c
+        self.total += payload["total"]
+        self.sum += payload["sum"]
+        self.last_cycle = max(self.last_cycle, payload["last_cycle"])
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Histogram({self.name!r}, total={self.total})"
 
@@ -155,7 +255,9 @@ class TelemetryRegistry:
     """
 
     def __init__(self) -> None:
-        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._instruments: dict[
+            str, Counter | Gauge | Histogram | LabeledCounter
+        ] = {}
 
     # ------------------------------------------------------------------
     def counter(self, name: str) -> Counter:
@@ -182,6 +284,18 @@ class TelemetryRegistry:
             inst = self._instruments[name] = Histogram(name, bounds)
         elif not isinstance(inst, Histogram):
             raise TypeError(f"{name!r} is already a {type(inst).__name__}")
+        return inst
+
+    def labeled_counter(self, name: str, size: int) -> LabeledCounter:
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = self._instruments[name] = LabeledCounter(name, size)
+        elif not isinstance(inst, LabeledCounter):
+            raise TypeError(f"{name!r} is already a {type(inst).__name__}")
+        elif len(inst.values) != size:
+            raise ValueError(
+                f"{name!r} already has {len(inst.values)} labels, not {size}"
+            )
         return inst
 
     # ------------------------------------------------------------------
@@ -215,6 +329,71 @@ class TelemetryRegistry:
             for name in sorted(self._instruments)
         }
 
+    def merge(self, other) -> None:
+        """Fold a snapshot (or another registry) into this registry.
+
+        *other* is either a :meth:`snapshot` dict or a
+        :class:`TelemetryRegistry`.  Instruments absent here are created
+        with the snapshot's type (and bounds/size, for histograms and
+        labeled counters); instruments present in both merge per type —
+        counters and labeled counters sum, gauges keep the value with the
+        larger ``last_cycle`` (ties keep the larger value), histograms
+        add bucket-wise.  Counter/histogram contents are therefore
+        independent of merge order, so a parent that merges N worker
+        snapshots matches a sequential run over the same cells exactly.
+
+        Raises ``TypeError`` when a name is bound to a different
+        instrument type on the two sides, ``ValueError`` on histogram
+        bound or labeled-counter size mismatches.
+        """
+        if isinstance(other, TelemetryRegistry):
+            other = other.snapshot()
+        for name in sorted(other):
+            payload = other[name]
+            kind = payload["type"]
+            inst = self._instruments.get(name)
+            if inst is None:
+                if kind == "counter":
+                    inst = self.counter(name)
+                elif kind == "gauge":
+                    inst = self.gauge(name)
+                elif kind == "histogram":
+                    inst = self.histogram(name, tuple(payload["bounds"]))
+                elif kind == "labeled_counter":
+                    inst = self.labeled_counter(name, len(payload["values"]))
+                else:
+                    raise TypeError(
+                        f"{name!r}: unknown instrument type {kind!r}"
+                    )
+            else:
+                expected = {
+                    Counter: "counter",
+                    Gauge: "gauge",
+                    Histogram: "histogram",
+                    LabeledCounter: "labeled_counter",
+                }[type(inst)]
+                if kind != expected:
+                    raise TypeError(
+                        f"{name!r} is a {expected} here but a {kind} "
+                        "in the snapshot"
+                    )
+            inst.merge(payload)
+
+    def digest(self) -> str:
+        """A short stable hash of the current snapshot.
+
+        Run manifests record this so two runs' telemetry can be compared
+        at a glance (and the workers=N merge checked against workers=1)
+        without embedding the full snapshot in every event.
+        """
+        import hashlib
+
+        from repro.store.keys import canonical_json
+
+        return hashlib.sha256(
+            canonical_json(self.snapshot()).encode("utf-8")
+        ).hexdigest()[:16]
+
     def render(self, prefix: str = "") -> str:
         """A human-readable table of instruments (optionally filtered)."""
         lines = []
@@ -231,21 +410,55 @@ class TelemetryRegistry:
         return "\n".join(lines)
 
 
-def make_instrument(telemetry: TelemetryRegistry | None = None, tracer=None):
+class Instrument:
     """A per-run hook for :class:`repro.core.evaluator.Evaluator`.
 
-    The returned callable attaches *telemetry* (a shared registry,
-    accumulating across runs) and/or *tracer* (a shared
-    :class:`~repro.simulator.trace.Tracer`) to every
-    :class:`~repro.simulator.engine.Simulation` the evaluator executes.
-    Note that cache hits in a :class:`~repro.store.CachedEvaluator` do
-    not re-simulate, so instrumented counters cover executed runs only.
+    Calling it on a :class:`~repro.simulator.engine.Simulation` attaches
+    *telemetry* (a shared registry, accumulating across runs) and/or
+    *tracer* (a shared :class:`~repro.simulator.trace.Tracer`).  Note
+    that cache hits in a :class:`~repro.store.CachedEvaluator` do not
+    re-simulate, so instrumented counters cover executed runs only.
+
+    The attributes are inspectable so the experiment drivers can decide
+    how to distribute work: a telemetry-only instrument is
+    **pool-safe** — workers attach fresh registries and the parent
+    merges their snapshots — while a tracer accumulates ordered events
+    in process and forces the sequential path.  Arbitrary callables
+    (the pre-merge API) still work everywhere but are treated like
+    tracers: the drivers cannot see inside them, so they stay in
+    process.
     """
 
-    def instrument(sim) -> None:
-        if telemetry is not None:
-            sim.attach_telemetry(telemetry)
-        if tracer is not None:
-            sim.tracer = tracer
+    __slots__ = ("telemetry", "tracer")
 
-    return instrument
+    def __init__(
+        self, telemetry: TelemetryRegistry | None = None, tracer=None
+    ) -> None:
+        self.telemetry = telemetry
+        self.tracer = tracer
+
+    def __call__(self, sim) -> None:
+        if self.telemetry is not None:
+            sim.attach_telemetry(self.telemetry)
+        if self.tracer is not None:
+            sim.tracer = self.tracer
+
+    @property
+    def pool_safe(self) -> bool:
+        """True when this instrument can be replicated across workers."""
+        return self.tracer is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = []
+        if self.telemetry is not None:
+            parts.append("telemetry")
+        if self.tracer is not None:
+            parts.append("tracer")
+        return f"Instrument({'+'.join(parts) or 'noop'})"
+
+
+def make_instrument(
+    telemetry: TelemetryRegistry | None = None, tracer=None
+) -> Instrument:
+    """Build an :class:`Instrument` (kept for API compatibility)."""
+    return Instrument(telemetry, tracer)

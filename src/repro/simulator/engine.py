@@ -341,6 +341,12 @@ class Simulation:
         )
         self._t_latency = registry.histogram("engine.latency")
         self._g_inflight = registry.gauge("engine.inflight_flits")
+        self._t_node_hops = registry.labeled_counter(
+            "engine.node_flit_hops", self.mesh.n_nodes
+        )
+        self._t_node_blocked = registry.labeled_counter(
+            "engine.node_blocked", self.mesh.n_nodes
+        )
         self._t_fring: dict[int, object] = {}
 
     def _fring_counter(self, ring):
@@ -531,6 +537,7 @@ class Simulation:
             if granted is None:
                 if self.telemetry is not None:
                     self._t_blocked.inc(cycle)
+                    self._t_node_blocked.inc(cycle, node)
                 continue
             granted.owner = invc
             invc.out_ovc = granted
@@ -593,6 +600,7 @@ class Simulation:
                 self.tracer.record(cycle, "move", msg.id, invc.node, kind)
             if self.telemetry is not None:
                 self._t_flit_hops.inc(cycle)
+                self._t_node_hops.inc(cycle, invc.node)
             if ovc.is_ejection:
                 if measuring:
                     result.delivered_flits += 1

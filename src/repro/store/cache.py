@@ -45,8 +45,27 @@ class CacheStats:
     def runs(self) -> int:
         return self.hits + self.misses + self.bypassed
 
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of keyable lookups served from the store."""
+        keyed = self.hits + self.misses
+        return self.hits / keyed if keyed else 0.0
+
     def as_dict(self) -> dict:
         return asdict(self)
+
+    def add(self, payload: "CacheStats | dict") -> None:
+        """Fold another evaluator's counters in (e.g. a pool worker's).
+
+        Accepts a :class:`CacheStats` or its :meth:`as_dict` payload, so
+        workers can ship plain dicts across process boundaries.
+        """
+        if isinstance(payload, CacheStats):
+            payload = payload.as_dict()
+        self.hits += payload.get("hits", 0)
+        self.misses += payload.get("misses", 0)
+        self.puts += payload.get("puts", 0)
+        self.bypassed += payload.get("bypassed", 0)
 
 
 class CachedEvaluator(Evaluator):

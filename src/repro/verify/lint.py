@@ -390,6 +390,85 @@ def _rule_figure_drivers(mod: _Module) -> list[Finding]:
 
 
 # ----------------------------------------------------------------------
+# REP008 — content digests go through canonical_json
+# ----------------------------------------------------------------------
+#: The one module allowed to hash arbitrary bytes: it *defines* the
+#: canonical serialization the rest of the project keys on.
+_DIGEST_HOME = "repro/store/keys"
+
+#: hashlib constructors whose output the store treats as a content key.
+_DIGEST_FUNCS = {"sha256", "sha1", "md5"}
+
+
+def _is_canonical_json_call(expr: ast.expr) -> bool:
+    return (
+        isinstance(expr, ast.Call)
+        and _base_name(expr.func) == "canonical_json"
+    )
+
+
+def _rule_canonical_digests(mod: _Module) -> list[Finding]:
+    if _DIGEST_HOME in mod.path:
+        return []
+    # Local names bound to a canonical_json(...) result anywhere in the
+    # module (``payload = canonical_json(...); sha256(payload.encode())``
+    # is the common two-line idiom).
+    canonical_names: set[str] = set()
+    for node in ast.walk(mod.tree):
+        if (
+            isinstance(node, ast.Assign)
+            and _is_canonical_json_call(node.value)
+        ):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    canonical_names.add(target.id)
+
+    def digests_canonical_json(call: ast.Call) -> bool:
+        if len(call.args) != 1 or call.keywords:
+            return False
+        arg = call.args[0]
+        # Accept <canonical>.encode(...) where <canonical> is either the
+        # canonical_json(...) call itself or a Name assigned from one.
+        if (
+            isinstance(arg, ast.Call)
+            and isinstance(arg.func, ast.Attribute)
+            and arg.func.attr == "encode"
+        ):
+            base = arg.func.value
+            return _is_canonical_json_call(base) or (
+                isinstance(base, ast.Name) and base.id in canonical_names
+            )
+        return False
+
+    found = []
+    for node in ast.walk(mod.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = None
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "hashlib"
+            and func.attr in _DIGEST_FUNCS
+        ):
+            name = f"hashlib.{func.attr}"
+        elif isinstance(func, ast.Name) and func.id in _DIGEST_FUNCS:
+            name = func.id
+        if name is None or digests_canonical_json(node):
+            continue
+        found.append(Finding(
+            "REP008", mod.path, node.lineno, node.col_offset,
+            f"{name}() outside repro.store.keys must digest "
+            "canonical_json(...) — ad-hoc serialization silently forks "
+            "the store's key space (dict order, float formatting); build "
+            "the payload, canonical_json() it, then hash the encoded "
+            "string (repro.store.keys.canonical_key does both)",
+        ))
+    return found
+
+
+# ----------------------------------------------------------------------
 # Catalog
 # ----------------------------------------------------------------------
 #: rule id -> (scope, summary, implementation).
@@ -429,6 +508,12 @@ RULES: dict[str, tuple[str, str, object]] = {
         "figure drivers are profile-driven (run_*(profile, ...), no "
         "inline SimConfig)",
         _rule_figure_drivers,
+    ),
+    "REP008": (
+        "module",
+        "content digests outside repro.store.keys hash canonical_json "
+        "output (one key space, one serialization)",
+        _rule_canonical_digests,
     ),
 }
 

@@ -1,0 +1,114 @@
+"""mypy baseline-gate logic (`tools/mypy_gate.py`).
+
+mypy itself is not a test dependency — `run_mypy` is monkeypatched, so
+these tests cover the gate's decision table: advisory vs ``--require``,
+baseline pinning, new-error detection, stale-entry reporting.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "mypy_gate", REPO / "tools" / "mypy_gate.py"
+)
+mypy_gate = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("mypy_gate", mypy_gate)
+_spec.loader.exec_module(mypy_gate)
+
+
+@pytest.fixture
+def gate(tmp_path, monkeypatch):
+    """The module with its baseline redirected to a tmp file."""
+    monkeypatch.setattr(mypy_gate, "BASELINE", tmp_path / "baseline.txt")
+    mypy_gate.BASELINE.write_text("UNPINNED\n")
+    return mypy_gate
+
+
+def set_mypy(monkeypatch, gate, errors, unavailable=""):
+    monkeypatch.setattr(
+        gate, "run_mypy", lambda: (sorted(errors), unavailable)
+    )
+
+
+class TestNormalize:
+    def test_drops_line_numbers_and_dedupes(self):
+        lines = [
+            "src/a.py:10: error: bad thing  [misc]",
+            "src/a.py:99: error: bad thing  [misc]",
+            "src/b.py:5:12: error: other  [arg-type]",
+            "note: something irrelevant",
+        ]
+        assert mypy_gate.normalize(lines) == [
+            "src/a.py: bad thing  [misc]",
+            "src/b.py: other  [arg-type]",
+        ]
+
+
+class TestAdvisoryMode:
+    def test_unpinned_reports_and_passes(self, gate, monkeypatch, capsys):
+        set_mypy(monkeypatch, gate, ["src/a.py: oops  [misc]"])
+        assert gate.main([]) == 0
+        assert "ADVISORY" in capsys.readouterr().out
+
+    def test_missing_mypy_skips(self, gate, monkeypatch, capsys):
+        set_mypy(monkeypatch, gate, [], unavailable="mypy is not installed")
+        assert gate.main([]) == 0
+        assert "skipped" in capsys.readouterr().out
+
+
+class TestRequireMode:
+    def test_missing_mypy_fails(self, gate, monkeypatch, capsys):
+        set_mypy(monkeypatch, gate, [], unavailable="mypy is not installed")
+        assert gate.main(["--require"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_unpinned_pins_and_fails(self, gate, monkeypatch, capsys):
+        set_mypy(monkeypatch, gate, ["src/a.py: oops  [misc]"])
+        assert gate.main(["--require"]) == 1
+        out = capsys.readouterr().out
+        assert "pinned 1 entries" in out
+        # The written baseline arms the next run.
+        assert gate.read_baseline() == ["src/a.py: oops  [misc]"]
+        assert gate.main(["--require"]) == 0
+
+    def test_pinned_gates_new_errors(self, gate, monkeypatch, capsys):
+        gate.write_baseline(["src/a.py: old  [misc]"])
+        set_mypy(
+            monkeypatch, gate,
+            ["src/a.py: old  [misc]", "src/b.py: new  [arg-type]"],
+        )
+        assert gate.main(["--require"]) == 1
+        assert "NEW: src/b.py: new  [arg-type]" in capsys.readouterr().out
+
+    def test_pinned_accepts_baseline_errors(self, gate, monkeypatch):
+        gate.write_baseline(["src/a.py: old  [misc]"])
+        set_mypy(monkeypatch, gate, ["src/a.py: old  [misc]"])
+        assert gate.main(["--require"]) == 0
+
+    def test_stale_entries_reported_not_fatal(
+        self, gate, monkeypatch, capsys
+    ):
+        gate.write_baseline(["src/a.py: fixed-now  [misc]"])
+        set_mypy(monkeypatch, gate, [])
+        assert gate.main(["--require"]) == 0
+        assert "stale baseline entry" in capsys.readouterr().out
+
+
+class TestUpdateMode:
+    def test_update_writes_and_passes(self, gate, monkeypatch):
+        set_mypy(monkeypatch, gate, ["src/a.py: oops  [misc]"])
+        assert gate.main(["--update"]) == 0
+        assert gate.read_baseline() == ["src/a.py: oops  [misc]"]
+
+    def test_update_empty_run_pins_clean_baseline(self, gate, monkeypatch):
+        set_mypy(monkeypatch, gate, [])
+        assert gate.main(["--update"]) == 0
+        assert gate.read_baseline() == []
+        # A clean pinned baseline then fails on any error at all.
+        set_mypy(monkeypatch, gate, ["src/a.py: oops  [misc]"])
+        assert gate.main(["--require"]) == 1

@@ -88,6 +88,15 @@ def test_engine_workload_reports_rates():
     assert m["flit_hops_per_sec"] > 0
 
 
+def test_campaign_workload_runs_grid_through_store():
+    (w,) = [w for w in WORKLOADS if w.name == "campaign_grid_store"]
+    metrics = run_suite(workloads=(w,), repeats=1)["campaign_grid_store"]
+    # 2 algorithms x 2 rates x (fault-free + one faulty set) = 8 cells.
+    assert metrics["ops"] == 8
+    assert metrics["ops_per_sec"] > 0
+    assert metrics["seconds"] > 0
+
+
 # ----------------------------------------------------------------------
 # compare
 # ----------------------------------------------------------------------
@@ -158,6 +167,17 @@ def test_cli_compare_exit_codes(tmp_path, capsys):
     assert "REGRESSED" in out
     assert obs_main(["compare", good, str(tmp_path / "nope.json")]) == 2
     assert obs_main(["compare", good, same, "--max-regress", "bogus"]) == 2
+
+
+def test_cli_compare_names_regressed_workloads(tmp_path, capsys):
+    """The failure message must say WHICH workload regressed."""
+    good = _write(tmp_path / "a.json", _payload(1000.0))
+    slow = _write(tmp_path / "c.json", _payload(100.0))
+    assert obs_main(["compare", good, slow, "--max-regress", "15%"]) == 1
+    err = capsys.readouterr().err
+    assert "regressed beyond 15%" in err
+    assert "w.cycles_per_sec" in err
+    assert "-90.0%" in err
 
 
 def test_cli_unknown_verb():

@@ -1,0 +1,201 @@
+"""Run manifests (`repro.obs.manifest`): writer, summarizer, report,
+CLI verb, and the figure/campaign integrations."""
+
+import json
+
+import pytest
+
+from repro.experiments.campaign import CampaignRunner, CampaignSpec
+from repro.experiments.fig_sweep import run_sweep
+from repro.experiments.profiles import SMOKE_PROFILE
+from repro.obs.cli import main as obs_main
+from repro.obs.manifest import (
+    ManifestWriter,
+    read_manifest,
+    render_report,
+    summarize_manifest,
+)
+from repro.simulator.config import SimConfig
+
+
+def _write_run(path, *, cells=6, label="demo", with_cache=True):
+    with ManifestWriter(path) as m:
+        m.run_start(label, kind="figure", workers=2, store="/tmp/store")
+        for i in range(cells):
+            m.cell_finish(
+                f"alg{i % 2}/cell{i}",
+                seconds=0.5 + i,
+                worker=i % 2,
+                cycles=1000,
+                cache={"hits": i % 2, "misses": 1 - i % 2,
+                       "puts": 1 - i % 2, "bypassed": 0}
+                if with_cache else None,
+            )
+        m.run_finish(status="ok", telemetry_digest="abcd" * 4)
+    return path
+
+
+class TestWriter:
+    def test_events_are_jsonl_with_monotonic_t(self, tmp_path):
+        path = _write_run(tmp_path / "m.jsonl", cells=2)
+        events = read_manifest(path)
+        assert [e["event"] for e in events] == [
+            "run-start", "cell", "cell", "run-finish",
+        ]
+        ts = [e["t"] for e in events]
+        assert ts == sorted(ts)
+        assert events[0]["wall_unix"] > 0
+
+    def test_append_only_across_writers(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        _write_run(path, cells=1)
+        _write_run(path, cells=1)
+        assert len(read_manifest(path)) == 6
+
+    def test_cell_start_phase(self, tmp_path):
+        with ManifestWriter(tmp_path / "m.jsonl") as m:
+            ev = m.cell_start("nhop")
+        assert ev["phase"] == "start" and ev["id"] == "nhop"
+
+    def test_meta_kwargs_recorded(self, tmp_path):
+        with ManifestWriter(tmp_path / "m.jsonl") as m:
+            ev = m.run_start("x", kind="figure", profile="smoke")
+        assert ev["meta"] == {"profile": "smoke"}
+
+    def test_bad_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text('{"event": "run-start"}\nnot json\n')
+        with pytest.raises(ValueError, match=":2:"):
+            read_manifest(path)
+
+
+class TestSummarize:
+    def test_groups_by_leading_component(self, tmp_path):
+        summary = summarize_manifest(
+            read_manifest(_write_run(tmp_path / "m.jsonl"))
+        )
+        assert set(summary["groups"]) == {"alg0", "alg1"}
+        assert summary["groups"]["alg0"]["cells"] == 3
+        assert summary["n_cells"] == 6
+        assert summary["status"] == "ok"
+        assert summary["telemetry_digest"] == "abcd" * 4
+
+    def test_cache_totals_and_hit_rate(self, tmp_path):
+        summary = summarize_manifest(
+            read_manifest(_write_run(tmp_path / "m.jsonl"))
+        )
+        c = summary["cache"]
+        assert c["hits"] + c["misses"] == 6
+        assert summary["cache_hit_rate"] == pytest.approx(c["hits"] / 6)
+
+    def test_no_cache_is_none(self, tmp_path):
+        summary = summarize_manifest(read_manifest(
+            _write_run(tmp_path / "m.jsonl", with_cache=False)
+        ))
+        assert summary["cache"] is None
+        assert summary["cache_hit_rate"] is None
+
+    def test_last_run_segment_wins_after_resume(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        _write_run(path, cells=6, label="first")
+        _write_run(path, cells=2, label="second")
+        summary = summarize_manifest(read_manifest(path))
+        assert summary["label"] == "second"
+        assert summary["n_cells"] == 2
+
+    def test_slowest_cells_ranked(self, tmp_path):
+        summary = summarize_manifest(
+            read_manifest(_write_run(tmp_path / "m.jsonl"))
+        )
+        seconds = [row["seconds"] for row in summary["slowest"]]
+        assert len(seconds) == 5
+        assert seconds == sorted(seconds, reverse=True)
+
+    def test_eta_checks_present_for_enough_cells(self, tmp_path):
+        summary = summarize_manifest(
+            read_manifest(_write_run(tmp_path / "m.jsonl"))
+        )
+        assert [row["at_pct"] for row in summary["eta_checks"]] == [25, 50, 75]
+
+    def test_incomplete_run(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        with ManifestWriter(path) as m:
+            m.run_start("x", kind="campaign")
+            m.cell_finish("a/1", seconds=1.0)
+        summary = summarize_manifest(read_manifest(path))
+        assert summary["status"] == "incomplete"
+        assert summary["total_seconds"] is None
+
+
+class TestReport:
+    def test_render_mentions_everything(self, tmp_path):
+        summary = summarize_manifest(
+            read_manifest(_write_run(tmp_path / "m.jsonl"))
+        )
+        text = render_report(summary)
+        for needle in ("run 'demo'", "workers=2", "alg0", "slowest cells:",
+                       "hit rate", "ETA model"):
+            assert needle in text
+
+    def test_cli_report_verb(self, tmp_path, capsys):
+        path = _write_run(tmp_path / "m.jsonl")
+        assert obs_main(["report", str(path)]) == 0
+        assert "run 'demo'" in capsys.readouterr().out
+
+    def test_cli_report_accepts_directory(self, tmp_path, capsys):
+        _write_run(tmp_path / "events.jsonl")
+        assert obs_main(["report", str(tmp_path)]) == 0
+        assert "run 'demo'" in capsys.readouterr().out
+
+    def test_cli_report_missing_file(self, tmp_path, capsys):
+        assert obs_main(["report", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_cli_report_empty_file(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert obs_main(["report", str(path)]) == 2
+
+
+class TestIntegration:
+    def test_fig_sweep_emits_cell_per_algorithm(self, tmp_path):
+        path = tmp_path / "fig.jsonl"
+        with ManifestWriter(path) as m:
+            m.run_start("fig1", kind="figure", workers=1)
+            run_sweep(SMOKE_PROFILE, ("nhop",), manifest=m)
+            m.run_finish()
+        events = read_manifest(path)
+        finishes = [
+            e for e in events
+            if e["event"] == "cell" and e["phase"] == "finish"
+        ]
+        assert [e["id"] for e in finishes] == ["nhop"]
+        assert finishes[0]["cycles"] > 0
+        assert finishes[0]["seconds"] > 0
+
+    def test_campaign_writes_events_jsonl(self, tmp_path):
+        spec = CampaignSpec(
+            name="m",
+            algorithms=("nhop",),
+            config=SimConfig(
+                width=6, vcs_per_channel=24, message_length=4,
+                cycles=400, warmup=100,
+            ),
+            rates=(0.01, 0.02),
+        )
+        runner = CampaignRunner(spec, tmp_path / "out")
+        runner.run()
+        events = read_manifest(tmp_path / "out" / "events.jsonl")
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "run-start" and kinds[-1] == "run-finish"
+        summary = summarize_manifest(events)
+        assert summary["kind"] == "campaign"
+        assert summary["n_cells"] == 2
+        # Resume: a second run appends a fresh (empty) segment.
+        runner2 = CampaignRunner(spec, tmp_path / "out")
+        runner2.run()
+        summary = summarize_manifest(
+            read_manifest(tmp_path / "out" / "events.jsonl")
+        )
+        assert summary["n_cells"] == 0
+        assert summary["status"] == "ok"

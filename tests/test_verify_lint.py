@@ -201,6 +201,66 @@ class TestFigureDrivers:
         ) == []
 
 
+class TestCanonicalDigests:
+    def test_flags_adhoc_hash(self):
+        src = (
+            "import hashlib, json\n"
+            "def key(payload):\n"
+            "    return hashlib.sha256(json.dumps(payload).encode()).hexdigest()\n"
+        )
+        findings = lint_source(
+            src, path="src/repro/store/cache.py", select={"REP008"}
+        )
+        assert rules_of(findings) == {"REP008"}
+
+    def test_flags_bare_import_and_weak_hashes(self):
+        src = (
+            "from hashlib import md5, sha1\n"
+            "def k(b):\n"
+            "    return md5(b).hexdigest() + sha1(b).hexdigest()\n"
+        )
+        findings = lint_source(
+            src, path="src/repro/obs/manifest.py", select={"REP008"}
+        )
+        assert len(findings) == 2
+        assert rules_of(findings) == {"REP008"}
+
+    def test_accepts_inline_canonical_json(self):
+        src = (
+            "import hashlib\n"
+            "from repro.store.keys import canonical_json\n"
+            "def digest(snapshot):\n"
+            "    return hashlib.sha256(\n"
+            "        canonical_json(snapshot).encode('utf-8')\n"
+            "    ).hexdigest()[:16]\n"
+        )
+        assert lint_source(
+            src, path="src/repro/obs/telemetry.py", select={"REP008"}
+        ) == []
+
+    def test_accepts_name_assigned_from_canonical_json(self):
+        src = (
+            "import hashlib\n"
+            "from repro.store.keys import canonical_json\n"
+            "def bench_key(name, params):\n"
+            "    payload = canonical_json({'name': name, 'params': params})\n"
+            "    return hashlib.sha256(payload.encode('utf-8')).hexdigest()\n"
+        )
+        assert lint_source(
+            src, path="src/repro/obs/bench.py", select={"REP008"}
+        ) == []
+
+    def test_keys_module_is_exempt(self):
+        src = (
+            "import hashlib\n"
+            "def raw(blob):\n"
+            "    return hashlib.sha256(blob).hexdigest()\n"
+        )
+        assert lint_source(
+            src, path="src/repro/store/keys.py", select={"REP008"}
+        ) == []
+
+
 class TestHarness:
     def test_catalog_is_documented(self):
         for rule_id, (scope, summary, impl) in RULES.items():

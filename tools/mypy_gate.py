@@ -14,14 +14,24 @@ the middle road used by most gradual-typing migrations:
   baseline with ``--update`` to lock in the progress).
 
 Until the baseline has been pinned on a machine with mypy available the
-file holds only the ``UNPINNED`` sentinel and the gate is advisory: it
-prints whatever mypy reports and exits 0.  Pin with::
+file holds only the ``UNPINNED`` sentinel.  Without ``--require`` the
+gate is then advisory: it prints whatever mypy reports and exits 0.
+With ``--require`` (the CI mode) the gate can never silently pass:
+
+* mypy missing -> exit 1 (an advisory skip would mask a broken install);
+* baseline unpinned -> the gate pins it from this run's errors, prints
+  the entries, and exits 1 — commit the written
+  ``tools/mypy_baseline.txt`` (CI uploads it as an artifact) and the
+  next run gates against it.
+
+Pin by hand with::
 
     python tools/mypy_gate.py --update
 
 Usage::
 
-    python tools/mypy_gate.py            # gate (CI mode)
+    python tools/mypy_gate.py            # advisory when unpinned
+    python tools/mypy_gate.py --require  # enforcing (CI mode)
     python tools/mypy_gate.py --update   # (re)write the baseline
 """
 
@@ -77,25 +87,50 @@ def read_baseline() -> list[str] | None:
     return entries
 
 
+def write_baseline(errors: list[str]) -> None:
+    body = "\n".join(errors)
+    BASELINE.write_text(
+        "# Accepted historical mypy errors (one normalized line each).\n"
+        "# Regenerate with: python tools/mypy_gate.py --update\n"
+        + (body + "\n" if body else "")
+    )
+
+
 def main(argv: list[str]) -> int:
     update = "--update" in argv
+    require = "--require" in argv
     errors, unavailable = run_mypy()
     if unavailable:
+        if require:
+            print(f"mypy-gate: FAIL ({unavailable}; --require forbids "
+                  "the advisory skip)")
+            return 1
         print(f"mypy-gate: skipped ({unavailable})")
         return 0
 
     if update:
-        body = "\n".join(errors)
-        BASELINE.write_text(
-            "# Accepted historical mypy errors (one normalized line each).\n"
-            "# Regenerate with: python tools/mypy_gate.py --update\n"
-            + (body + "\n" if body else "")
-        )
+        write_baseline(errors)
         print(f"mypy-gate: baseline pinned with {len(errors)} entries")
         return 0
 
     baseline = read_baseline()
     if baseline is None:
+        if require:
+            # Bootstrap: pin from this run so the entries ship as a CI
+            # artifact, but fail — gating starts once the pinned file
+            # is committed, not silently from an arbitrary run.
+            write_baseline(errors)
+            print(
+                f"mypy-gate: baseline was unpinned; pinned "
+                f"{len(errors)} entries from this run:"
+            )
+            for e in errors:
+                print(f"  {e}")
+            print(
+                "mypy-gate: FAIL - commit the written "
+                "tools/mypy_baseline.txt to arm the gate"
+            )
+            return 1
         print(
             f"mypy-gate: ADVISORY (baseline unpinned) - mypy reports "
             f"{len(errors)} error(s):"
