@@ -163,6 +163,7 @@ def _execute_cell(evaluator: Evaluator, cases: dict, key: dict) -> dict:
         "delivered": result.delivered,
         "dropped": result.dropped_deadlock + result.dropped_livelock,
         "avg_hops": result.avg_hops,
+        "cycles": result.measured_cycles + result.config.warmup,
     }
 
 
@@ -204,7 +205,7 @@ def _campaign_worker(
             {
                 "id": row["id"],
                 "seconds": time.perf_counter() - t0,
-                "cycles": spec.config.cycles,
+                "cycles": row["cycles"],
             }
         )
     return {
@@ -305,6 +306,7 @@ class CampaignRunner:
             pool_safe_instrument,
         )
         from repro.obs.manifest import ManifestWriter
+        from repro.obs.telemetry import series_snapshot
         from repro.store.cache import CacheStats
 
         self.write_manifest()
@@ -381,7 +383,7 @@ class CampaignRunner:
                     events.cell_finish(
                         cell_id,
                         seconds=time.perf_counter() - t0,
-                        cycles=self.spec.config.cycles,
+                        cycles=row["cycles"],
                         cache=cache_delta(
                             before, evaluator_cache_dict(self._evaluator)
                         ),
@@ -392,12 +394,16 @@ class CampaignRunner:
                 if run_delta is not None:
                     have_cache = True
                     cache_totals.add(run_delta)
+            series = (
+                series_snapshot(registry) if registry is not None else None
+            )
             events.run_finish(
                 status="ok",
                 cache=cache_totals.as_dict() if have_cache else None,
                 telemetry_digest=(
                     registry.digest() if registry is not None else None
                 ),
+                telemetry_series=series or None,
             )
         return executed
 

@@ -97,6 +97,16 @@ def main(argv: list[str] | None = None) -> int:
         help="restrict to a subset of algorithm names",
     )
     parser.add_argument(
+        "--adaptive-cycles",
+        action="store_true",
+        help="use the profile's '+auto' twin: every run may stop at the "
+        "first window boundary where the batch-means latency CI "
+        "converges (cycles_mode='auto'; deterministic, store keys "
+        "disjoint from fixed-cycle runs).  Not recommended for the "
+        "occupancy studies (fig3/fig6), whose per-cycle statistics "
+        "want the full fixed window.",
+    )
+    parser.add_argument(
         "--seed", type=int, default=2007, help="master seed (default 2007)"
     )
     parser.add_argument(
@@ -217,7 +227,10 @@ def main(argv: list[str] | None = None) -> int:
             print(telemetry.render(prefix="engine."))
         return 0
 
-    profile = get_profile(args.profile)
+    profile_name = args.profile
+    if args.adaptive_cycles and not profile_name.endswith("+auto"):
+        profile_name = f"{profile_name}+auto"
+    profile = get_profile(profile_name)
     algorithms = tuple(args.algorithms) if args.algorithms else None
     progress = None if args.quiet else lambda s: print(s, file=sys.stderr)
     manifest = None
@@ -231,14 +244,14 @@ def main(argv: list[str] | None = None) -> int:
                 store.root / "manifests" if store is not None
                 else Path("manifests")
             )
-            manifest_path = base / f"{args.experiment}_{args.profile}.jsonl"
+            manifest_path = base / f"{args.experiment}_{profile_name}.jsonl"
         manifest = ManifestWriter(manifest_path)
         manifest.run_start(
             args.experiment,
             kind="figure",
             workers=args.workers,
             store=str(store.root) if store is not None else None,
-            profile=args.profile,
+            profile=profile_name,
         )
     if args.experiment == "all":
         wanted: tuple[str, ...] = EXPERIMENTS
@@ -308,11 +321,17 @@ def main(argv: list[str] | None = None) -> int:
         print()
 
     if manifest is not None:
+        from repro.obs.telemetry import series_snapshot
+
+        series = (
+            series_snapshot(telemetry) if telemetry is not None else None
+        )
         manifest.run_finish(
             status="ok",
             telemetry_digest=(
                 telemetry.digest() if telemetry is not None else None
             ),
+            telemetry_series=series or None,
         )
         manifest.close()
         print(f"[manifest: {manifest.events_written} events -> "

@@ -135,7 +135,7 @@ def run_fault_study(
             manifest.cell_finish(
                 alg,
                 seconds=time.perf_counter() - t0,
-                cycles=n_runs * profile.config.cycles,
+                cycles=sum(p.simulated_cycles for p in pts),
                 cache=cache_delta(before, evaluator_cache_dict(evaluator)),
             )
         if progress:

@@ -142,6 +142,7 @@ def run_fring_study(
         before = evaluator_cache_dict(evaluator)
         t0 = time.perf_counter()
         cases: dict[str, TrafficLoadSplit] = {}
+        cell_cycles = 0
         for label, fp in (("0%", fault_free), ("faulty", faulty)):
             run = evaluator.run_single(
                 alg, fp, injection_rate=rate, collect_node_stats=True
@@ -149,6 +150,7 @@ def run_fring_study(
             cases[label] = traffic_load_split(
                 run, ring_nodes, exclude=fp.faulty
             )
+            cell_cycles += run.measured_cycles + run.config.warmup
             if label == "faulty":
                 result.corner_ratios[alg] = ring_corner_split(
                     run, faulty
@@ -158,7 +160,7 @@ def run_fring_study(
             manifest.cell_finish(
                 alg,
                 seconds=time.perf_counter() - t0,
-                cycles=2 * profile.config.cycles,
+                cycles=cell_cycles,
                 cache=cache_delta(before, evaluator_cache_dict(evaluator)),
             )
         if progress:

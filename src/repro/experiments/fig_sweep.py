@@ -146,7 +146,7 @@ def run_sweep(
             manifest.cell_finish(
                 alg,
                 seconds=time.perf_counter() - t0,
-                cycles=len(points) * profile.config.cycles,
+                cycles=sum(p.simulated_cycles for p in points),
                 cache=cache_delta(before, evaluator_cache_dict(evaluator)),
             )
         if progress:

@@ -131,7 +131,7 @@ def run_vc_usage(
             manifest.cell_finish(
                 alg,
                 seconds=time.perf_counter() - t0,
-                cycles=profile.config.cycles,
+                cycles=run.measured_cycles + run.config.warmup,
                 cache=cache_delta(before, evaluator_cache_dict(evaluator)),
             )
         if progress:

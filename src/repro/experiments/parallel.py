@@ -123,7 +123,7 @@ def _sweep_worker(
     data = {
         "throughput": [p.throughput for p in points],
         "latency": [p.network_latency for p in points],
-        "cycles": len(points) * profile.config.cycles,
+        "cycles": sum(p.simulated_cycles for p in points),
     }
     return algorithm, _finish_data(data, registry, evaluator, t0)
 
@@ -147,7 +147,7 @@ def _fault_worker(
     ]
     data = {
         "points": points,
-        "cycles": sum(len(c.patterns) for c in cases) * profile.config.cycles,
+        "cycles": sum(p.simulated_cycles for p in points),
     }
     return algorithm, _finish_data(data, registry, evaluator, t0)
 
@@ -172,7 +172,7 @@ def _vc_usage_worker(
     )
     data = {
         "usage": vc_usage_percent(run),
-        "cycles": profile.config.cycles,
+        "cycles": run.measured_cycles + run.config.warmup,
     }
     return algorithm, _finish_data(data, registry, evaluator, t0)
 
@@ -196,17 +196,19 @@ def _fring_worker(
     rate = profile.full_load_rate
     splits = {}
     corner_ratio = float("nan")
+    cycles = 0
     for label, fp in (("0%", fault_free), ("faulty", faulty)):
         run = evaluator.run_single(
             algorithm, fp, injection_rate=rate, collect_node_stats=True
         )
         splits[label] = traffic_load_split(run, ring_nodes, exclude=fp.faulty)
+        cycles += run.measured_cycles + run.config.warmup
         if label == "faulty":
             corner_ratio = ring_corner_split(run, faulty).corner_ratio
     data = {
         "splits": splits,
         "corner_ratio": corner_ratio,
-        "cycles": 2 * profile.config.cycles,
+        "cycles": cycles,
     }
     return algorithm, _finish_data(data, registry, evaluator, t0)
 

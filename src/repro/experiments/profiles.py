@@ -107,8 +107,41 @@ SMOKE_PROFILE = Profile(
     vc_usage_load=0.3,
 )
 
+def _auto_variant(profile: Profile, ci_rel_tol: float) -> Profile:
+    """The ``<name>+auto`` twin: same study, adaptive run lengths.
+
+    Identical to *profile* except ``cycles_mode="auto"``: every run may
+    stop at the first window boundary where the batch-means latency CI
+    is inside *ci_rel_tol* (``profile.config.cycles`` stays the bound).
+    The tolerance scales with the profile's sample budget — the paper
+    profile has enough deliveries per window for a tight 5% CI, while
+    the short quick/smoke runs would never converge at that bar.
+    Registering the twin under its own name means the ``--workers``
+    pools (which rebuild profiles by name) support it with no extra
+    plumbing, and the changed config fields keep its store keys disjoint
+    from fixed-cycle runs.
+    """
+    from dataclasses import replace
+
+    return replace(
+        profile,
+        name=f"{profile.name}+auto",
+        config=profile.config.with_(
+            cycles_mode="auto", ci_rel_tol=ci_rel_tol
+        ),
+    )
+
+
 PROFILES: dict[str, Profile] = {
-    p.name: p for p in (PAPER_PROFILE, QUICK_PROFILE, SMOKE_PROFILE)
+    p.name: p
+    for p in (
+        PAPER_PROFILE,
+        QUICK_PROFILE,
+        SMOKE_PROFILE,
+        _auto_variant(PAPER_PROFILE, 0.05),
+        _auto_variant(QUICK_PROFILE, 0.10),
+        _auto_variant(SMOKE_PROFILE, 0.20),
+    )
 }
 
 

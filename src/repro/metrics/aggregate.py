@@ -48,6 +48,12 @@ class AggregateResult:
     delivered: float
     dropped: float
     avg_hops: float
+    #: Total cycles actually simulated across the aggregated runs
+    #: (warmup + measured window each).  Fixed-cycle runs sum to
+    #: ``n_runs * cycles``; ``cycles_mode="auto"`` runs that stopped
+    #: early sum to less — the number the manifests and the
+    #: ``--adaptive-cycles`` savings accounting report.
+    simulated_cycles: int = 0
 
     @classmethod
     def empty(cls, algorithm: str) -> AggregateResult:
@@ -83,4 +89,7 @@ def aggregate(results: Iterable[SimulationResult]) -> AggregateResult:
             [float(r.dropped_deadlock + r.dropped_livelock) for r in results]
         ),
         avg_hops=mean([r.avg_hops for r in results if r.delivered > 0] or [float("nan")]),
+        simulated_cycles=sum(
+            r.measured_cycles + r.config.warmup for r in results
+        ),
     )

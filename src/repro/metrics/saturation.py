@@ -49,6 +49,38 @@ def find_saturation(
     return None
 
 
+def series_onset(
+    window: int,
+    latency_means: Sequence[float],
+    *,
+    factor: float = 3.0,
+) -> SaturationPoint | None:
+    """Saturation onset along a windowed latency timeline.
+
+    The temporal analogue of :func:`find_saturation`: *latency_means*
+    are per-window mean latencies (``obs timeline``'s latency row) and
+    the returned point's ``rate`` field carries the **start cycle** of
+    the first window whose latency exceeds *factor* x the baseline (the
+    earliest non-NaN window).  Leading NaN windows (nothing delivered
+    yet) are skipped; a NaN window after traffic has flowed reads as
+    saturated, matching :func:`find_saturation`.
+    """
+    baseline_idx = next(
+        (
+            i
+            for i, m in enumerate(latency_means)
+            if not math.isnan(m)
+        ),
+        None,
+    )
+    if baseline_idx is None:
+        return None
+    starts = [i * window for i in range(baseline_idx, len(latency_means))]
+    return find_saturation(
+        starts, list(latency_means[baseline_idx:]), factor=factor
+    )
+
+
 def peak_throughput(
     rates: Sequence[float], throughputs: Sequence[float]
 ) -> tuple[float, float]:

@@ -45,8 +45,10 @@ from repro.obs.telemetry import (
     Histogram,
     Instrument,
     LabeledCounter,
+    Series,
     TelemetryRegistry,
     make_instrument,
+    series_snapshot,
 )
 from repro.obs.trace_export import (
     chrome_trace,
@@ -64,6 +66,7 @@ __all__ = [
     "Instrument",
     "LabeledCounter",
     "ManifestWriter",
+    "Series",
     "TelemetryRegistry",
     "WORKLOADS",
     "Workload",
@@ -80,6 +83,7 @@ __all__ = [
     "render_node_heatmap",
     "render_report",
     "run_suite",
+    "series_snapshot",
     "summarize_manifest",
     "surface_split",
     "write_bench_file",

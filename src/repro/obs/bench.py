@@ -127,12 +127,42 @@ WORKLOADS: tuple[Workload, ...] = (
         "warmup": 100, "rates": [0.01, 0.03], "fault_counts": [0, 3],
         "seed": 13,
     }),
+    # Write-side store scaling: N processes hammer one ResultStore at
+    # once (the pool-worker pattern of the figure drivers and campaign
+    # runner).  Times the locked-append path under real contention,
+    # which the single-process campaign workload cannot see.
+    Workload("store_contention", "ops", {
+        "op": "store_contention", "writers": 4, "puts_per_writer": 25,
+        "payload_floats": 32,
+    }),
 )
 
 
 # ----------------------------------------------------------------------
 # Runners
 # ----------------------------------------------------------------------
+def _store_contention_writer(args: tuple[str, int, int, int]) -> int:
+    """Pool worker: put *count* distinct payloads into the shared store.
+
+    Module-level so it pickles under the default ``spawn``/``fork``
+    start methods, like the experiment-driver workers.
+    """
+    from repro.store.backend import ResultStore
+
+    store_dir, start, count, floats = args
+    store = ResultStore(store_dir)
+    written = 0
+    for i in range(start, start + count):
+        payload = {
+            "kind": "bench-contention",
+            "index": i,
+            "values": [j / (i + 1) for j in range(floats)],
+        }
+        body = canonical_json({"kind": "bench-contention-key", "index": i})
+        key = hashlib.sha256(body.encode("utf-8")).hexdigest()
+        written += bool(store.put(key, payload, algorithm="bench"))
+    return written
+
 def _build_engine_sim(params: dict, telemetry=None):
     from repro.faults.generator import generate_block_fault_pattern
     from repro.faults.pattern import FaultPattern
@@ -288,6 +318,34 @@ def _ops_runner(params: dict):
                     )
 
         return run, spec.n_jobs
+    if op == "store_contention":
+        import tempfile
+        from multiprocessing import get_context
+
+        writers = params["writers"]
+        per = params["puts_per_writer"]
+        floats = params["payload_floats"]
+
+        def run() -> None:
+            # Fresh store per repeat: every sample pays the full
+            # create-lock-append cost, never an already-present hit.
+            with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+                store_dir = str(Path(tmp) / "store")
+                jobs = [
+                    (store_dir, w * per, per, floats)
+                    for w in range(writers)
+                ]
+                with get_context().Pool(processes=writers) as pool:
+                    written = sum(
+                        pool.map(_store_contention_writer, jobs)
+                    )
+                if written != writers * per:
+                    raise RuntimeError(
+                        f"store contention bench wrote {written} of "
+                        f"{writers * per} payloads"
+                    )
+
+        return run, writers * per
     raise ValueError(f"unknown ops workload {op!r}")
 
 

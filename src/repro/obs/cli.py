@@ -1,5 +1,5 @@
 """Observability verbs: ``python -m repro.obs
-{bench,compare,smoke,report,heatmap}``.
+{bench,compare,smoke,report,heatmap,timeline,converge}``.
 
 * ``bench --label pr4`` runs the pinned perf suite and writes
   ``BENCH_pr4.json`` (see :mod:`repro.obs.bench`).
@@ -22,6 +22,15 @@
   ASCII density map (``--csv`` exports ``x,y,value`` rows), plus the
   Figure 6 f-ring vs other-nodes load split when faults are present
   (see :mod:`repro.obs.heatmap`).
+* ``timeline [source]`` renders the windowed ``engine.series.*``
+  telemetry as ASCII sparklines with a saturation-onset annotation
+  (``--csv`` / ``--jsonl`` export the per-window rows).  The source is
+  a run manifest whose run carried ``--telemetry`` (the ``run-finish``
+  event embeds the series), a telemetry-snapshot JSON file, or — with
+  no source — a fresh instrumented run (see :mod:`repro.obs.timeline`).
+* ``converge`` runs the MSER warm-up truncation + batch-means CI
+  analysis per shipped profile and prints an adequacy verdict on the
+  profile's configured ``warmup`` (see :mod:`repro.obs.converge`).
 """
 
 from __future__ import annotations
@@ -364,6 +373,139 @@ def heatmap_main(argv: list[str]) -> int:
     return 0
 
 
+def timeline_main(argv: list[str]) -> int:
+    from repro.obs.timeline import (
+        load_series, render_timeline, timeline_csv, timeline_jsonl_lines,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro-obs timeline",
+        description="Render windowed engine telemetry as ASCII "
+        "sparklines; export per-window rows as CSV/JSONL.",
+    )
+    parser.add_argument(
+        "source", type=Path, nargs="?", default=None,
+        help="run manifest (.jsonl, from --manifest/--telemetry runs) or "
+        "telemetry snapshot JSON; omitted = run a fresh instrumented "
+        "simulation",
+    )
+    parser.add_argument("--algorithm", default="duato-nbc",
+                        help="algorithm for the fresh run (no source)")
+    parser.add_argument("--width", type=int, default=10)
+    parser.add_argument("--vcs", type=int, default=24)
+    parser.add_argument("--faults", type=int, default=0)
+    parser.add_argument("--rate", type=float, default=0.02)
+    parser.add_argument("--cycles", type=int, default=3000)
+    parser.add_argument("--seed", type=int, default=2007)
+    parser.add_argument(
+        "--csv", type=Path, default=None, metavar="FILE",
+        help="write the per-window rows as CSV",
+    )
+    parser.add_argument(
+        "--jsonl", type=Path, default=None, metavar="FILE",
+        help="write the per-window rows as JSONL",
+    )
+    parser.add_argument(
+        "--no-annotate", action="store_true",
+        help="skip the saturation-onset annotation",
+    )
+    args = parser.parse_args(argv)
+
+    if args.source is not None:
+        try:
+            source = load_series(args.source)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        from repro.faults.generator import generate_block_fault_pattern
+        from repro.faults.pattern import FaultPattern
+        from repro.obs.telemetry import TelemetryRegistry
+        from repro.routing.registry import make_algorithm
+        from repro.simulator.config import SimConfig
+        from repro.simulator.engine import Simulation
+        from repro.topology.mesh import Mesh2D
+
+        cfg = SimConfig(
+            width=args.width, vcs_per_channel=args.vcs, message_length=16,
+            injection_rate=args.rate, cycles=args.cycles, warmup=0,
+            seed=args.seed, on_deadlock="drain",
+        )
+        mesh = Mesh2D(cfg.width, cfg.height)
+        if args.faults:
+            faults = generate_block_fault_pattern(
+                mesh, args.faults, random.Random(args.seed)
+            )
+        else:
+            faults = FaultPattern.fault_free(mesh)
+        source = TelemetryRegistry()
+        Simulation(
+            cfg, make_algorithm(args.algorithm), faults=faults,
+            telemetry=source,
+        ).run()
+
+    try:
+        print(render_timeline(source, annotate=not args.no_annotate))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.csv is not None:
+        args.csv.parent.mkdir(parents=True, exist_ok=True)
+        args.csv.write_text(timeline_csv(source))
+        print(f"[timeline] wrote CSV to {args.csv}")
+    if args.jsonl is not None:
+        args.jsonl.parent.mkdir(parents=True, exist_ok=True)
+        args.jsonl.write_text(
+            "\n".join(timeline_jsonl_lines(source)) + "\n"
+        )
+        print(f"[timeline] wrote JSONL to {args.jsonl}")
+    return 0
+
+
+def converge_main(argv: list[str]) -> int:
+    from repro.experiments.profiles import PROFILES, get_profile
+    from repro.obs.converge import analyze_profile, render_verdicts
+
+    base_profiles = sorted(n for n in PROFILES if "+" not in n)
+    parser = argparse.ArgumentParser(
+        prog="repro-obs converge",
+        description="MSER warm-up truncation + batch-means CI analysis: "
+        "is each profile's configured warmup adequate?",
+    )
+    parser.add_argument(
+        "--profile", choices=base_profiles, default=None,
+        help="analyze one profile (default: all base profiles)",
+    )
+    parser.add_argument("--algorithm", default="nhop")
+    parser.add_argument(
+        "--load", type=float, default=None,
+        help="offered flit load (default: the profile's 4th sweep point)",
+    )
+    parser.add_argument("--seed", type=int, default=2007)
+    args = parser.parse_args(argv)
+
+    names = [args.profile] if args.profile else base_profiles
+    verdicts = [
+        analyze_profile(
+            get_profile(name), algorithm=args.algorithm,
+            load=args.load, seed=args.seed,
+        )
+        for name in names
+    ]
+    print(render_verdicts(verdicts))
+    inadequate = [v for v in verdicts if not v.adequate]
+    if inadequate:
+        for v in inadequate:
+            print(
+                f"[converge] {v.profile}: configured warmup "
+                f"{v.configured_warmup} < recommended "
+                f"{v.recommended_warmup}",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -373,6 +515,8 @@ def main(argv: list[str] | None = None) -> int:
         "smoke": smoke_main,
         "report": report_main,
         "heatmap": heatmap_main,
+        "timeline": timeline_main,
+        "converge": converge_main,
     }
     if not argv or argv[0] in ("-h", "--help"):
         print(__doc__)

@@ -119,7 +119,16 @@ class ManifestWriter:
         status: str = "ok",
         cache: dict | None = None,
         telemetry_digest: str | None = None,
+        telemetry_series: dict | None = None,
     ) -> dict:
+        """Close out the run.
+
+        ``telemetry_series`` optionally embeds the series-only slice of
+        the run's telemetry snapshot (:func:`repro.obs.telemetry.
+        series_snapshot`) so ``obs timeline <manifest>`` can render the
+        run's dynamics later; the scalar instruments stay summarized by
+        ``telemetry_digest`` alone to keep manifests small.
+        """
         fields = {
             "status": status,
             "seconds": round(time.perf_counter() - self._t0, 6),
@@ -128,6 +137,8 @@ class ManifestWriter:
             fields["cache"] = cache
         if telemetry_digest is not None:
             fields["telemetry_digest"] = telemetry_digest
+        if telemetry_series is not None:
+            fields["telemetry_series"] = telemetry_series
         return self.event("run-finish", **fields)
 
     # ------------------------------------------------------------------

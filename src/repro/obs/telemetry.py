@@ -43,8 +43,10 @@ __all__ = [
     "Histogram",
     "Instrument",
     "LabeledCounter",
+    "Series",
     "TelemetryRegistry",
     "make_instrument",
+    "series_snapshot",
 ]
 
 
@@ -137,6 +139,92 @@ class LabeledCounter:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"LabeledCounter({self.name!r}, size={len(self.values)})"
+
+
+class Series:
+    """A windowed time series: one accumulating count per cycle window.
+
+    ``add(cycle, n)`` folds *n* into the window ``cycle // window`` —
+    the hot path pays an integer divide and a list-index add, the same
+    order of cost as a :class:`LabeledCounter` bump.  Windows are
+    allocated lazily up to the highest cycle seen, so a run stopped
+    early (``cycles_mode="auto"``) simply ships fewer windows.
+
+    Merging is element-wise summation with length extension, which
+    covers both distribution shapes with one rule:
+
+    * **worker shards** — workers simulating the same cycle range sum
+      window-by-window, exactly like counters;
+    * **disjoint run segments** — a segment that only touched later
+      windows extends the series, concatenating in absolute cycle
+      coordinates (earlier windows merge with implicit zeros).
+    """
+
+    __slots__ = ("name", "window", "values", "last_cycle")
+
+    def __init__(self, name: str, window: int) -> None:
+        if window <= 0:
+            raise ValueError("series needs a positive window width")
+        self.name = name
+        self.window = window
+        self.values: list[int] = []
+        self.last_cycle = -1
+
+    def add(self, cycle: int, n: int = 1) -> None:
+        idx = cycle // self.window
+        values = self.values
+        if idx >= len(values):
+            values.extend([0] * (idx + 1 - len(values)))
+        values[idx] += n
+        self.last_cycle = cycle
+
+    @property
+    def value(self):
+        """Total across all windows (what :meth:`TelemetryRegistry.value`
+        and :meth:`~TelemetryRegistry.render` report)."""
+        return sum(self.values)
+
+    def window_start(self, index: int) -> int:
+        """First cycle covered by window *index*."""
+        return index * self.window
+
+    def reset(self) -> None:
+        self.values = []
+        self.last_cycle = -1
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "series",
+            "window": self.window,
+            "values": list(self.values),
+            "last_cycle": self.last_cycle,
+        }
+
+    def merge(self, payload: dict) -> None:
+        """Fold another series' snapshot in: window-wise sums.
+
+        The incoming series may be longer or shorter; missing windows on
+        either side are implicit zeros, so worker shards sum and
+        disjoint segments concatenate with the same rule.
+        """
+        if payload["window"] != self.window:
+            raise ValueError(
+                f"{self.name!r}: cannot merge window={payload['window']} "
+                f"into window={self.window}"
+            )
+        other = payload["values"]
+        values = self.values
+        if len(other) > len(values):
+            values.extend([0] * (len(other) - len(values)))
+        for i, v in enumerate(other):
+            values[i] += v
+        self.last_cycle = max(self.last_cycle, payload["last_cycle"])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Series({self.name!r}, window={self.window}, "
+            f"n={len(self.values)})"
+        )
 
 
 class Gauge:
@@ -256,7 +344,7 @@ class TelemetryRegistry:
 
     def __init__(self) -> None:
         self._instruments: dict[
-            str, Counter | Gauge | Histogram | LabeledCounter
+            str, Counter | Gauge | Histogram | LabeledCounter | Series
         ] = {}
 
     # ------------------------------------------------------------------
@@ -295,6 +383,18 @@ class TelemetryRegistry:
         elif len(inst.values) != size:
             raise ValueError(
                 f"{name!r} already has {len(inst.values)} labels, not {size}"
+            )
+        return inst
+
+    def series(self, name: str, window: int) -> Series:
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = self._instruments[name] = Series(name, window)
+        elif not isinstance(inst, Series):
+            raise TypeError(f"{name!r} is already a {type(inst).__name__}")
+        elif inst.window != window:
+            raise ValueError(
+                f"{name!r} already has window {inst.window}, not {window}"
             )
         return inst
 
@@ -361,6 +461,8 @@ class TelemetryRegistry:
                     inst = self.histogram(name, tuple(payload["bounds"]))
                 elif kind == "labeled_counter":
                     inst = self.labeled_counter(name, len(payload["values"]))
+                elif kind == "series":
+                    inst = self.series(name, payload["window"])
                 else:
                     raise TypeError(
                         f"{name!r}: unknown instrument type {kind!r}"
@@ -371,6 +473,7 @@ class TelemetryRegistry:
                     Gauge: "gauge",
                     Histogram: "histogram",
                     LabeledCounter: "labeled_counter",
+                    Series: "series",
                 }[type(inst)]
                 if kind != expected:
                     raise TypeError(
@@ -405,9 +508,32 @@ class TelemetryRegistry:
                 lines.append(
                     f"{name:<40} n={inst.total} mean={inst.mean:.1f}"
                 )
+            elif isinstance(inst, Series):
+                lines.append(
+                    f"{name:<40} {inst.value} "
+                    f"({len(inst.values)}x{inst.window}-cycle windows)"
+                )
             else:
                 lines.append(f"{name:<40} {inst.value}")
         return "\n".join(lines)
+
+
+def series_snapshot(source) -> dict:
+    """The series-only slice of a registry snapshot.
+
+    *source* is a :class:`TelemetryRegistry` or a full
+    :meth:`~TelemetryRegistry.snapshot` dict.  Run manifests embed this
+    slice in their ``run-finish`` event so ``obs timeline`` can render a
+    finished run's dynamics without re-simulating; the scalar
+    instruments stay summarized by the snapshot digest alone.
+    """
+    if isinstance(source, TelemetryRegistry):
+        source = source.snapshot()
+    return {
+        name: payload
+        for name, payload in source.items()
+        if payload.get("type") == "series"
+    }
 
 
 class Instrument:

@@ -60,6 +60,24 @@ class SimConfig:
     collect_latency_samples:
         Record every delivered message's latency (generation to tail)
         for distribution analysis (:func:`repro.metrics.percentiles`).
+    cycles_mode:
+        ``"fixed"`` (default) always simulates exactly ``cycles``.
+        ``"auto"`` may stop earlier: at the first post-warmup window
+        boundary where the batch-means confidence interval on the
+        per-window latency means has a relative half-width at or below
+        ``ci_rel_tol``, the run ends and ``measured_cycles`` reflects
+        the cycles actually measured.  ``cycles`` stays the hard upper
+        bound, and the decision depends only on the simulated traffic —
+        the run is deterministic and identical with or without
+        telemetry attached.
+    cycles_window:
+        Width (cycles) of the timeline/early-stop windows.  ``0``
+        (default) derives a width from the run length; see
+        :attr:`resolved_window`.
+    ci_rel_tol:
+        Relative half-width target for ``cycles_mode="auto"`` (0.05
+        means "stop once the 95% CI half-width is within 5% of the
+        mean latency").
     """
 
     width: int = 10
@@ -78,6 +96,9 @@ class SimConfig:
     collect_vc_stats: bool = False
     collect_node_stats: bool = False
     collect_latency_samples: bool = False
+    cycles_mode: Literal["fixed", "auto"] = "fixed"
+    cycles_window: int = 0
+    ci_rel_tol: float = 0.05
 
     def __post_init__(self) -> None:
         if self.height is None:
@@ -98,6 +119,23 @@ class SimConfig:
             raise ValueError("deadlock_timeout must be positive (or None)")
         if self.on_deadlock not in ("raise", "drain", "count"):
             raise ValueError(f"unknown on_deadlock action {self.on_deadlock!r}")
+        if self.cycles_mode not in ("fixed", "auto"):
+            raise ValueError(f"unknown cycles_mode {self.cycles_mode!r}")
+        if self.cycles_window < 0:
+            raise ValueError("cycles_window must be non-negative")
+        if not 0 < self.ci_rel_tol < 1:
+            raise ValueError("ci_rel_tol must lie in (0, 1)")
+
+    @property
+    def resolved_window(self) -> int:
+        """The effective timeline window width (cycles).
+
+        ``cycles_window`` when set, else roughly 30 windows per run
+        (floored at 32 cycles so tiny test configs still get sane
+        windows).  Shared by the engine series, ``cycles_mode="auto"``
+        batching, and ``obs timeline`` rendering.
+        """
+        return self.cycles_window or max(32, self.cycles // 30)
 
     def with_(self, **changes) -> SimConfig:
         """A copy of this config with *changes* applied."""

@@ -43,6 +43,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
 
 _WATCHDOG_INTERVAL = 128
 
+#: Minimum number of complete post-warmup windows before a
+#: ``cycles_mode="auto"`` run may stop: the batch-means CI needs enough
+#: batches for the t-quantile to be meaningful, and stopping on fewer
+#: would make the early-stop decision noise-driven.
+_MIN_AUTO_BATCHES = 10
+
 #: Behavioral version of the simulation engine.  Bump this on ANY change
 #: that can alter the statistics a run produces (router pipeline, RNG
 #: draws, watchdog policy, metric accounting...).  :mod:`repro.store`
@@ -104,7 +110,13 @@ class _Stream:
 
 @dataclass
 class SimulationResult:
-    """Statistics from one run's measurement window (post-warmup)."""
+    """Statistics from one run's measurement window (post-warmup).
+
+    ``measured_cycles`` is ``cycles - warmup`` for fixed-length runs; a
+    ``cycles_mode="auto"`` run that stopped early records the cycles it
+    actually measured, so the rate metrics (:attr:`throughput`,
+    :attr:`message_rate`) stay correctly normalized.
+    """
 
     algorithm: str
     config: SimConfig
@@ -243,6 +255,16 @@ class Simulation:
         self.total_delivered = 0
         self.total_dropped = 0
 
+        # Early-stop state (cycles_mode="auto").  The per-window latency
+        # accumulators are engine-internal — deliberately independent of
+        # the telemetry registry — so the stop decision (and therefore
+        # the RNG stream and every statistic) is identical whether or
+        # not telemetry is attached.
+        self._auto = config.cycles_mode == "auto"
+        self._win = config.resolved_window
+        self._win_lat_sum: list[int] = []
+        self._win_lat_cnt: list[int] = []
+
         #: Optional event recorder (see :mod:`repro.simulator.trace`).
         self.tracer = None
 
@@ -347,6 +369,18 @@ class Simulation:
         self._t_node_blocked = registry.labeled_counter(
             "engine.node_blocked", self.mesh.n_nodes
         )
+        # Windowed time series (the `obs timeline` surface): same events
+        # as the run-cumulative counters above, bucketed into
+        # fixed-width cycle windows.
+        w = self.config.resolved_window
+        s = registry.series
+        self._s_ejected = s("engine.series.flits.ejected", w)
+        self._s_delivered = s("engine.series.messages.delivered", w)
+        self._s_latency = s("engine.series.latency.sum", w)
+        self._s_blocked = s("engine.series.headers.blocked_cycles", w)
+        self._s_busy_role = tuple(
+            s(f"engine.series.vc_busy.{name}", w) for name in ROLE_NAMES
+        )
         self._t_fring: dict[int, object] = {}
 
     def _fring_counter(self, ring):
@@ -365,9 +399,18 @@ class Simulation:
     # Main loop
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
-        """Run the configured number of cycles and return the statistics."""
+        """Run the configured number of cycles and return the statistics.
+
+        With ``cycles_mode="auto"`` the loop additionally checks, at
+        every post-warmup window boundary, whether the batch-means CI
+        on the per-window latency means has converged
+        (:meth:`_ci_converged`); if so it stops early and records the
+        cycles actually measured.  ``cfg.cycles`` remains the bound.
+        """
         cfg = self.config
         collect_vc = cfg.collect_vc_stats or self.telemetry is not None
+        auto = self._auto
+        win = self._win
         for _ in range(cfg.cycles):
             cycle = self.cycle
             self._generate(cycle)
@@ -379,11 +422,24 @@ class Simulation:
             if collect_vc and cycle >= cfg.warmup:
                 self._collect_vc(cycle)
             self.cycle += 1
+            if (
+                auto
+                and self.cycle % win == 0
+                and self.cycle > cfg.warmup
+                and self._ci_converged()
+            ):
+                self.result.measured_cycles = self.cycle - cfg.warmup
+                break
         self.result.class_caps = self.algorithm.class_caps
         return self.result
 
     def step(self, cycles: int = 1) -> None:
-        """Advance the simulation a fixed number of cycles (for tests)."""
+        """Advance the simulation a fixed number of cycles (for tests).
+
+        ``step`` never early-stops — ``cycles_mode="auto"`` only acts
+        in :meth:`run`, so incremental test drivers see every cycle
+        they ask for.
+        """
         cfg = self.config
         collect_vc = cfg.collect_vc_stats or self.telemetry is not None
         for _ in range(cycles):
@@ -538,6 +594,7 @@ class Simulation:
                 if self.telemetry is not None:
                     self._t_blocked.inc(cycle)
                     self._t_node_blocked.inc(cycle, node)
+                    self._s_blocked.add(cycle)
                 continue
             granted.owner = invc
             invc.out_ovc = granted
@@ -606,14 +663,19 @@ class Simulation:
                     result.delivered_flits += 1
                 if self.telemetry is not None:
                     self._t_ejected.inc(cycle)
+                    self._s_ejected.add(cycle)
                 if kind == TAIL:
                     msg.delivered = cycle
                     self.total_delivered += 1
+                    if self._auto:
+                        self._auto_observe(cycle, cycle - msg.created)
                     if self.tracer is not None:
                         self.tracer.record(cycle, "deliver", msg.id, invc.node)
                     if self.telemetry is not None:
                         self._t_delivered.inc(cycle)
                         self._t_latency.observe(cycle, cycle - msg.created)
+                        self._s_delivered.add(cycle)
+                        self._s_latency.add(cycle, cycle - msg.created)
                     if measuring:
                         result.delivered += 1
                         lat = msg.delivered - msg.created
@@ -652,6 +714,48 @@ class Simulation:
             self._needs_routing[invc] = None
         else:
             invc.msg = None
+
+    # ------------------------------------------------------------------
+    # Early stopping (cycles_mode="auto")
+    # ------------------------------------------------------------------
+    def _auto_observe(self, cycle: int, latency: int) -> None:
+        """Fold one delivered message into the per-window accumulators."""
+        idx = cycle // self._win
+        sums = self._win_lat_sum
+        if idx >= len(sums):
+            grow = idx + 1 - len(sums)
+            sums.extend([0] * grow)
+            self._win_lat_cnt.extend([0] * grow)
+        sums[idx] += latency
+        self._win_lat_cnt[idx] += 1
+
+    def _ci_converged(self) -> bool:
+        """True when the post-warmup latency batches have converged.
+
+        Batches are the complete windows strictly after the warmup
+        boundary; convergence means at least ``_MIN_AUTO_BATCHES`` of
+        them, every batch non-empty, and a 95% batch-means CI half-width
+        at or below ``ci_rel_tol`` of the batch-mean latency.
+        """
+        cfg = self.config
+        win = self._win
+        first = -(-cfg.warmup // win)  # ceil: first fully post-warmup window
+        last = self.cycle // win  # exclusive; windows [first, last) complete
+        if last - first < _MIN_AUTO_BATCHES:
+            return False
+        cnts = self._win_lat_cnt
+        if len(cnts) < last:
+            return False  # trailing windows delivered nothing at all
+        sums = self._win_lat_sum
+        means = []
+        for i in range(first, last):
+            if cnts[i] == 0:
+                return False  # an empty batch: not in steady state
+            means.append(sums[i] / cnts[i])
+        from repro.obs.converge import batch_means_ci
+
+        mean, half_width = batch_means_ci(means)
+        return mean > 0 and half_width <= cfg.ci_rel_tol * mean
 
     # ------------------------------------------------------------------
     # Watchdog: deadlock & livelock handling
@@ -770,13 +874,16 @@ class Simulation:
         vc_busy = self.result.vc_busy
         role_of = self._role_of
         busy_role = self._t_busy_role
+        s_busy_role = self._s_busy_role
         for source in (self._needs_routing, self._active):
             for invc in source:
                 if invc.port != LOCAL:
                     vc = invc.vc
                     if track:
                         vc_busy[vc] += 1
-                    busy_role[role_of[vc]].inc(cycle)
+                    role = role_of[vc]
+                    busy_role[role].inc(cycle)
+                    s_busy_role[role].add(cycle)
 
     def check_invariants(self) -> None:
         """Verify internal consistency (used by the test suite).

@@ -469,6 +469,158 @@ def _rule_canonical_digests(mod: _Module) -> list[Finding]:
 
 
 # ----------------------------------------------------------------------
+# REP009 — telemetry publishes use the nullable-hook idiom
+# ----------------------------------------------------------------------
+#: Registry accessor attributes (instrument factories).  Touching one of
+#: these outside an instrument-binding method re-resolves the instrument
+#: per event — the idiom binds once in ``attach_telemetry`` so the hot
+#: path pays one attribute bump.
+_TELEMETRY_ACCESSORS = {
+    "counter", "gauge", "histogram", "labeled_counter", "series",
+}
+
+#: Methods that publish one event into a bound instrument.
+_TELEMETRY_PUBLISH = {"inc", "observe", "set", "add"}
+
+#: Attribute-name prefixes of bound instruments (``self._t_generated``,
+#: ``self._s_ejected``, ``self._g_inflight``, ...).
+_INSTRUMENT_PREFIXES = ("_t_", "_s_", "_g_")
+
+
+def _is_telemetry_expr(expr: ast.expr) -> bool:
+    """Whether *expr* reads the nullable telemetry hook itself."""
+    return (isinstance(expr, ast.Attribute) and expr.attr == "telemetry") or (
+        isinstance(expr, ast.Name) and expr.id in ("telemetry", "registry")
+    )
+
+
+def _telemetry_compare(test: ast.expr, op: type) -> bool:
+    """``<telemetry> is [not] None`` (possibly inside an ``and`` chain)."""
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        return any(_telemetry_compare(v, op) for v in test.values)
+    return (
+        isinstance(test, ast.Compare)
+        and len(test.ops) == 1
+        and isinstance(test.ops[0], op)
+        and isinstance(test.comparators[0], ast.Constant)
+        and test.comparators[0].value is None
+        and _is_telemetry_expr(test.left)
+    )
+
+
+def _instrument_binding_method(name: str) -> bool:
+    """Methods allowed to touch registry accessors: the binding hook and
+    private instrument factories (``_fring_counter``-style lazies)."""
+    return name == "attach_telemetry" or (
+        name.startswith("_")
+        and any(a in name for a in _TELEMETRY_ACCESSORS)
+    )
+
+
+def _is_instrument_receiver(expr: ast.expr, aliases: set[str]) -> bool:
+    """Whether a publish call's receiver is a bound instrument."""
+    if isinstance(expr, ast.Subscript):
+        return _is_instrument_receiver(expr.value, aliases)
+    if isinstance(expr, ast.Attribute):
+        return expr.attr.startswith(_INSTRUMENT_PREFIXES)
+    if isinstance(expr, ast.Name):
+        return expr.id in aliases
+    if isinstance(expr, ast.Call):
+        name = _base_name(expr.func)
+        return name is not None and _instrument_binding_method(name)
+    return False
+
+
+def _rule_telemetry_hook_idiom(mod: _Module) -> list[Finding]:
+    if "repro/simulator/" not in mod.path:
+        return []
+    parents: dict[ast.AST, ast.AST] = {}
+    for parent in ast.walk(mod.tree):
+        for child in ast.iter_child_nodes(parent):
+            parents[child] = parent
+
+    def enclosing_function(node: ast.AST):
+        cur = parents.get(node)
+        while cur is not None and not isinstance(
+            cur, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            cur = parents.get(cur)
+        return cur
+
+    def guarded(node: ast.AST) -> bool:
+        """The publish sits under ``if <telemetry> is not None:`` or
+        after a ``if <telemetry> is None: ... return`` early exit."""
+        cur: ast.AST = node
+        while True:
+            parent = parents.get(cur)
+            if parent is None:
+                return False
+            if (
+                isinstance(parent, ast.If)
+                and cur in parent.body
+                and _telemetry_compare(parent.test, ast.IsNot)
+            ):
+                return True
+            if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for stmt in parent.body:
+                    if stmt is cur:
+                        return False
+                    if (
+                        isinstance(stmt, ast.If)
+                        and _telemetry_compare(stmt.test, ast.Is)
+                        and stmt.body
+                        and isinstance(stmt.body[-1], (ast.Return, ast.Raise))
+                    ):
+                        return True
+                return False
+            cur = parent
+
+    # Local names aliasing a bound instrument (the `_collect_vc` hot
+    # loop hoists `busy_role = self._t_busy_role` out of the sweep).
+    aliases = {
+        target.id
+        for node in ast.walk(mod.tree)
+        if isinstance(node, ast.Assign)
+        and isinstance(node.value, ast.Attribute)
+        and node.value.attr.startswith(_INSTRUMENT_PREFIXES)
+        for target in node.targets
+        if isinstance(target, ast.Name)
+    }
+
+    found = []
+    for node in ast.walk(mod.tree):
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr in _TELEMETRY_ACCESSORS
+            and _is_telemetry_expr(node.value)
+        ):
+            func = enclosing_function(node)
+            if func is None or not _instrument_binding_method(func.name):
+                found.append(Finding(
+                    "REP009", mod.path, node.lineno, node.col_offset,
+                    f"registry.{node.attr}(...) outside attach_telemetry: "
+                    "bind instruments once in attach_telemetry (or a "
+                    "private _*_counter/_*_series factory) so the hot "
+                    "path pays one attribute bump, not a dict lookup",
+                ))
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _TELEMETRY_PUBLISH
+            and _is_instrument_receiver(node.func.value, aliases)
+            and not guarded(node)
+        ):
+            found.append(Finding(
+                "REP009", mod.path, node.lineno, node.col_offset,
+                f"unguarded telemetry publish .{node.func.attr}(...): "
+                "wrap in 'if self.telemetry is not None:' (or return "
+                "early when it is None) — the engine must run "
+                "instrument-free with zero per-event overhead",
+            ))
+    return found
+
+
+# ----------------------------------------------------------------------
 # Catalog
 # ----------------------------------------------------------------------
 #: rule id -> (scope, summary, implementation).
@@ -514,6 +666,12 @@ RULES: dict[str, tuple[str, str, object]] = {
         "content digests outside repro.store.keys hash canonical_json "
         "output (one key space, one serialization)",
         _rule_canonical_digests,
+    ),
+    "REP009": (
+        "module",
+        "repro.simulator telemetry follows the nullable-hook idiom "
+        "(bind in attach_telemetry, guard every publish)",
+        _rule_telemetry_hook_idiom,
     ),
 }
 

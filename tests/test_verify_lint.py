@@ -261,6 +261,125 @@ class TestCanonicalDigests:
         ) == []
 
 
+class TestTelemetryHookIdiom:
+    PATH = "src/repro/simulator/fake.py"
+
+    def check(self, src):
+        return lint_source(src, path=self.PATH, select={"REP009"})
+
+    def test_flags_unguarded_publish(self):
+        src = (
+            "class Sim:\n"
+            "    def step(self, cycle):\n"
+            "        self._t_delivered.inc(cycle)\n"
+        )
+        findings = self.check(src)
+        assert rules_of(findings) == {"REP009"}
+        assert "unguarded" in findings[0].message
+
+    def test_accepts_guarded_publish(self):
+        src = (
+            "class Sim:\n"
+            "    def step(self, cycle):\n"
+            "        if self.telemetry is not None:\n"
+            "            self._t_delivered.inc(cycle)\n"
+            "            self._s_latency.add(cycle, 3)\n"
+        )
+        assert self.check(src) == []
+
+    def test_accepts_compound_guard_and_nesting(self):
+        src = (
+            "class Sim:\n"
+            "    def step(self, cycle, ok):\n"
+            "        if self.telemetry is not None and ok:\n"
+            "            if cycle > 0:\n"
+            "                self._g_inflight.set(cycle, 1)\n"
+        )
+        assert self.check(src) == []
+
+    def test_accepts_early_return_guard_with_aliases(self):
+        src = (
+            "class Sim:\n"
+            "    def _collect(self, cycle):\n"
+            "        if self.telemetry is None:\n"
+            "            return\n"
+            "        busy = self._t_busy_role\n"
+            "        busy[0].inc(cycle)\n"
+        )
+        assert self.check(src) == []
+
+    def test_flags_alias_publish_without_guard(self):
+        src = (
+            "class Sim:\n"
+            "    def _collect(self, cycle):\n"
+            "        busy = self._t_busy_role\n"
+            "        busy[0].inc(cycle)\n"
+        )
+        assert rules_of(self.check(src)) == {"REP009"}
+
+    def test_flags_publish_in_else_branch_of_guard(self):
+        src = (
+            "class Sim:\n"
+            "    def step(self, cycle):\n"
+            "        if self.telemetry is not None:\n"
+            "            pass\n"
+            "        else:\n"
+            "            self._t_delivered.inc(cycle)\n"
+        )
+        assert rules_of(self.check(src)) == {"REP009"}
+
+    def test_flags_accessor_outside_attach(self):
+        src = (
+            "class Sim:\n"
+            "    def step(self, cycle):\n"
+            "        self.telemetry.counter('x').inc(cycle)\n"
+        )
+        findings = self.check(src)
+        assert rules_of(findings) == {"REP009"}
+        assert any("attach_telemetry" in f.message for f in findings)
+
+    def test_accepts_accessors_in_attach_and_factories(self):
+        src = (
+            "class Sim:\n"
+            "    def attach_telemetry(self, registry):\n"
+            "        c = registry.counter\n"
+            "        self._t_x = c('engine.x')\n"
+            "        self._s_x = registry.series('engine.series.x', 64)\n"
+            "    def _fring_counter(self, ring):\n"
+            "        return self.telemetry.counter('engine.fring')\n"
+        )
+        assert self.check(src) == []
+
+    def test_guarded_lazy_factory_publish(self):
+        src = (
+            "class Sim:\n"
+            "    def step(self, cycle, msg):\n"
+            "        if self.telemetry is not None:\n"
+            "            self._fring_counter(msg.ring).inc(cycle)\n"
+        )
+        assert self.check(src) == []
+
+    def test_set_add_on_plain_objects_is_fine(self):
+        src = (
+            "class Sim:\n"
+            "    def step(self, cycle):\n"
+            "        seen = set()\n"
+            "        seen.add(cycle)\n"
+            "        self.used.add(cycle)\n"
+        )
+        assert self.check(src) == []
+
+    def test_only_simulator_modules_are_checked(self):
+        src = (
+            "class X:\n"
+            "    def go(self, cycle):\n"
+            "        self._t_x.inc(cycle)\n"
+        )
+        assert lint_source(
+            src, path="src/repro/obs/telemetry.py", select={"REP009"}
+        ) == []
+
+
 class TestHarness:
     def test_catalog_is_documented(self):
         for rule_id, (scope, summary, impl) in RULES.items():

@@ -26,13 +26,14 @@ With ``--require`` (the CI mode) the gate can never silently pass:
 
 Pin by hand with::
 
-    python tools/mypy_gate.py --update
+    python tools/mypy_gate.py --pin
 
 Usage::
 
     python tools/mypy_gate.py            # advisory when unpinned
     python tools/mypy_gate.py --require  # enforcing (CI mode)
-    python tools/mypy_gate.py --update   # (re)write the baseline
+    python tools/mypy_gate.py --pin      # (re)write the baseline
+                                         # (--update is an alias)
 """
 
 from __future__ import annotations
@@ -91,13 +92,13 @@ def write_baseline(errors: list[str]) -> None:
     body = "\n".join(errors)
     BASELINE.write_text(
         "# Accepted historical mypy errors (one normalized line each).\n"
-        "# Regenerate with: python tools/mypy_gate.py --update\n"
+        "# Regenerate with: python tools/mypy_gate.py --pin\n"
         + (body + "\n" if body else "")
     )
 
 
 def main(argv: list[str]) -> int:
-    update = "--update" in argv
+    update = "--update" in argv or "--pin" in argv
     require = "--require" in argv
     errors, unavailable = run_mypy()
     if unavailable:
