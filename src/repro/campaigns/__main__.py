@@ -1,0 +1,5 @@
+"""``python -m repro.campaigns`` entry point."""
+
+from repro.campaigns.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,320 @@
+"""Shard-and-merge execution of a campaign's missing cells.
+
+The executor turns a :class:`~repro.campaigns.db.CampaignDB` plan into
+work: the missing cells are partitioned **deterministically** across N
+shards (round-robin in plan order, so shard membership is a pure
+function of the plan), each shard runs against its *own*
+:class:`~repro.store.ResultStore`, its own telemetry registry and its
+own JSONL manifest — today as processes of an in-process pool, tomorrow
+as N independent hosts shipping their shard directories home — and a
+merge step folds everything back into the campaign:
+
+* **results** — shard store rows are re-``put`` into the campaign
+  store.  Rows are canonical JSON keyed by the canonical run key, and
+  cell results do not depend on which shard ran them (seeds derive from
+  the spec, fault cases are redrawn from the spec seed), so the merged
+  store is *bit-identical* (see :func:`~repro.campaigns.db.
+  store_digest`) to what a sequential run produces;
+* **telemetry** — shard registry snapshots merge in shard order into
+  one registry (:meth:`~repro.obs.telemetry.TelemetryRegistry.merge`
+  sums counters/histograms/series value-exactly), so the merged
+  :meth:`~repro.obs.telemetry.TelemetryRegistry.merge_digest` equals
+  the sequential run's;
+* **manifest** — per-cell timings from every shard manifest are
+  replayed into one new segment of the campaign's ``events.jsonl``.
+
+That three-way equality is the subsystem's proof obligation, exercised
+by the shard-equality tests and summarized by :func:`merge_shards`'s
+return value.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.campaigns.db import CampaignDB, store_digest
+from repro.campaigns.spec import CampaignSpec, cell_id, draw_cases, \
+    execute_cell
+from repro.store.backend import ResultStore
+
+__all__ = [
+    "merge_shards",
+    "partition_cells",
+    "run_campaign",
+    "run_shard",
+]
+
+
+def partition_cells(cells: list[dict], n_shards: int) -> list[list[dict]]:
+    """Round-robin split of *cells* into *n_shards* lists.
+
+    Deterministic in the input order (which is plan order, which is
+    spec order): shard ``i`` owns ``cells[i::n_shards]``.  Every shard
+    list is returned, including empty ones, so shard indices are stable
+    regardless of how much work is left.
+    """
+    if n_shards < 1:
+        raise ValueError("need at least one shard")
+    return [cells[i::n_shards] for i in range(n_shards)]
+
+
+def run_shard(
+    spec: CampaignSpec,
+    coords: list[dict],
+    shard_root: Path | str,
+    *,
+    with_telemetry: bool = False,
+) -> dict:
+    """Execute one shard's cells against its own store/registry/manifest.
+
+    Writes under *shard_root*::
+
+        store/          shard-local ResultStore (all fresh puts)
+        events.jsonl    the shard's own manifest segment
+        telemetry.json  registry snapshot (when *with_telemetry*)
+
+    Returns a JSON-safe summary (shard root, per-cell timings, counts)
+    — the contract a remote host would ship home alongside the
+    directory itself.
+    """
+    import time
+
+    from repro.experiments.parallel import _worker_registry
+    from repro.obs.manifest import ManifestWriter
+    from repro.store.cache import make_evaluator
+
+    shard_root = Path(shard_root)
+    shard_root.mkdir(parents=True, exist_ok=True)
+    store = ResultStore(shard_root / "store")
+    registry, instrument = _worker_registry(with_telemetry)
+    evaluator = make_evaluator(
+        spec.config, seed=spec.seed, store=store, instrument=instrument
+    )
+    cases = draw_cases(evaluator, spec)
+    cells = []
+    with ManifestWriter(shard_root / "events.jsonl") as events:
+        events.run_start(
+            spec.name, kind="campaign-shard", store=str(store.root),
+            pending=len(coords),
+        )
+        for key in coords:
+            cid = cell_id(key)
+            events.cell_start(cid)
+            t0 = time.perf_counter()
+            row = execute_cell(evaluator, cases, key)
+            cells.append(
+                {
+                    "id": cid,
+                    "seconds": time.perf_counter() - t0,
+                    "cycles": row["cycles"],
+                }
+            )
+            events.cell_finish(
+                cid, seconds=cells[-1]["seconds"], cycles=row["cycles"]
+            )
+        events.run_finish(
+            status="ok",
+            telemetry_digest=(
+                registry.merge_digest() if registry is not None else None
+            ),
+        )
+    if registry is not None:
+        (shard_root / "telemetry.json").write_text(
+            json.dumps(registry.snapshot())
+        )
+    return {
+        "root": str(shard_root),
+        "cells": cells,
+        "executed": len(cells),
+        "store_rows": len(store),
+    }
+
+
+def _shard_worker(args: tuple[dict, list[dict], str, bool]) -> dict:
+    """Picklable pool entry point around :func:`run_shard`."""
+    spec_payload, coords, shard_root, with_telemetry = args
+    return run_shard(
+        CampaignSpec.from_dict(spec_payload),
+        coords,
+        shard_root,
+        with_telemetry=with_telemetry,
+    )
+
+
+def merge_shards(
+    db: CampaignDB,
+    shard_roots: list[Path | str],
+    *,
+    registry=None,
+) -> dict:
+    """Fold shard stores/telemetry/manifests back into the campaign.
+
+    *registry* (a :class:`~repro.obs.telemetry.TelemetryRegistry`)
+    receives every shard's ``telemetry.json`` snapshot, merged in shard
+    order; pass ``None`` to skip telemetry.  Returns a summary with the
+    merged row count, the campaign :func:`~repro.campaigns.db.
+    store_digest`, and the merged telemetry digest — the values a
+    proof-of-equality check compares against a sequential run.
+    """
+    from repro.obs.manifest import ManifestWriter, read_manifest
+
+    merged_rows = 0
+    cell_events: list[dict] = []
+    for shard_root in [Path(p) for p in shard_roots]:
+        shard_store = ResultStore(shard_root / "store")
+        for row in shard_store.rows():
+            merged_rows += db.store.put(
+                row["key"],
+                row["payload"],
+                engine_version=row["engine_version"],
+                algorithm=row.get("algorithm", ""),
+            )
+        snapshot_path = shard_root / "telemetry.json"
+        if registry is not None and snapshot_path.exists():
+            registry.merge(json.loads(snapshot_path.read_text()))
+        events_path = shard_root / "events.jsonl"
+        if events_path.exists():
+            cell_events.extend(
+                ev for ev in read_manifest(events_path)
+                if ev.get("event") == "cell" and ev.get("phase") == "finish"
+            )
+    with ManifestWriter(db.events_path) as events:
+        events.run_start(
+            db.spec.name,
+            kind="campaign-merge",
+            workers=len(shard_roots),
+            store=str(db.store.root),
+            shards=[str(p) for p in shard_roots],
+        )
+        for i, ev in enumerate(cell_events):
+            events.cell_finish(
+                ev["id"],
+                seconds=ev.get("seconds", 0.0),
+                worker=ev.get("worker", i % max(len(shard_roots), 1)),
+                cycles=ev.get("cycles", 0),
+            )
+        events.run_finish(
+            status="ok",
+            telemetry_digest=(
+                registry.merge_digest() if registry is not None else None
+            ),
+        )
+    return {
+        "shards": len(shard_roots),
+        "merged_rows": merged_rows,
+        "merged_cells": len(cell_events),
+        "store_digest": store_digest(db.store),
+        "telemetry_digest": (
+            registry.merge_digest() if registry is not None else None
+        ),
+    }
+
+
+def run_campaign(
+    db: CampaignDB,
+    *,
+    shards: int = 1,
+    workers: int | None = None,
+    telemetry: bool = False,
+    progress=None,
+) -> dict:
+    """Plan, execute the missing cells, and (for shards > 1) merge.
+
+    ``shards == 1`` runs the missing cells sequentially, straight
+    against the campaign store, with one fresh telemetry registry —
+    the reference behavior the shard path must reproduce exactly.
+    ``shards > 1`` partitions the missing cells round-robin, runs each
+    shard under ``shards/shard-NN/`` (in a process pool of *workers*,
+    default one process per shard), then :func:`merge_shards`.
+
+    Returns a JSON-safe summary including the campaign store digest
+    and, when *telemetry* is on, the merged registry digest.
+    """
+    import time
+
+    from repro.experiments.parallel import _worker_registry, parallel_map
+    from repro.obs.manifest import ManifestWriter
+
+    plan = db.plan()
+    missing = [
+        {k: c[k] for k in ("algorithm", "rate", "n_faults",
+                           "fault_set", "repeat")}
+        for c in plan.missing
+    ]
+    db.save()
+    summary = {
+        "name": db.spec.name,
+        "planned": plan.total,
+        "already_done": plan.done,
+        "executed": len(missing),
+        "shards": shards,
+    }
+    if shards <= 1:
+        registry, instrument = _worker_registry(telemetry)
+        from repro.store.cache import make_evaluator
+
+        evaluator = make_evaluator(
+            db.spec.config, seed=db.spec.seed, store=db.store,
+            instrument=instrument,
+        )
+        cases = draw_cases(evaluator, db.spec)
+        with ManifestWriter(db.events_path) as events:
+            events.run_start(
+                db.spec.name, kind="campaign", workers=1,
+                store=str(db.store.root), pending=len(missing),
+                resumed=plan.done,
+            )
+            for key in missing:
+                cid = cell_id(key)
+                events.cell_start(cid)
+                t0 = time.perf_counter()
+                row = execute_cell(evaluator, cases, key)
+                events.cell_finish(
+                    cid, seconds=time.perf_counter() - t0,
+                    cycles=row["cycles"],
+                )
+                if progress:
+                    progress(f"[{db.spec.name}] {cid}")
+            events.run_finish(
+                status="ok",
+                telemetry_digest=(
+                    registry.merge_digest() if registry is not None else None
+                ),
+            )
+        summary["telemetry_digest"] = (
+            registry.merge_digest() if registry is not None else None
+        )
+        summary["store_digest"] = store_digest(db.store)
+        return summary
+
+    parts = partition_cells(missing, shards)
+    spec_payload = db.spec.to_dict()
+    shard_roots = [
+        db.shards_root / f"shard-{i:02d}" for i in range(shards)
+    ]
+    jobs = [
+        (spec_payload, part, str(root), telemetry)
+        for part, root in zip(parts, shard_roots)
+    ]
+    n_workers = workers if workers is not None else shards
+    results = parallel_map(
+        _shard_worker, jobs, n_workers, progress=progress,
+        label=db.spec.name,
+    )
+    registry = None
+    if telemetry:
+        from repro.obs.telemetry import TelemetryRegistry
+
+        registry = TelemetryRegistry()
+    merge = merge_shards(db, shard_roots, registry=registry)
+    summary.update(
+        shard_results=[
+            {"root": r["root"], "executed": r["executed"]}
+            for r in results if r
+        ],
+        merged_rows=merge["merged_rows"],
+        store_digest=merge["store_digest"],
+        telemetry_digest=merge["telemetry_digest"],
+    )
+    return summary

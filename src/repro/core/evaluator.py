@@ -161,6 +161,30 @@ class Evaluator:
         )
         return alg, cfg
 
+    def prepare_run(
+        self,
+        algorithm: str,
+        faults: FaultPattern,
+        *,
+        injection_rate: float | None = None,
+        set_index: int = 0,
+        **overrides,
+    ) -> tuple[RoutingAlgorithm, SimConfig]:
+        """Public form of :meth:`_prepare_run` — same resolution, no run.
+
+        Campaign planning (:class:`repro.campaigns.db.CampaignDB`) uses
+        this to compute store run keys for cells without simulating
+        them: the returned config is byte-for-byte the one
+        :class:`repro.store.CachedEvaluator` would hash.
+        """
+        return self._prepare_run(
+            algorithm,
+            faults,
+            injection_rate=injection_rate,
+            set_index=set_index,
+            **overrides,
+        )
+
     def _execute(
         self, alg: RoutingAlgorithm, cfg: SimConfig, faults: FaultPattern
     ) -> SimulationResult:

@@ -1,434 +1,32 @@
-"""Campaign runner: manifest-driven simulation grids with resume.
+"""Compatibility wrapper over :mod:`repro.campaigns`.
 
-A *campaign* is the cross product of algorithms × injection rates ×
-fault cases × repeats, described by a JSON-safe :class:`CampaignSpec`.
-The runner executes every cell, appends one JSON line per finished run
-to ``results.jsonl`` (so partial campaigns survive interruption and
-resume for free), and writes a ``manifest.json`` capturing the exact
-inputs — config, spec, and the drawn fault patterns — via
-:mod:`repro.util.serialization`.
+The campaign machinery grew into a top-level subsystem — declarative
+specs (:mod:`repro.campaigns.spec`), the resumable runner
+(:mod:`repro.campaigns.runner`), the persistent key-planning DB, the
+shard executor and the query layer (:mod:`repro.campaigns`).  This
+module keeps the historical import surface alive::
 
-Example::
+    from repro.experiments.campaign import CampaignRunner, CampaignSpec
 
-    spec = CampaignSpec(
-        name="vc-study",
-        algorithms=("nhop", "duato-nbc"),
-        config=SimConfig(width=10, message_length=16, cycles=4000, warmup=1000),
-        rates=(0.005, 0.02),
-        fault_counts=(0, 5),
-        fault_sets=2,
-    )
-    runner = CampaignRunner(spec, out_dir="campaigns/vc-study")
-    runner.run()
-    rows = runner.load_results()
+New code should import from :mod:`repro.campaigns` directly.
 """
 
 from __future__ import annotations
 
-import json
-from dataclasses import dataclass, field
-from pathlib import Path
-
-from repro.core.evaluator import Evaluator
-from repro.simulator.config import SimConfig
-from repro.store.backend import ResultStore, store_dir_of
-from repro.store.cache import make_evaluator
-from repro.util.serialization import (
-    config_from_dict,
-    config_to_dict,
-    pattern_to_dict,
+from repro.campaigns.runner import (
+    CampaignRunner,
+    _campaign_worker,
+    load_campaign,
+)
+from repro.campaigns.spec import (
+    CampaignSpec,
+    cell_id as _key_id,
+    draw_cases as _draw_cases,
+    execute_cell as _execute_cell,
 )
 
-_SCHEMA_VERSION = 1
+__all__ = ["CampaignRunner", "CampaignSpec", "load_campaign"]
 
-
-@dataclass(frozen=True)
-class CampaignSpec:
-    """Declarative description of a simulation campaign."""
-
-    name: str
-    algorithms: tuple[str, ...]
-    config: SimConfig
-    rates: tuple[float, ...]
-    fault_counts: tuple[int, ...] = (0,)
-    fault_sets: int = 1
-    repeats: int = 1
-    seed: int = 2007
-
-    def __post_init__(self) -> None:
-        if not self.name:
-            raise ValueError("campaign needs a name")
-        if not self.algorithms:
-            raise ValueError("campaign needs at least one algorithm")
-        if not self.rates:
-            raise ValueError("campaign needs at least one injection rate")
-        if self.fault_sets < 1 or self.repeats < 1:
-            raise ValueError("fault_sets and repeats must be positive")
-
-    # ------------------------------------------------------------------
-    def to_dict(self) -> dict:
-        return {
-            "kind": "campaign-spec",
-            "schema": _SCHEMA_VERSION,
-            "name": self.name,
-            "algorithms": list(self.algorithms),
-            "config": config_to_dict(self.config),
-            "rates": list(self.rates),
-            "fault_counts": list(self.fault_counts),
-            "fault_sets": self.fault_sets,
-            "repeats": self.repeats,
-            "seed": self.seed,
-        }
-
-    @classmethod
-    def from_dict(cls, payload: dict) -> CampaignSpec:
-        if payload.get("kind") != "campaign-spec":
-            raise ValueError("payload is not a campaign-spec")
-        if payload.get("schema") != _SCHEMA_VERSION:
-            raise ValueError(
-                f"unsupported campaign schema {payload.get('schema')!r}"
-            )
-        return cls(
-            name=payload["name"],
-            algorithms=tuple(payload["algorithms"]),
-            config=config_from_dict(payload["config"]),
-            rates=tuple(payload["rates"]),
-            fault_counts=tuple(payload.get("fault_counts", (0,))),
-            fault_sets=payload.get("fault_sets", 1),
-            repeats=payload.get("repeats", 1),
-            seed=payload.get("seed", 2007),
-        )
-
-    # ------------------------------------------------------------------
-    def job_keys(self) -> list[dict]:
-        """All grid cells, as order-stable JSON-safe key dicts."""
-        keys = []
-        for alg in self.algorithms:
-            for rate in self.rates:
-                for n_faults in self.fault_counts:
-                    n_sets = self.fault_sets if n_faults else 1
-                    for set_idx in range(n_sets):
-                        for repeat in range(self.repeats):
-                            keys.append(
-                                {
-                                    "algorithm": alg,
-                                    "rate": rate,
-                                    "n_faults": n_faults,
-                                    "fault_set": set_idx,
-                                    "repeat": repeat,
-                                }
-                            )
-        return keys
-
-    @property
-    def n_jobs(self) -> int:
-        return len(self.job_keys())
-
-
-def _key_id(key: dict) -> str:
-    return (
-        f"{key['algorithm']}/r{key['rate']:.9f}/f{key['n_faults']}"
-        f"/s{key['fault_set']}/x{key['repeat']}"
-    )
-
-
-def _draw_cases(evaluator: Evaluator, spec: CampaignSpec) -> dict:
-    """The campaign's fault cases (deterministic in the spec seed).
-
-    Workers redraw the same cases locally: ``Evaluator.fault_case``
-    seeds its RNG from the evaluator seed and the fault count only, so
-    every process agrees on the patterns without shipping them around.
-    """
-    return {
-        n: evaluator.fault_case(n, spec.fault_sets if n else 1)
-        for n in spec.fault_counts
-    }
-
-
-def _execute_cell(evaluator: Evaluator, cases: dict, key: dict) -> dict:
-    """Run one grid cell and flatten it to a JSON-safe results row."""
-    case = cases[key["n_faults"]]
-    faults = case.patterns[key["fault_set"]]
-    result = evaluator.run_single(
-        key["algorithm"],
-        faults,
-        injection_rate=key["rate"],
-        set_index=key["fault_set"] * 1000 + key["repeat"],
-    )
-    return {
-        **key,
-        "throughput": result.throughput,
-        "latency": result.avg_latency,
-        "network_latency": result.avg_network_latency,
-        "delivered": result.delivered,
-        "dropped": result.dropped_deadlock + result.dropped_livelock,
-        "avg_hops": result.avg_hops,
-        "cycles": result.measured_cycles + result.config.warmup,
-    }
-
-
-def _campaign_worker(
-    args: tuple[dict, list[dict], str | None, bool],
-) -> dict:
-    """Pool worker: run a chunk of campaign cells, return finished rows.
-
-    Only the parent writes ``results.jsonl`` and ``events.jsonl``; the
-    worker ships each cell's wall seconds home alongside the rows, plus
-    its telemetry snapshot (when the parent asked for one — fresh
-    registry per worker, merged by the parent) and its evaluator's cache
-    counters.  When a store directory is given, the shared
-    :class:`~repro.store.ResultStore` is the cross-process dedup point —
-    a cell simulated by any worker (or any earlier figure run) is a
-    cache hit everywhere else.
-    """
-    import os
-    import time
-
-    from repro.experiments.parallel import _worker_registry, \
-        evaluator_cache_dict
-
-    spec_payload, keys, store_dir, with_telemetry = args
-    spec = CampaignSpec.from_dict(spec_payload)
-    registry, instrument = _worker_registry(with_telemetry)
-    evaluator = make_evaluator(
-        spec.config, seed=spec.seed, store=store_dir, instrument=instrument
-    )
-    cases = _draw_cases(evaluator, spec)
-    rows = []
-    cells = []
-    for key in keys:
-        t0 = time.perf_counter()
-        row = _execute_cell(evaluator, cases, key)
-        row["id"] = _key_id(key)
-        rows.append(row)
-        cells.append(
-            {
-                "id": row["id"],
-                "seconds": time.perf_counter() - t0,
-                "cycles": row["cycles"],
-            }
-        )
-    return {
-        "rows": rows,
-        "cells": cells,
-        "pid": os.getpid(),
-        "snapshot": None if registry is None else registry.snapshot(),
-        "cache": evaluator_cache_dict(evaluator),
-    }
-
-
-class CampaignRunner:
-    """Executes a :class:`CampaignSpec` with crash-safe resume.
-
-    *store* (a :class:`~repro.store.ResultStore` or directory) routes
-    every cell through the content-addressed result cache, shared with
-    the figure drivers and with pool workers when ``run(workers=N)``.
-
-    *instrument* (see :class:`~repro.core.evaluator.Evaluator`) observes
-    every executed cell.  Telemetry-only
-    :class:`~repro.obs.telemetry.Instrument` objects distribute across
-    ``run(workers=N)`` pools — each worker attaches a fresh registry and
-    the parent merges the snapshots — while tracer-carrying instruments
-    (and arbitrary callables) force the sequential path.
-
-    Every :meth:`run` appends its lifecycle to ``events.jsonl`` next to
-    ``results.jsonl`` (see :mod:`repro.obs.manifest`); render it with
-    ``python -m repro.obs report <dir>/events.jsonl``.
-    """
-
-    def __init__(
-        self,
-        spec: CampaignSpec,
-        out_dir: Path | str,
-        *,
-        store: ResultStore | Path | str | None = None,
-        instrument=None,
-    ) -> None:
-        self.spec = spec
-        self.out_dir = Path(out_dir)
-        self.out_dir.mkdir(parents=True, exist_ok=True)
-        self.results_path = self.out_dir / "results.jsonl"
-        self.manifest_path = self.out_dir / "manifest.json"
-        self.events_path = self.out_dir / "events.jsonl"
-        self.store = store
-        self.instrument = instrument
-        self._evaluator = make_evaluator(
-            spec.config, seed=spec.seed, store=store, instrument=instrument
-        )
-        # Draw the fault cases once; they are part of the manifest.
-        self._cases = _draw_cases(self._evaluator, spec)
-
-    # ------------------------------------------------------------------
-    def write_manifest(self) -> None:
-        manifest = {
-            "kind": "campaign-manifest",
-            "schema": _SCHEMA_VERSION,
-            "spec": self.spec.to_dict(),
-            "fault_patterns": {
-                str(n): [pattern_to_dict(p) for p in case.patterns]
-                for n, case in self._cases.items()
-            },
-        }
-        self.manifest_path.write_text(json.dumps(manifest, indent=2))
-
-    def completed_ids(self) -> set[str]:
-        """Ids of jobs already present in ``results.jsonl``."""
-        if not self.results_path.exists():
-            return set()
-        done = set()
-        for line in self.results_path.read_text().splitlines():
-            if not line.strip():
-                continue
-            try:
-                done.add(json.loads(line)["id"])
-            except (json.JSONDecodeError, KeyError):
-                continue  # torn final line from a crash: re-run that job
-        return done
-
-    def run(
-        self, *, resume: bool = True, progress=None, workers: int = 1
-    ) -> int:
-        """Run every (remaining) job; returns how many were executed.
-
-        ``workers > 1`` fans the pending cells out to a process pool in
-        contiguous chunks (one per worker).  The parent remains the only
-        writer of ``results.jsonl`` and ``events.jsonl``; cross-process
-        work sharing happens through the result store, when one is
-        configured, and worker telemetry snapshots merge into the
-        parent instrument's registry.
-        """
-        import time
-
-        from repro.experiments.parallel import (
-            cache_delta,
-            evaluator_cache_dict,
-            merge_worker_output,
-            pool_safe_instrument,
-        )
-        from repro.obs.manifest import ManifestWriter
-        from repro.obs.telemetry import series_snapshot
-        from repro.store.cache import CacheStats
-
-        self.write_manifest()
-        done = self.completed_ids() if resume else set()
-        pending = [
-            key for key in self.spec.job_keys() if _key_id(key) not in done
-        ]
-        executed = 0
-        cache_totals = CacheStats()
-        have_cache = False
-        pool = (
-            workers > 1
-            and len(pending) > 1
-            and pool_safe_instrument(self.instrument)
-        )
-        registry = getattr(self.instrument, "telemetry", None)
-        with ManifestWriter(self.events_path) as events, \
-                self.results_path.open("a" if resume else "w") as sink:
-            events.run_start(
-                self.spec.name,
-                kind="campaign",
-                workers=workers if pool else 1,
-                store=store_dir_of(self.store),
-                pending=len(pending),
-                resumed=len(done),
-            )
-
-            def _emit(row: dict) -> None:
-                sink.write(json.dumps(row) + "\n")
-                sink.flush()
-                if progress:
-                    progress(f"[{self.spec.name}] {row['id']}")
-
-            if pool:
-                from repro.experiments.parallel import parallel_map
-
-                n_chunks = min(workers, len(pending))
-                size = -(-len(pending) // n_chunks)  # ceil division
-                chunks = [
-                    pending[i : i + size] for i in range(0, len(pending), size)
-                ]
-                spec_payload = self.spec.to_dict()
-                store_dir = store_dir_of(self.store)
-                with_telemetry = registry is not None
-                jobs = [
-                    (spec_payload, chunk, store_dir, with_telemetry)
-                    for chunk in chunks
-                ]
-                for data in parallel_map(
-                    _campaign_worker, jobs, workers, label=self.spec.name
-                ):
-                    for row, cell in zip(data["rows"], data["cells"]):
-                        _emit(row)
-                        executed += 1
-                        events.cell_finish(
-                            cell["id"], seconds=cell["seconds"],
-                            worker=data["pid"], cycles=cell["cycles"],
-                        )
-                    merge_worker_output(self.instrument, data)
-                    if data["cache"] is not None:
-                        have_cache = True
-                        cache_totals.add(data["cache"])
-            else:
-                run_before = evaluator_cache_dict(self._evaluator)
-                for key in pending:
-                    cell_id = _key_id(key)
-                    events.cell_start(cell_id)
-                    before = evaluator_cache_dict(self._evaluator)
-                    t0 = time.perf_counter()
-                    row = self._run_job(key)
-                    row["id"] = cell_id
-                    _emit(row)
-                    executed += 1
-                    events.cell_finish(
-                        cell_id,
-                        seconds=time.perf_counter() - t0,
-                        cycles=row["cycles"],
-                        cache=cache_delta(
-                            before, evaluator_cache_dict(self._evaluator)
-                        ),
-                    )
-                run_delta = cache_delta(
-                    run_before, evaluator_cache_dict(self._evaluator)
-                )
-                if run_delta is not None:
-                    have_cache = True
-                    cache_totals.add(run_delta)
-            series = (
-                series_snapshot(registry) if registry is not None else None
-            )
-            events.run_finish(
-                status="ok",
-                cache=cache_totals.as_dict() if have_cache else None,
-                telemetry_digest=(
-                    registry.digest() if registry is not None else None
-                ),
-                telemetry_series=series or None,
-            )
-        return executed
-
-    def _run_job(self, key: dict) -> dict:
-        return _execute_cell(self._evaluator, self._cases, key)
-
-    # ------------------------------------------------------------------
-    def load_results(self) -> list[dict]:
-        """All completed rows, in file order."""
-        if not self.results_path.exists():
-            return []
-        rows = []
-        for line in self.results_path.read_text().splitlines():
-            if line.strip():
-                try:
-                    rows.append(json.loads(line))
-                except json.JSONDecodeError:
-                    continue
-        return rows
-
-
-def load_campaign(out_dir: Path | str) -> tuple[CampaignSpec, list[dict]]:
-    """Rebuild a campaign's spec and results from its output directory."""
-    out_dir = Path(out_dir)
-    manifest = json.loads((out_dir / "manifest.json").read_text())
-    spec = CampaignSpec.from_dict(manifest["spec"])
-    runner = CampaignRunner(spec, out_dir)
-    return spec, runner.load_results()
+# Re-exported private helpers (_key_id, _draw_cases, _execute_cell,
+# _campaign_worker) keep pre-split call sites and pickles working.
+_ = (_key_id, _draw_cases, _execute_cell, _campaign_worker)

@@ -57,6 +57,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.verify.cli import main as verify_main
 
         return verify_main(argv[1:])
+    if argv and argv[0] == "campaigns":
+        # Campaign-management verbs:
+        # python -m repro.experiments campaigns {plan,run,status,query,merge}
+        from repro.campaigns.cli import main as campaigns_main
+
+        return campaigns_main(argv[1:])
     if argv and argv[0] == "obs":
         # Observability verbs (perf harness, manifests, heatmaps):
         # python -m repro.experiments obs {bench,compare,smoke,report,heatmap}

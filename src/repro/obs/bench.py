@@ -135,6 +135,18 @@ WORKLOADS: tuple[Workload, ...] = (
         "op": "store_contention", "writers": 4, "puts_per_writer": 25,
         "payload_floats": 32,
     }),
+    # Campaign planning path: declare a space, mark half the cells done
+    # in the store, replan.  Times run-key derivation (prepare_run +
+    # run_key per cell) and the index diff without simulating anything —
+    # the cost a resumed million-run campaign pays before its first
+    # cell, invisible to every other workload.
+    Workload("campaign_plan_resume", "ops", {
+        "op": "campaign_plan_resume", "algorithms": ["nhop", "duato-nbc"],
+        "width": 8, "vcs": 20, "message_length": 16, "cycles": 300,
+        "warmup": 100, "rates": [0.005, 0.01, 0.02, 0.03, 0.05],
+        "fault_counts": [0, 3], "fault_sets": 2, "repeats": 2,
+        "seed": 17,
+    }),
 )
 
 
@@ -318,6 +330,58 @@ def _ops_runner(params: dict):
                     )
 
         return run, spec.n_jobs
+    if op == "campaign_plan_resume":
+        import tempfile
+
+        from repro.campaigns.db import CampaignDB
+        from repro.campaigns.spec import CampaignSpec
+        from repro.simulator.config import SimConfig
+
+        spec = CampaignSpec(
+            name="bench-plan",
+            algorithms=tuple(params["algorithms"]),
+            config=SimConfig(
+                width=params["width"],
+                vcs_per_channel=params["vcs"],
+                message_length=params["message_length"],
+                cycles=params["cycles"],
+                warmup=params["warmup"],
+                seed=params["seed"],
+                on_deadlock="drain",
+            ),
+            rates=tuple(params["rates"]),
+            fault_counts=tuple(params["fault_counts"]),
+            fault_sets=params["fault_sets"],
+            repeats=params["repeats"],
+            seed=params["seed"],
+        )
+
+        def run() -> None:
+            # Plan the full space, mark every other cell done with a
+            # dummy payload ("kill half the cells"), replan: the second
+            # plan must list exactly the untouched half.  No simulation
+            # runs — this times pure planning (key hashing + index diff).
+            with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+                db = CampaignDB(spec, Path(tmp) / "campaign")
+                full = db.plan()
+                if len(full.missing) != spec.n_jobs:
+                    raise RuntimeError(
+                        f"fresh plan found {len(full.missing)} missing "
+                        f"cells, expected {spec.n_jobs}"
+                    )
+                survivors = full.missing[::2]
+                for cell in survivors:
+                    db.store.put(cell["key"], {"bench": True})
+                resumed = CampaignDB(spec, Path(tmp) / "campaign").plan()
+                expect = {c["key"] for c in full.missing[1::2]}
+                got = {c["key"] for c in resumed.missing}
+                if got != expect:
+                    raise RuntimeError(
+                        "resume plan diverged from the killed half: "
+                        f"{len(got ^ expect)} keys differ"
+                    )
+
+        return run, 2 * spec.n_jobs  # cells keyed across the two plans
     if op == "store_contention":
         import tempfile
         from multiprocessing import get_context

@@ -157,17 +157,35 @@ class ManifestWriter:
 # Reading + reporting
 # ----------------------------------------------------------------------
 def read_manifest(path: Path | str) -> list[dict]:
-    """Parse a manifest file into its event dicts (blank lines skipped)."""
+    """Parse a manifest file into its event dicts (blank lines skipped).
+
+    A final line with no trailing newline is a torn append from a
+    crashed writer: if it fails to parse it is skipped with a
+    :class:`UserWarning` so resumed runs can always read their own
+    manifest.  Any *complete* (newline-terminated) line that fails to
+    parse still raises — that is corruption, not a crash artifact.
+    """
+    import warnings
+
     events = []
     with open(path, encoding="utf-8") as fh:
-        for lineno, line in enumerate(fh, 1):
-            line = line.strip()
-            if not line:
+        text = fh.read()
+    for lineno, line in enumerate(text.split("\n"), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            torn = lineno == text.count("\n") + 1 and not text.endswith("\n")
+            if torn:
+                warnings.warn(
+                    f"{path}:{lineno}: skipping torn final manifest line "
+                    "(crash mid-append?)",
+                    stacklevel=2,
+                )
                 continue
-            try:
-                events.append(json.loads(line))
-            except json.JSONDecodeError as exc:
-                raise ValueError(f"{path}:{lineno}: bad manifest line: {exc}")
+            raise ValueError(f"{path}:{lineno}: bad manifest line: {exc}")
     return events
 
 

@@ -497,6 +497,36 @@ class TelemetryRegistry:
             canonical_json(self.snapshot()).encode("utf-8")
         ).hexdigest()[:16]
 
+    def merge_view(self) -> dict:
+        """The partition-independent slice of the snapshot.
+
+        Counters, labeled counters, histograms and series merge
+        value-exactly regardless of how the cells were split across
+        workers or shards.  Gauges ("most recent value") and the
+        ``last_cycle`` bookkeeping depend on *which* registry observed
+        the temporally-last event, so they are excluded here.
+        """
+        return {
+            name: {k: v for k, v in payload.items() if k != "last_cycle"}
+            for name, payload in self.snapshot().items()
+            if payload["type"] != "gauge"
+        }
+
+    def merge_digest(self) -> str:
+        """Digest of :meth:`merge_view` — equal across any sharding.
+
+        This is the proof-of-equality value :mod:`repro.campaigns`
+        records: a sequential run and an N-shard merged run over the
+        same cells produce the same ``merge_digest`` by construction.
+        """
+        import hashlib
+
+        from repro.store.keys import canonical_json
+
+        return hashlib.sha256(
+            canonical_json(self.merge_view()).encode("utf-8")
+        ).hexdigest()[:16]
+
     def render(self, prefix: str = "") -> str:
         """A human-readable table of instruments (optionally filtered)."""
         lines = []

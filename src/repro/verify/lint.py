@@ -469,6 +469,77 @@ def _rule_canonical_digests(mod: _Module) -> list[Finding]:
 
 
 # ----------------------------------------------------------------------
+# REP010 — campaign/store key material round-trips through
+# repro.util.serialization canonical dicts
+# ----------------------------------------------------------------------
+#: Modules whose persisted JSON feeds (or sits next to) the store's key
+#: space: ad-hoc serialization of a config here silently forks the keys.
+_KEY_MATERIAL_SCOPES = (
+    "repro/campaigns/",
+    "repro/store/",
+    "repro/experiments/campaign",
+)
+
+#: The sanctioned serialization homes themselves.
+_KEY_MATERIAL_EXEMPT = ("repro/store/keys", "repro/util/serialization")
+
+#: Config-ish terminal names whose direct json.dumps is suspect.
+_CONFIG_NAMES = ("config", "cfg", "base_config")
+
+
+def _config_like_arg(arg: ast.expr) -> str | None:
+    """A description of *arg* if it is raw key material, else None."""
+    if isinstance(arg, ast.Call):
+        name = _base_name(arg.func)
+        if name in ("asdict", "vars"):
+            return f"{name}(...)"
+        return None
+    if isinstance(arg, ast.Attribute) and arg.attr == "__dict__":
+        return "<x>.__dict__"
+    name = None
+    if isinstance(arg, ast.Name):
+        name = arg.id
+    elif isinstance(arg, ast.Attribute):
+        name = arg.attr
+    if name is not None and (
+        name in _CONFIG_NAMES or name.endswith("_config")
+    ):
+        return name
+    return None
+
+
+def _rule_canonical_key_material(mod: _Module) -> list[Finding]:
+    if not any(p in mod.path for p in _KEY_MATERIAL_SCOPES):
+        return []
+    if any(p in mod.path for p in _KEY_MATERIAL_EXEMPT):
+        return []
+    found = []
+    for node in ast.walk(mod.tree):
+        if not isinstance(node, ast.Call) or not node.args:
+            continue
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "json"
+            and func.attr in ("dumps", "dump")
+        ):
+            continue
+        suspect = _config_like_arg(node.args[0])
+        if suspect is None:
+            continue
+        found.append(Finding(
+            "REP010", mod.path, node.lineno, node.col_offset,
+            f"json.{func.attr}({suspect}) serializes key material "
+            "ad-hoc; campaign/store payloads must round-trip through "
+            "repro.util.serialization (config_to_dict / pattern_to_dict) "
+            "and hash via repro.store.keys.canonical_json so every writer "
+            "agrees on one key space",
+        ))
+    return found
+
+
+# ----------------------------------------------------------------------
 # REP009 — telemetry publishes use the nullable-hook idiom
 # ----------------------------------------------------------------------
 #: Registry accessor attributes (instrument factories).  Touching one of
@@ -672,6 +743,13 @@ RULES: dict[str, tuple[str, str, object]] = {
         "repro.simulator telemetry follows the nullable-hook idiom "
         "(bind in attach_telemetry, guard every publish)",
         _rule_telemetry_hook_idiom,
+    ),
+    "REP010": (
+        "module",
+        "campaign/store key material round-trips through "
+        "repro.util.serialization canonical dicts (no ad-hoc "
+        "json.dumps of configs)",
+        _rule_canonical_key_material,
     ),
 }
 

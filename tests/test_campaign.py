@@ -109,6 +109,22 @@ class TestRunner:
         assert runner.run() == 0  # both real jobs still recognized
         assert len(runner.load_results()) == 2
 
+    def test_torn_line_warns_with_location(self, tmp_path):
+        """The reader names the file:line it skipped, so a real crash
+        leaves a visible trace instead of silently shrinking results."""
+        from repro.campaigns.runner import read_results_jsonl
+
+        path = tmp_path / "results.jsonl"
+        path.write_text('{"id": "a/1"}\n{"id": "b/2"}\n{"id": "tor')
+        with pytest.warns(UserWarning, match=r"results\.jsonl:3"):
+            rows = read_results_jsonl(path)
+        assert [row["id"] for row in rows] == ["a/1", "b/2"]
+
+    def test_missing_results_file_is_empty(self, tmp_path):
+        from repro.campaigns.runner import read_results_jsonl
+
+        assert read_results_jsonl(tmp_path / "absent.jsonl") == []
+
     def test_reproducible_across_runners(self, tmp_path):
         spec = tiny_spec(fault_counts=(3,), fault_sets=1)
         r1 = CampaignRunner(spec, tmp_path / "a")

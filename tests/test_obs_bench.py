@@ -97,6 +97,18 @@ def test_campaign_workload_runs_grid_through_store():
     assert metrics["seconds"] > 0
 
 
+def test_campaign_plan_resume_workload_times_pure_planning():
+    """The workload plans, kills half the cells, and replans — its own
+    internal exactness check raises if the resume plan is not exactly
+    the remaining half, so a clean run IS the assertion."""
+    (w,) = [w for w in WORKLOADS if w.name == "campaign_plan_resume"]
+    metrics = run_suite(workloads=(w,), repeats=1)["campaign_plan_resume"]
+    # 2 algs x 5 rates x (f0: 1 set + f3: 2 sets) x 2 repeats = 60
+    # cells, keyed twice (full plan + resume plan).
+    assert metrics["ops"] == 120
+    assert metrics["ops_per_sec"] > 0
+
+
 # ----------------------------------------------------------------------
 # compare
 # ----------------------------------------------------------------------

@@ -68,6 +68,33 @@ class TestWriter:
         with pytest.raises(ValueError, match=":2:"):
             read_manifest(path)
 
+    def test_torn_final_line_skipped_with_warning(self, tmp_path):
+        """A crash mid-append leaves a final line with no newline; the
+        reader keeps every complete event and warns instead of dying."""
+        path = tmp_path / "m.jsonl"
+        _write_run(path, cells=2)
+        with path.open("a") as fh:
+            fh.write('{"event": "cell", "id": "alg0/ce')  # no newline
+        with pytest.warns(UserWarning, match="torn final manifest line"):
+            events = read_manifest(path)
+        assert [e["event"] for e in events] == [
+            "run-start", "cell", "cell", "run-finish",
+        ]
+
+    def test_torn_line_location_in_warning(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text('{"event": "run-start"}\n{"trunc')
+        with pytest.warns(UserWarning, match=r"m\.jsonl:2"):
+            assert len(read_manifest(path)) == 1
+
+    def test_newline_terminated_garbage_still_raises(self, tmp_path):
+        """Only a *torn* tail is forgiven — a complete bad line is
+        corruption and keeps raising, even as the final line."""
+        path = tmp_path / "m.jsonl"
+        path.write_text('{"event": "run-start"}\n{"trunc\n')
+        with pytest.raises(ValueError, match=":2:"):
+            read_manifest(path)
+
 
 class TestSummarize:
     def test_groups_by_leading_component(self, tmp_path):
@@ -116,6 +143,36 @@ class TestSummarize:
             read_manifest(_write_run(tmp_path / "m.jsonl"))
         )
         assert [row["at_pct"] for row in summary["eta_checks"]] == [25, 50, 75]
+
+    def test_eta_uses_only_the_current_segment(self):
+        """A resumed campaign appends a new manifest segment; the ETA
+        validation must extrapolate from the latest segment's own
+        run-start/cell timings and never mix in the stale segment's
+        (pathologically slow, here) durations."""
+
+        def segment(scale, n):
+            events = [{"event": "run-start", "t": 0.0, "label": "x",
+                       "kind": "campaign", "workers": 1}]
+            for i in range(1, n + 1):
+                events.append({"event": "cell", "phase": "finish",
+                               "id": f"a/{i}", "t": scale * i,
+                               "seconds": float(scale)})
+            events.append({"event": "run-finish", "t": scale * (n + 1),
+                           "status": "ok", "seconds": scale * (n + 1)})
+            return events
+
+        stale = segment(100.0, 8)  # 100 s/cell — must not leak into ETA
+        fresh = segment(1.0, 4)
+        summary = summarize_manifest(stale + fresh)
+        assert summary["n_cells"] == 4  # current segment only
+        assert [row["actual_s"] for row in summary["eta_checks"]] == [
+            5.0, 5.0, 5.0,
+        ]
+        # Linear model over the fresh segment: k cells by t=k predicts
+        # total = k * 4 / k = 4 s at every checkpoint.
+        assert [row["predicted_s"] for row in summary["eta_checks"]] == [
+            4.0, 4.0, 4.0,
+        ]
 
     def test_incomplete_run(self, tmp_path):
         path = tmp_path / "m.jsonl"

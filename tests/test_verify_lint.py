@@ -380,6 +380,59 @@ class TestTelemetryHookIdiom:
         ) == []
 
 
+class TestCanonicalKeyMaterial:
+    """REP010: no ad-hoc json.dumps of configs in campaign/store scope."""
+
+    def check(self, src, path="src/repro/campaigns/db.py"):
+        return lint_source(src, path=path, select={"REP010"})
+
+    def test_flags_asdict_dump(self):
+        src = "import json\ns = json.dumps(asdict(cfg))\n"
+        assert rules_of(self.check(src)) == {"REP010"}
+
+    def test_flags_vars_and_dunder_dict(self):
+        src = (
+            "import json\n"
+            "a = json.dumps(vars(config))\n"
+            "b = json.dumps(spec.__dict__)\n"
+        )
+        assert len(self.check(src)) == 2
+
+    def test_flags_config_named_values(self):
+        src = (
+            "import json\n"
+            "a = json.dumps(config)\n"
+            "b = json.dumps(self.base_config)\n"
+            "json.dump(run_config, fh)\n"
+        )
+        assert len(self.check(src)) == 3
+
+    def test_accepts_canonical_dict_payloads(self):
+        src = (
+            "import json\n"
+            "payload = {'config': config_to_dict(cfg)}\n"
+            "s = json.dumps(payload)\n"
+            "t = json.dumps(spec.to_dict())\n"
+        )
+        assert self.check(src) == []
+
+    def test_store_scope_is_checked(self):
+        src = "import json\ns = json.dumps(asdict(cfg))\n"
+        findings = self.check(src, path="src/repro/store/backend.py")
+        assert rules_of(findings) == {"REP010"}
+
+    def test_keys_and_serialization_are_exempt(self):
+        src = "import json\ns = json.dumps(asdict(cfg))\n"
+        assert self.check(src, path="src/repro/store/keys.py") == []
+        assert self.check(
+            src, path="src/repro/util/serialization.py"
+        ) == []
+
+    def test_other_layers_are_out_of_scope(self):
+        src = "import json\ns = json.dumps(asdict(cfg))\n"
+        assert self.check(src, path="src/repro/obs/bench.py") == []
+
+
 class TestHarness:
     def test_catalog_is_documented(self):
         for rule_id, (scope, summary, impl) in RULES.items():
