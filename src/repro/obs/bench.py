@@ -147,6 +147,17 @@ WORKLOADS: tuple[Workload, ...] = (
         "fault_counts": [0, 3], "fault_sets": 2, "repeats": 2,
         "seed": 17,
     }),
+    Workload("verify_check_corpus", "ops", {
+        # Model-checker runtime on a representative slice of the 4x4
+        # fault corpus: a deterministic escape scheme, Duato's fortified
+        # variant, and a hop-class scheme, on the fault-free and
+        # closed-interior-ring patterns.  Tracks the CDG exploration +
+        # cycle/discharge analysis cost in the pinned trajectory.
+        "op": "verify_check",
+        "algorithms": ["ecube", "duato", "nhop"],
+        "patterns": ["fault-free", "center-block"],
+        "width": 4, "vcs": 16,
+    }),
 )
 
 
@@ -410,6 +421,33 @@ def _ops_runner(params: dict):
                     )
 
         return run, writers * per
+    if op == "verify_check":
+        from repro.routing.registry import make_algorithm
+        from repro.verify.cdg import CdgChecker
+        from repro.verify.corpus import corpus_pattern
+
+        cases = [
+            (name, pname)
+            for name in params["algorithms"]
+            for pname in params["patterns"]
+        ]
+        width, vcs = params["width"], params["vcs"]
+
+        def run() -> None:
+            for name, pname in cases:
+                report = CdgChecker(
+                    make_algorithm(name),
+                    corpus_pattern(pname, width),
+                    total_vcs=vcs,
+                    pattern_name=pname,
+                ).run()
+                if report.status not in ("ok", "ring-residual", "ring-proved"):
+                    raise RuntimeError(
+                        f"verify bench: {name} on {pname} unexpectedly "
+                        f"reported {report.status}"
+                    )
+
+        return run, len(cases)
     raise ValueError(f"unknown ops workload {op!r}")
 
 

@@ -507,8 +507,8 @@ class TelemetryRegistry:
         the temporally-last event, so they are excluded here.
         """
         return {
-            name: {k: v for k, v in payload.items() if k != "last_cycle"}
-            for name, payload in self.snapshot().items()
+            name: {k: v for k, v in sorted(payload.items()) if k != "last_cycle"}
+            for name, payload in sorted(self.snapshot().items())
             if payload["type"] != "gauge"
         }
 

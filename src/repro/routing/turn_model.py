@@ -32,6 +32,23 @@ class WestFirst(RoutingAlgorithm):
     def build_budget(self, mesh: Mesh2D, total_vcs: int) -> VcBudget:
         return free_pool_budget(total_vcs)
 
+    def route_dirs(
+        self,
+        msg: Message,
+        node: int,
+        mdirs: tuple[int, ...],
+        free_dirs: tuple[int, ...],
+    ) -> tuple[int, ...]:
+        # While a west offset remains the only legal hop is west; if that
+        # hop is faulty the message is fault-blocked and must take the
+        # B-C ring.  Adapting north/south/east here would have to turn
+        # back west later — exactly the two turns (N->W, S->W) the model
+        # forbids, and the checker finds the 8-channel cycle they close
+        # around an interior fault region.
+        if WEST in mdirs and WEST not in free_dirs:
+            return ()
+        return free_dirs
+
     def tiers_for(self, msg: Message, node: int, dirs: tuple[int, ...]) -> list[Tier]:
         adaptive = self.budget.adaptive_vcs
         if WEST in dirs:

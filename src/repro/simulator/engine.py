@@ -54,7 +54,7 @@ _MIN_AUTO_BATCHES = 10
 #: draws, watchdog policy, metric accounting...).  :mod:`repro.store`
 #: folds it into every run key, so cached results from an older engine
 #: self-invalidate instead of silently serving stale numbers.
-ENGINE_VERSION = 1
+ENGINE_VERSION = 2
 
 
 class InputVC:
@@ -200,6 +200,23 @@ class Simulation:
     every publish site reduces to a single attribute check, so the hot
     path is unchanged.
     """
+
+    __slots__ = (
+        "config", "mesh", "faults", "algorithm", "pattern",
+        "rng", "_perm_rng", "cycle", "_msg_counter", "_hop_cap",
+        "_timeout", "_healthy", "_arrivals", "_queues", "_streams",
+        "_inj_pending", "_needs_routing", "_active",
+        "total_generated", "total_delivered", "total_dropped",
+        "_auto", "_win", "_win_lat_sum", "_win_lat_cnt",
+        "tracer", "telemetry", "result",
+        "_invcs", "_ovcs", "_role_of", "_ring_role",
+        "_t_generated", "_t_injected", "_t_delivered", "_t_flit_hops",
+        "_t_ejected", "_t_blocked", "_t_drain_deadlock",
+        "_t_drain_livelock", "_t_alloc_role", "_t_busy_role",
+        "_t_latency", "_g_inflight", "_t_node_hops", "_t_node_blocked",
+        "_s_ejected", "_s_delivered", "_s_latency", "_s_blocked",
+        "_s_busy_role", "_t_fring",
+    )
 
     def __init__(
         self,

@@ -43,6 +43,8 @@ class Tracer:
         ``print`` for live debugging).
     """
 
+    __slots__ = ("events", "message_ids", "kinds", "sample", "sink", "counts")
+
     def __init__(
         self,
         capacity: int = 100_000,

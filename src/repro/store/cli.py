@@ -106,7 +106,16 @@ def main(argv: list[str] | None = None) -> int:
 
     args = parser.parse_args(argv)
     store = ResultStore(args.store if args.store is not None else default_store_dir())
-    return args.fn(store, args)
+    try:
+        return args.fn(store, args)
+    except BrokenPipeError:
+        # Downstream (`ls … | head`) closed the pipe: redirect stdout to
+        # devnull so the interpreter's exit flush stays quiet.
+        import os
+        import sys
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -55,7 +55,7 @@ from repro.faults.pattern import FaultPattern
 from repro.routing.base import RoutingAlgorithm, RoutingError
 from repro.routing.budgets import ROLE_ADAPTIVE, ROLE_CLASS, ROLE_ESCAPE, ROLE_RING
 from repro.routing.registry import make_algorithm
-from repro.simulator.message import RING_CLASS_NAMES, Message
+from repro.simulator.message import RING_CLASS_NAMES, RING_NS, RING_WE, Message
 from repro.topology.directions import DIRECTIONS
 from repro.topology.mesh import Mesh2D
 
@@ -98,6 +98,191 @@ class Violation:
         }
 
 
+#: Premise names of the ring-discharge argument, in evaluation order.
+RING_PREMISES = (
+    "ring-only",
+    "single-class",
+    "single-ring",
+    "closed-ring",
+    "oriented-advance",
+)
+
+
+@dataclass(frozen=True)
+class RingPremise:
+    """One hypothesis of the bounded-ring-occupancy lemma, evaluated."""
+
+    name: str
+    holds: bool
+    detail: str
+
+    def to_payload(self) -> dict:
+        return {"name": self.name, "holds": self.holds, "detail": self.detail}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> RingPremise:
+        return cls(payload["name"], payload["holds"], payload["detail"])
+
+
+@dataclass(frozen=True)
+class RingCycleAnalysis:
+    """Per-cycle discharge verdict for a ring-traversing counterexample.
+
+    DESIGN.md §3.7's lemma: within one message class, the fixed traversal
+    orientation plus the exit bar (leave only strictly closer to the
+    destination than the transit began) bound every ring occupancy to a
+    proper arc — a class's messages never cover a closed ring's full
+    cycle.  A counterexample cycle that is exactly a full single-class
+    wrap of one closed f-ring in the class's legal orientation therefore
+    cannot have all of its waits realized simultaneously: it is
+    **discharged** (unreachable).  Any failed premise names precisely why
+    the lemma does not apply — ``ring-only`` failing is the §3.7
+    cross-layer coupling (tail on ring VCs, header on class channels).
+    """
+
+    premises: tuple[RingPremise, ...]
+
+    @property
+    def discharged(self) -> bool:
+        return all(p.holds for p in self.premises)
+
+    @property
+    def failed(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self.premises if not p.holds)
+
+    def to_payload(self) -> dict:
+        return {
+            "discharged": self.discharged,
+            "failed": list(self.failed),
+            "premises": [p.to_payload() for p in self.premises],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> RingCycleAnalysis:
+        return cls(
+            premises=tuple(
+                RingPremise.from_payload(p) for p in payload["premises"]
+            )
+        )
+
+
+def _fmt_channel(ch: Channel) -> str:
+    return f"({ch[0]},{ch[1]},{ch[2]})"
+
+
+def analyze_ring_cycle(
+    cycle: list[Channel],
+    *,
+    ring_vcs: tuple[int, ...],
+    faults: FaultPattern,
+) -> RingCycleAnalysis:
+    """Evaluate the ring-discharge premises against one concrete cycle.
+
+    *cycle* uses concrete ``(node, direction, vc)`` channels (the shape
+    :attr:`CdgReport.cycle` and the dynamic oracle report); *ring_vcs*
+    is the budget's 4 shared B-C ring VCs in class order (WE, EW, NS,
+    SN).  All premises are evaluated — a waived cycle names every failed
+    hypothesis, not just the first.
+    """
+    mesh = faults.mesh
+    ring_set = set(ring_vcs)
+    n = len(cycle)
+    premises: list[RingPremise] = []
+
+    non_ring = [ch for ch in cycle if ch[2] not in ring_set]
+    ring_chans = [ch for ch in cycle if ch[2] in ring_set]
+    if non_ring:
+        detail = (
+            f"{len(non_ring)}/{n} channels use non-ring VCs "
+            f"(cross-layer coupling, e.g. {_fmt_channel(non_ring[0])})"
+        )
+    else:
+        detail = f"all {n} channels on shared ring VCs"
+    premises.append(RingPremise("ring-only", not non_ring, detail))
+
+    classes = sorted({ring_vcs.index(ch[2]) for ch in ring_chans})
+    single_class = len(classes) == 1
+    if not ring_chans:
+        detail = "no ring channels in the cycle"
+    elif single_class:
+        detail = f"one ring class: {RING_CLASS_NAMES[classes[0]]}"
+    else:
+        detail = "mixes ring classes " + ", ".join(
+            RING_CLASS_NAMES[c] for c in classes
+        )
+    premises.append(RingPremise("single-class", single_class, detail))
+
+    nodes = {ch[0] for ch in cycle}
+    host = next(
+        (r for r in faults.rings if all(nd in r for nd in nodes)), None
+    )
+    premises.append(
+        RingPremise(
+            "single-ring",
+            host is not None,
+            (
+                f"all nodes on the f-ring of {host.region}"
+                if host is not None
+                else "cycle nodes do not all lie on one f-ring"
+            ),
+        )
+    )
+
+    closed = host is not None and host.closed
+    premises.append(
+        RingPremise(
+            "closed-ring",
+            closed,
+            (
+                "the f-ring is closed"
+                if closed
+                else "open f-chain: the wrap argument needs a closed ring"
+                if host is not None
+                else "no hosting f-ring to test for closure"
+            ),
+        )
+    )
+
+    if not (single_class and host is not None and not non_ring):
+        premises.append(
+            RingPremise(
+                "oriented-advance",
+                False,
+                "not evaluable: earlier premises failed",
+            )
+        )
+    else:
+        cw = classes[0] in (RING_WE, RING_NS)
+        bad = next(
+            (
+                (cycle[i], cycle[(i + 1) % n])
+                for i in range(n)
+                if mesh.neighbor(cycle[i][0], cycle[i][1])
+                != cycle[(i + 1) % n][0]
+                or host.next_node(cycle[i][0], cw) != cycle[(i + 1) % n][0]
+            ),
+            None,
+        )
+        orient = "clockwise" if cw else "counter-clockwise"
+        premises.append(
+            RingPremise(
+                "oriented-advance",
+                bad is None,
+                (
+                    f"every edge is the {orient} ring successor "
+                    f"({RING_CLASS_NAMES[classes[0]]} orientation)"
+                    if bad is None
+                    else (
+                        f"edge {_fmt_channel(bad[0])} -> "
+                        f"{_fmt_channel(bad[1])} is not the {orient} "
+                        "ring successor"
+                    )
+                ),
+            )
+        )
+    return RingCycleAnalysis(premises=tuple(premises))
+
+
 @dataclass
 class CdgReport:
     """Result of model-checking one (algorithm, mesh, fault pattern)."""
@@ -117,6 +302,13 @@ class CdgReport:
     cycle_witnesses: list[tuple[int, int]] = field(default_factory=list)
     violations: list[Violation] = field(default_factory=list)
     elapsed: float = 0.0
+    #: True when *every* cycle in the CDG is discharged by the
+    #: bounded-ring-occupancy argument (each non-trivial SCC consists
+    #: solely of oriented single-class ring-advance edges on closed
+    #: rings, so all of its cycles are unreachable full wraps).
+    ring_proved: bool = False
+    #: Premise-by-premise discharge verdict for the reported cycle.
+    ring_analysis: RingCycleAnalysis | None = None
 
     @property
     def ok(self) -> bool:
@@ -141,12 +333,21 @@ class CdgReport:
 
     @property
     def status(self) -> str:
-        """``ok`` | ``ring-residual`` | ``cycle`` | ``violation``."""
+        """``ok`` | ``ring-proved`` | ``ring-residual`` | ``cycle`` |
+        ``violation``.
+
+        ``ring-proved`` is strictly stronger than ``ring-residual``: a
+        ring-traversing cycle was found, but every cycle in the graph is
+        a full single-class wrap of a closed ring, which the exit-bar/
+        bounded-occupancy lemma proves unreachable (DESIGN.md §3.7).
+        """
         if self.violations:
             return "violation"
         if self.cycle is None:
             return "ok"
-        return "ring-residual" if self.ring_cycle else "cycle"
+        if not self.ring_cycle:
+            return "cycle"
+        return "ring-proved" if self.ring_proved else "ring-residual"
 
     def to_payload(self) -> dict:
         return {
@@ -166,7 +367,51 @@ class CdgReport:
             "cycle_witnesses": [list(w) for w in self.cycle_witnesses],
             "violations": [v.to_payload() for v in self.violations],
             "elapsed": round(self.elapsed, 3),
+            "ring_proved": self.ring_proved,
+            "ring_analysis": (
+                self.ring_analysis.to_payload()
+                if self.ring_analysis is not None
+                else None
+            ),
         }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> CdgReport:
+        """Rebuild a report from :meth:`to_payload` output (round-trip:
+        ``CdgReport.from_payload(r.to_payload()).to_payload() ==
+        r.to_payload()``)."""
+        width, height = payload["mesh"]
+        cycle = payload.get("cycle")
+        analysis = payload.get("ring_analysis")
+        return cls(
+            algorithm=payload["algorithm"],
+            declared_deadlock_free=payload["declared_deadlock_free"],
+            pattern=payload["pattern"],
+            width=width,
+            height=height,
+            total_vcs=payload["total_vcs"],
+            n_states=payload["states"],
+            n_channels=payload["channels"],
+            n_edges=payload["edges"],
+            escape_vcs=tuple(payload["escape_vcs"]),
+            ring_vcs=tuple(payload["ring_vcs"]),
+            cycle=(
+                [tuple(c) for c in cycle] if cycle is not None else None
+            ),
+            cycle_witnesses=[
+                tuple(w) for w in payload["cycle_witnesses"]
+            ],
+            violations=[
+                Violation(**v) for v in payload["violations"]
+            ],
+            elapsed=payload["elapsed"],
+            ring_proved=payload.get("ring_proved", False),
+            ring_analysis=(
+                RingCycleAnalysis.from_payload(analysis)
+                if analysis is not None
+                else None
+            ),
+        )
 
 
 class CdgChecker:
@@ -475,7 +720,22 @@ class CdgChecker:
             set(edges) | {to for deps in edges.values() for to in deps}
         )
         report.n_edges = sum(len(deps) for deps in edges.values())
-        cycle = _find_cycle(edges)
+        ring_class_ids = frozenset(
+            self._vc_class[v]
+            for v in (self.algorithm.budget.ring_vcs or ())
+        )
+        # Pure cycles (never touching a shared ring VC) are genuine
+        # defects and must not be masked by whichever ring-traversing
+        # cycle the DFS happens to meet first: search the ring-free
+        # subgraph before the full graph.
+        pure_edges = {
+            a: {b for b in deps if b[2] not in ring_class_ids}
+            for a, deps in edges.items()
+            if a[2] not in ring_class_ids
+        }
+        cycle = _find_cycle(pure_edges)
+        if cycle is None:
+            cycle = _find_cycle(edges)
         if cycle is not None:
             report.cycle = [
                 (node, d, self._class_repr[c]) for node, d, c in cycle
@@ -486,8 +746,64 @@ class CdgChecker:
                 )
                 for i in range(len(cycle))
             ]
+            if report.ring_cycle:
+                report.ring_analysis = analyze_ring_cycle(
+                    report.cycle,
+                    ring_vcs=report.ring_vcs,
+                    faults=self.faults,
+                )
+                report.ring_proved = self._discharge_ring_sccs(
+                    edges, ring_class_ids
+                )
         self._edges = edges  # kept for the `cdg` CLI verb / tests
         return report
+
+    def _discharge_ring_sccs(
+        self,
+        edges: dict[tuple, set[tuple]],
+        ring_class_ids: frozenset[int],
+    ) -> bool:
+        """Whether *every* cycle in the CDG is an unreachable ring wrap.
+
+        Every cycle lives inside a non-trivial strongly connected
+        component.  If each edge inside each non-trivial SCC is an
+        oriented single-class **ring-advance** edge on one closed f-ring
+        (``a``'s successor in the class's fixed orientation is exactly
+        ``b``'s node, on the same shared ring VC), then every cycle the
+        graph contains is a full single-class wrap of a closed ring —
+        all discharged at once by the bounded-ring-occupancy lemma, with
+        no cycle enumeration.
+        """
+        for scc in _strongly_connected_components(edges):
+            members = set(scc)
+            nontrivial = len(scc) > 1 or any(
+                a in edges and a in edges[a] for a in scc
+            )
+            if not nontrivial:
+                continue
+            for a in scc:
+                for b in edges.get(a, ()):
+                    if b in members and not self._edge_ring_advance(a, b):
+                        return False
+        return True
+
+    def _edge_ring_advance(self, a: tuple, b: tuple) -> bool:
+        """Is class-level edge ``a -> b`` a same-class oriented ring hop
+        on a closed f-ring?"""
+        ring_vcs = self.algorithm.budget.ring_vcs
+        va = self._class_repr[a[2]]
+        vb = self._class_repr[b[2]]
+        if va != vb or va not in ring_vcs:
+            return False
+        if self.mesh.neighbor(a[0], a[1]) != b[0]:
+            return False
+        cw = ring_vcs.index(va) in (RING_WE, RING_NS)
+        return any(
+            ring.closed
+            and a[0] in ring
+            and ring.next_node(a[0], cw) == b[0]
+            for ring in self.faults.rings
+        )
 
     def concrete_edges(self) -> list[tuple[Channel, Channel]]:
         """All CDG edges with VC classes mapped back to sample VCs."""
@@ -497,6 +813,59 @@ class CdgChecker:
             for b in deps:
                 out.append((ca, (b[0], b[1], self._class_repr[b[2]])))
         return sorted(out)
+
+
+def _strongly_connected_components(
+    edges: dict[tuple, set[tuple]],
+) -> list[list[tuple]]:
+    """Tarjan's SCC algorithm, iterative (the CDGs overflow recursion)."""
+    nodes = list(edges)
+    nodes.extend(
+        b for deps in edges.values() for b in deps if b not in edges
+    )
+    index: dict[tuple, int] = {}
+    lowlink: dict[tuple, int] = {}
+    on_stack: set[tuple] = set()
+    stack: list[tuple] = []
+    sccs: list[list[tuple]] = []
+    counter = 0
+    for root in nodes:
+        if root in index:
+            continue
+        work: list[tuple[tuple, object]] = [(root, iter(edges.get(root, ())))]
+        index[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            v, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in index:
+                    index[w] = lowlink[w] = counter
+                    counter += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(edges.get(w, ()))))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    lowlink[v] = min(lowlink[v], index[w])
+            if not advanced:
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[v])
+                if lowlink[v] == index[v]:
+                    scc = []
+                    while True:
+                        w = stack.pop()
+                        on_stack.discard(w)
+                        scc.append(w)
+                        if w == v:
+                            break
+                    sccs.append(scc)
+    return sccs
 
 
 def _find_cycle(edges: dict[tuple, set[tuple]]) -> list[tuple] | None:

@@ -8,6 +8,9 @@
     python -m repro.verify lint                     # lint src/repro
     python -m repro.verify lint path/to/file.py --json
     python -m repro.verify cdg --algorithm ecube --pattern center-block
+    python -m repro.verify drift                    # ENGINE_VERSION gate
+    python -m repro.verify drift --require          # enforcing (CI) mode
+    python -m repro.verify drift --pin              # re-pin the lock
 
 Also reachable as ``python -m repro.experiments verify ...``.
 
@@ -32,7 +35,7 @@ from repro.verify.cdg import CdgChecker, CdgReport
 from repro.verify.corpus import CORPUS_NAMES, corpus_pattern
 from repro.verify.lint import lint_paths
 
-__all__ = ["main", "check_main", "lint_main", "cdg_main"]
+__all__ = ["main", "check_main", "lint_main", "cdg_main", "drift_main"]
 
 #: Default lint targets, relative to the repo root.
 _DEFAULT_LINT_PATHS = ("src/repro",)
@@ -50,9 +53,13 @@ def _algorithm_verdict(reports: list[CdgReport]) -> tuple[bool, str]:
         bad = {p: s for p, s in statuses.items() if s in ("cycle", "violation")}
         if bad:
             return False, f"declared deadlock-free but found {bad}"
-        residual = [p for p, s in statuses.items() if s == "ring-residual"]
-        if residual:
-            return True, f"ok (ring-residual on {', '.join(residual)})"
+        notes = [
+            f"{s} on {p}"
+            for p, s in statuses.items()
+            if s in ("ring-residual", "ring-proved")
+        ]
+        if notes:
+            return True, f"ok ({', '.join(notes)})"
         return True, "ok"
     if any(r.cycle is not None for r in reports):
         return True, "counterexample cycle found (declared not deadlock-free)"
@@ -127,6 +134,18 @@ def check_main(args: argparse.Namespace) -> int:
             print(line)
             if r.cycle is not None and (r.status == "cycle" or args.verbose):
                 print(f"        cycle: {_fmt_cycle(r.cycle)}")
+            if r.ring_analysis is not None:
+                a = r.ring_analysis
+                if a.discharged:
+                    print(
+                        "        discharged: full single-class wrap of a "
+                        "closed ring (unreachable, DESIGN.md §3.7)"
+                    )
+                else:
+                    print(
+                        "        waived: failed premise(s) "
+                        + ", ".join(a.failed)
+                    )
             for v in r.violations:
                 print(f"        violation[{v.kind}] at node {v.node}: {v.detail}")
     n_fail = sum(1 for passed, _ in verdicts.values() if not passed)
@@ -180,12 +199,37 @@ def cdg_main(args: argparse.Namespace) -> int:
         )
         if report.cycle is not None:
             print(f"  cycle: {_fmt_cycle(report.cycle)}")
+        if report.ring_analysis is not None:
+            for p in report.ring_analysis.premises:
+                mark = "holds" if p.holds else "FAILS"
+                print(f"  premise {p.name:<16} {mark}  {p.detail}")
         for v in report.violations:
             print(f"  violation[{v.kind}] at node {v.node}: {v.detail}")
         if args.edges:
             for a, b in checker.concrete_edges():
                 print(f"  {a} -> {b}")
-    return 0 if report.status in ("ok", "ring-residual") else 1
+    return 0 if report.status in ("ok", "ring-residual", "ring-proved") else 1
+
+
+def drift_main(args: argparse.Namespace) -> int:
+    from repro.verify.drift import compute_state, run_gate
+
+    state = compute_state()
+    code, lines, report = run_gate(
+        state,
+        Path(args.lock) if args.lock else None,
+        require=args.require,
+        pin=args.pin,
+    )
+    if args.json:
+        print(json.dumps(
+            {"exit": code, "report": report.to_payload(), "lines": lines},
+            indent=2,
+        ))
+    else:
+        for line in lines:
+            print(line)
+    return code
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -242,8 +286,36 @@ def main(argv: list[str] | None = None) -> int:
     p_cdg.add_argument("--json", action="store_true", help="machine-readable output")
     p_cdg.set_defaults(func=cdg_main)
 
+    p_drift = sub.add_parser(
+        "drift",
+        help="ENGINE_VERSION drift gate over the semantic surface",
+    )
+    p_drift.add_argument(
+        "--require", action="store_true",
+        help="enforcing (CI) mode: unpinned/stale locks fail instead of "
+        "staying advisory",
+    )
+    p_drift.add_argument(
+        "--pin", "--update", dest="pin", action="store_true",
+        help="(re)write tools/engine_semantics.lock from the current tree",
+    )
+    p_drift.add_argument(
+        "--lock", default=None, metavar="PATH",
+        help="lock file override (default: tools/engine_semantics.lock)",
+    )
+    p_drift.add_argument("--json", action="store_true", help="machine-readable output")
+    p_drift.set_defaults(func=drift_main)
+
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream (`check --all | head`) closed the pipe: redirect
+        # stdout to devnull so the interpreter's exit flush stays quiet.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -692,6 +692,322 @@ def _rule_telemetry_hook_idiom(mod: _Module) -> list[Finding]:
 
 
 # ----------------------------------------------------------------------
+# REP011 - seeded, instance-owned RNG in the engine/routing scope
+# ----------------------------------------------------------------------
+_RNG_CONSTRUCTORS = {"Random", "SystemRandom", "default_rng"}
+
+#: ``np.random`` attributes that are not global-generator draws.
+_NP_RANDOM_SAFE = {"default_rng", "Generator", "SeedSequence", "BitGenerator",
+                   "PCG64", "RandomState"}
+
+_REP011_SCOPE = ("repro/simulator/", "repro/routing/")
+
+
+def _dotted(expr: ast.expr) -> str | None:
+    """``a.b.c`` -> ``"a.b.c"`` (None for non-name chains)."""
+    parts: list[str] = []
+    while isinstance(expr, ast.Attribute):
+        parts.append(expr.attr)
+        expr = expr.value
+    if not isinstance(expr, ast.Name):
+        return None
+    parts.append(expr.id)
+    return ".".join(reversed(parts))
+
+
+def _rule_engine_rng(mod: _Module) -> list[Finding]:
+    """REP011: simulator/routing randomness is seeded and instance-owned.
+
+    Replayability of every run key rests on all randomness flowing from
+    ``SimConfig.seed``-derived streams (``engine.py``'s ``rng`` /
+    ``_perm_rng``).  Three things break that silently: an RNG
+    constructed without a seed (OS entropy), a module-level RNG stream
+    (shared across runs and across pool workers), and draws from numpy's
+    global generator.
+    """
+    if not any(prefix in mod.path for prefix in _REP011_SCOPE):
+        return []
+    found = []
+    top_level_rng_lines = set()
+    for stmt in mod.tree.body:
+        targets = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+        value = getattr(stmt, "value", None)
+        if (
+            targets
+            and isinstance(value, ast.Call)
+            and (dotted := _dotted(value.func)) is not None
+            and dotted.rsplit(".", 1)[-1] in _RNG_CONSTRUCTORS
+        ):
+            top_level_rng_lines.add(stmt.lineno)
+            found.append(Finding(
+                "REP011", mod.path, stmt.lineno, stmt.col_offset,
+                "module-level RNG stream: one generator shared across "
+                "runs (and pool workers) breaks per-run replayability — "
+                "construct RNGs per Simulation from SimConfig.seed",
+            ))
+    for node in ast.walk(mod.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        if dotted is None:
+            continue
+        tail = dotted.rsplit(".", 1)[-1]
+        if (
+            tail in _RNG_CONSTRUCTORS
+            and tail != "SystemRandom"
+            and not node.args
+            and not node.keywords
+        ):
+            found.append(Finding(
+                "REP011", mod.path, node.lineno, node.col_offset,
+                f"unseeded {tail}(): seeds from OS entropy, so the run "
+                "is not reproducible — derive the seed from "
+                "SimConfig.seed",
+            ))
+        elif tail == "SystemRandom" and node.lineno not in top_level_rng_lines:
+            found.append(Finding(
+                "REP011", mod.path, node.lineno, node.col_offset,
+                "SystemRandom is unseedable by design and never "
+                "reproducible — use random.Random(SimConfig.seed)",
+            ))
+        elif (
+            dotted.startswith(("np.random.", "numpy.random."))
+            and tail not in _NP_RANDOM_SAFE
+        ):
+            found.append(Finding(
+                "REP011", mod.path, node.lineno, node.col_offset,
+                f"np.random.{tail}(...) draws from numpy's global "
+                "generator (process-wide state no seed in SimConfig "
+                "controls) — draw from a default_rng(seed) instance",
+            ))
+    return found
+
+
+# ----------------------------------------------------------------------
+# REP012 - pool workers do not mutate module-level state
+# ----------------------------------------------------------------------
+_POOL_METHODS = {"map", "imap", "imap_unordered", "starmap", "map_async"}
+
+_MUTATOR_METHODS = {"append", "extend", "add", "update", "setdefault",
+                    "insert", "pop", "popitem", "remove", "discard",
+                    "clear", "inc", "observe"}
+
+
+def _worker_names(mods: list[_Module]) -> set[str]:
+    """Terminal names of callables handed to ``parallel_map`` / pools."""
+    names: set[str] = set()
+    for mod in mods:
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            func = node.func
+            is_dispatch = (
+                (isinstance(func, ast.Name) and func.id == "parallel_map")
+                or (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in (_POOL_METHODS | {"parallel_map"})
+                )
+            )
+            if not is_dispatch:
+                continue
+            target = _base_name(node.args[0]) or (
+                node.args[0].id if isinstance(node.args[0], ast.Name) else None
+            )
+            if target is not None:
+                names.add(target)
+    return names
+
+
+def _module_level_names(tree: ast.Module) -> set[str]:
+    names: set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            for t in stmt.targets:
+                if isinstance(t, ast.Name):
+                    names.add(t.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            names.add(stmt.target.id)
+    return names
+
+
+def _rule_pool_worker_purity(mods: list[_Module]) -> list[Finding]:
+    """REP012: functions dispatched to process pools stay pure.
+
+    A worker that mutates module-level state only mutates its *own*
+    process copy: the parent never sees it, sequential and ``--workers
+    N`` runs silently diverge, and the merged == sequential telemetry
+    proof breaks.  Workers must return their results (telemetry flows
+    through the snapshot/merge idiom).
+    """
+    workers = _worker_names(mods)
+    if not workers:
+        return []
+    found = []
+    for mod in mods:
+        module_names = _module_level_names(mod.tree)
+        for stmt in mod.tree.body:
+            if not isinstance(stmt, ast.FunctionDef) or stmt.name not in workers:
+                continue
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Global):
+                    found.append(Finding(
+                        "REP012", mod.path, node.lineno, node.col_offset,
+                        f"pool worker {stmt.name!r} declares "
+                        f"'global {', '.join(node.names)}': the write "
+                        "stays in the worker process and the parent "
+                        "never sees it — return the value instead",
+                    ))
+                    continue
+                targets = []
+                if isinstance(node, ast.Assign):
+                    targets = node.targets
+                elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                    targets = [node.target]
+                for t in targets:
+                    base = t
+                    while isinstance(base, (ast.Subscript, ast.Attribute)):
+                        base = base.value
+                    if isinstance(base, ast.Name) and base.id in module_names:
+                        found.append(Finding(
+                            "REP012", mod.path, node.lineno, node.col_offset,
+                            f"pool worker {stmt.name!r} writes into "
+                            f"module-level {base.id!r}: per-process "
+                            "state diverges from the sequential path — "
+                            "return results and merge in the parent",
+                        ))
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _MUTATOR_METHODS
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in module_names
+                ):
+                    found.append(Finding(
+                        "REP012", mod.path, node.lineno, node.col_offset,
+                        f"pool worker {stmt.name!r} calls "
+                        f"{node.func.value.id}.{node.func.attr}(...) on "
+                        "module-level state: the mutation is invisible "
+                        "to the parent process — return results and "
+                        "merge in the parent",
+                    ))
+    return found
+
+
+# ----------------------------------------------------------------------
+# REP013 - merge/digest reductions iterate in sorted-key order
+# ----------------------------------------------------------------------
+_REP013_SCOPE = ("repro/obs/", "repro/store/", "repro/campaigns/",
+                 "repro/experiments/")
+
+_DICT_VIEWS = {"items", "keys", "values"}
+
+
+def _rule_sorted_reductions(mod: _Module) -> list[Finding]:
+    """REP013: merge/digest code never iterates raw dict views.
+
+    Merged snapshots, store digests and campaign proofs-of-equality all
+    hash or fold dict contents; iterating insertion order makes the
+    result depend on *which worker finished first*.  Inside any
+    ``*merge*``/``*digest*`` function in the obs/store/campaigns/
+    experiments layers, dict-view loops must be wrapped in
+    ``sorted(...)``.
+    """
+    if not any(prefix in mod.path for prefix in _REP013_SCOPE):
+        return []
+    found = []
+    for func in ast.walk(mod.tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        name = func.name.lower()
+        if "merge" not in name and "digest" not in name:
+            continue
+        iters = [n.iter for n in ast.walk(func) if isinstance(n, ast.For)]
+        for comp in ast.walk(func):
+            if isinstance(comp, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                 ast.GeneratorExp)):
+                iters.extend(g.iter for g in comp.generators)
+        for it in iters:
+            if (
+                isinstance(it, ast.Call)
+                and isinstance(it.func, ast.Attribute)
+                and it.func.attr in _DICT_VIEWS
+                and not it.args
+                and not it.keywords
+            ):
+                found.append(Finding(
+                    "REP013", mod.path, it.lineno, it.col_offset,
+                    f"unsorted .{it.func.attr}() iteration in "
+                    f"{func.name!r}: merge/digest order must not depend "
+                    "on dict insertion order (worker completion order) "
+                    "— wrap in sorted(...)",
+                ))
+    return found
+
+
+# ----------------------------------------------------------------------
+# REP014 - hot-path simulator classes declare __slots__
+# ----------------------------------------------------------------------
+def _has_dataclass_decorator(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        if _base_name(target) == "dataclass":
+            return True
+    return False
+
+
+def _is_exception_class(node: ast.ClassDef) -> bool:
+    return any(
+        (name := _base_name(base)) is not None
+        and (name.endswith(("Error", "Exception")) or name == "BaseException")
+        for base in node.bases
+    )
+
+
+def _rule_simulator_slots(mod: _Module) -> list[Finding]:
+    """REP014: ``repro.simulator`` classes declare ``__slots__``.
+
+    The engine allocates VC/stream/message objects by the hundred
+    thousand; per-instance ``__dict__`` costs both memory and attribute-
+    lookup time on the hottest path in the tree, and the upcoming
+    struct-of-arrays refactor depends on the attribute set being closed.
+    Dataclasses (results/configs) and exceptions are exempt.
+    """
+    if "repro/simulator/" not in mod.path:
+        return []
+    found = []
+    for node in mod.tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if _has_dataclass_decorator(node) or _is_exception_class(node):
+            continue
+        has_slots = any(
+            (isinstance(stmt, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "__slots__"
+                for t in stmt.targets
+            ))
+            or (
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and stmt.target.id == "__slots__"
+            )
+            for stmt in node.body
+        )
+        if not has_slots:
+            found.append(Finding(
+                "REP014", mod.path, node.lineno, node.col_offset,
+                f"class {node.name!r} has no __slots__: simulator "
+                "objects are allocated per-VC/per-flit on the hot path "
+                "— declare the closed attribute set (dataclasses and "
+                "exceptions are exempt)",
+            ))
+    return found
+
+
+# ----------------------------------------------------------------------
 # Catalog
 # ----------------------------------------------------------------------
 #: rule id -> (scope, summary, implementation).
@@ -750,6 +1066,28 @@ RULES: dict[str, tuple[str, str, object]] = {
         "repro.util.serialization canonical dicts (no ad-hoc "
         "json.dumps of configs)",
         _rule_canonical_key_material,
+    ),
+    "REP011": (
+        "module",
+        "simulator/routing randomness is seeded and instance-owned "
+        "(no unseeded or module-level RNG, no numpy global draws)",
+        _rule_engine_rng,
+    ),
+    "REP012": (
+        "project",
+        "pool workers (parallel_map / campaign shards) never mutate "
+        "module-level state",
+        _rule_pool_worker_purity,
+    ),
+    "REP013": (
+        "module",
+        "merge/digest reductions iterate dict views in sorted order",
+        _rule_sorted_reductions,
+    ),
+    "REP014": (
+        "module",
+        "repro.simulator classes declare __slots__ (hot-path allocation)",
+        _rule_simulator_slots,
     ),
 }
 

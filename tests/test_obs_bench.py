@@ -97,6 +97,14 @@ def test_campaign_workload_runs_grid_through_store():
     assert metrics["seconds"] > 0
 
 
+def test_verify_check_corpus_workload_runs_the_model_checker():
+    (w,) = [w for w in WORKLOADS if w.name == "verify_check_corpus"]
+    metrics = run_suite(workloads=(w,), repeats=1)["verify_check_corpus"]
+    # 3 algorithms x 2 patterns = 6 checked cases.
+    assert metrics["ops"] == 6
+    assert metrics["ops_per_sec"] > 0
+
+
 def test_campaign_plan_resume_workload_times_pure_planning():
     """The workload plans, kills half the cells, and replans — its own
     internal exactness check raises if the resume plan is not exactly

@@ -14,7 +14,14 @@ from repro.routing.base import Tier
 from repro.routing.freeform import MinimalAdaptive
 from repro.routing.registry import ALGORITHM_NAMES, make_algorithm
 from repro.simulator.message import Message
-from repro.verify.cdg import CdgChecker, check_algorithm
+from repro.verify.cdg import (
+    RING_PREMISES,
+    CdgChecker,
+    CdgReport,
+    RingCycleAnalysis,
+    analyze_ring_cycle,
+    check_algorithm,
+)
 from repro.verify.corpus import CORPUS_NAMES, corpus_pattern, default_corpus
 
 SAFE = tuple(n for n in ALGORITHM_NAMES if make_algorithm(n).deadlock_free)
@@ -37,13 +44,21 @@ class TestPositiveOracle:
     @pytest.mark.parametrize("pattern", [p for p in CORPUS_NAMES if p != "fault-free"])
     def test_faulty_patterns_at_worst_ring_residual(self, name, pattern):
         report = run(name, pattern)
-        assert report.status in ("ok", "ring-residual"), (
+        assert report.status in ("ok", "ring-residual", "ring-proved"), (
             report.cycle,
             report.violations,
         )
-        if report.status == "ring-residual":
+        if report.status in ("ring-residual", "ring-proved"):
             # the waiver applies only to cycles through a shared ring VC
             assert any(vc in report.ring_vcs for (_, _, vc) in report.cycle)
+            # every waived cycle carries its premise-by-premise analysis
+            assert report.ring_analysis is not None
+            if report.status == "ring-residual":
+                assert report.ring_analysis.failed, (
+                    "a residual cycle must name the failed premise(s)"
+                )
+            else:
+                assert report.ring_analysis.discharged
 
 
 class TestNegativeOracle:
@@ -85,6 +100,210 @@ class TestRegressions:
         # detour on the B-C ring instead.
         report = run(name, "center-block")
         assert report.status in ("ok", "ring-residual")
+
+    @pytest.mark.parametrize("pattern", ["center-block", "multi-ring"])
+    def test_west_first_pure_cycle_stays_fixed(self, pattern):
+        # West-first's fault-blocked wait (a west offset whose only legal
+        # hop is faulty) used to close a *pure* escape cycle that hid
+        # behind whichever ring-traversing cycle the DFS met first; the
+        # fix sends the blocked hop onto the B-C ring, and the pure-first
+        # search keeps any regression visible as status "cycle".
+        report = run("west-first", pattern)
+        assert report.status in ("ok", "ring-residual", "ring-proved"), (
+            report.cycle
+        )
+
+
+#: The budget's shared B-C ring VCs at 16 total VCs, class order
+#: WE, EW, NS, SN (the last four indices).
+RING_VCS = (12, 13, 14, 15)
+
+
+def _chan(mesh, a: int, b: int, vc: int):
+    """The concrete channel for the mesh hop ``a -> b`` on *vc*."""
+    for d in range(4):
+        if mesh.neighbor(a, d) == b:
+            return (a, d, vc)
+    raise AssertionError(f"nodes {a} and {b} are not mesh-adjacent")
+
+
+def _ring_wrap(pattern, vc: int, cw: bool):
+    """A full wrap of the pattern's first f-ring on one ring VC."""
+    ring = pattern.rings[0]
+    start = min(nd for nd in range(pattern.mesh.n_nodes) if nd in ring)
+    chans, cur = [], start
+    while True:
+        nxt = ring.next_node(cur, cw)
+        chans.append(_chan(pattern.mesh, cur, nxt, vc))
+        cur = nxt
+        if cur == start:
+            return chans
+
+
+class TestRingDischarge:
+    """`analyze_ring_cycle`: the §3.7 bounded-ring-occupancy argument."""
+
+    def test_full_single_class_wrap_is_discharged(self):
+        # NS messages traverse rings clockwise; a full clockwise wrap on
+        # the NS ring VC satisfies every premise and is unreachable.
+        pattern = corpus_pattern("center-block")
+        wrap = _ring_wrap(pattern, vc=RING_VCS[2], cw=True)
+        analysis = analyze_ring_cycle(
+            wrap, ring_vcs=RING_VCS, faults=pattern
+        )
+        assert analysis.discharged
+        assert analysis.failed == ()
+        assert tuple(p.name for p in analysis.premises) == RING_PREMISES
+
+    def test_wrong_orientation_wrap_is_not_discharged(self):
+        # The same wrap against the class's legal orientation fails
+        # exactly the oriented-advance premise.
+        pattern = corpus_pattern("center-block")
+        wrap = _ring_wrap(pattern, vc=RING_VCS[2], cw=False)
+        analysis = analyze_ring_cycle(
+            wrap, ring_vcs=RING_VCS, faults=pattern
+        )
+        assert not analysis.discharged
+        assert analysis.failed == ("oriented-advance",)
+
+    def test_open_chain_wrap_is_not_discharged(self):
+        # corner-block's f-chain is open: the wrap argument's closed-ring
+        # premise fails even for an otherwise well-formed traversal.
+        pattern = corpus_pattern("corner-block")
+        ring = pattern.rings[0]
+        assert not ring.closed
+        mesh = pattern.mesh
+        nodes = [nd for nd in range(mesh.n_nodes) if nd in ring]
+        cur = nodes[0]
+        chans = []
+        while True:
+            nxt = ring.next_node(cur, True)
+            if nxt is None or nxt < 0 or nxt == nodes[0]:
+                break
+            chans.append(_chan(mesh, cur, nxt, RING_VCS[2]))
+            cur = nxt
+        analysis = analyze_ring_cycle(
+            chans, ring_vcs=RING_VCS, faults=pattern
+        )
+        assert "closed-ring" in analysis.failed
+
+    def test_seventeen_channel_cross_layer_fixture(self):
+        """The empirical 17-channel deadlock (DESIGN.md §3.7) stays the
+        regression fixture: the analysis must name the cross-layer
+        coupling rather than discharge it.
+
+        Shape as observed by the dynamic oracle under drain-recovery:
+        message A's tail still holds NS ring channels while its header
+        has resumed class channels; B bridges on class VCs; C's tail
+        holds SN ring channels — the waits between segments are indirect
+        (across message bodies), which is exactly what defeats the
+        single-class wrap argument.
+        """
+        pattern = corpus_pattern("center-block")
+        mesh = pattern.mesh
+        ns, sn = RING_VCS[2], RING_VCS[3]
+        cycle = []
+        # A tail: five clockwise NS ring channels 0->4->8->9->10->6.
+        for a, b in ((0, 4), (4, 8), (8, 9), (9, 10), (10, 6)):
+            cycle.append(_chan(mesh, a, b, ns))
+        # A header, resumed on class channels off the ring.
+        for a, b, vc in ((6, 7, 0), (7, 11, 0), (11, 15, 0)):
+            cycle.append(_chan(mesh, a, b, vc))
+        # B: class channels along the far edge.
+        for a, b in ((15, 14), (14, 13), (13, 12), (12, 8)):
+            cycle.append(_chan(mesh, a, b, 1))
+        # C tail: counter-clockwise SN ring channels 10->9->8->4->0.
+        for a, b in ((10, 9), (9, 8), (8, 4), (4, 0)):
+            cycle.append(_chan(mesh, a, b, sn))
+        # The closing coupling edge back into A's tail segment.
+        cycle.append(_chan(mesh, 3, 2, 2))
+        assert len(cycle) == 17
+
+        analysis = analyze_ring_cycle(
+            cycle, ring_vcs=RING_VCS, faults=pattern
+        )
+        assert not analysis.discharged
+        failed = set(analysis.failed)
+        # the cross-layer coupling and the class mix are both named
+        assert {"ring-only", "single-class"} <= failed
+        ring_only = next(
+            p for p in analysis.premises if p.name == "ring-only"
+        )
+        assert "cross-layer coupling" in ring_only.detail
+
+    def test_analysis_payload_round_trip(self):
+        pattern = corpus_pattern("center-block")
+        wrap = _ring_wrap(pattern, vc=RING_VCS[2], cw=True)
+        analysis = analyze_ring_cycle(
+            wrap, ring_vcs=RING_VCS, faults=pattern
+        )
+        payload = analysis.to_payload()
+        assert RingCycleAnalysis.from_payload(payload).to_payload() == payload
+
+
+class TestCheckerProof:
+    """`_discharge_ring_sccs`: the SCC-level all-cycles-are-wraps proof."""
+
+    def _checker(self):
+        return CdgChecker(
+            make_algorithm("ecube"), corpus_pattern("center-block"), 16,
+            pattern_name="center-block",
+        )
+
+    def _report(self, checker):
+        return CdgReport(
+            algorithm="ecube", declared_deadlock_free=True,
+            pattern="center-block", width=4, height=4, total_vcs=16,
+            escape_vcs=checker._escape_vcs, ring_vcs=RING_VCS,
+        )
+
+    def _wrap_edges(self, checker):
+        cid = checker._vc_class[RING_VCS[2]]
+        wrap = _ring_wrap(checker.faults, RING_VCS[2], cw=True)
+        chans = [(n, d, cid) for n, d, _ in wrap]
+        return {
+            chans[i]: {chans[(i + 1) % len(chans)]}
+            for i in range(len(chans))
+        }
+
+    def test_pure_wrap_graph_is_ring_proved(self):
+        checker = self._checker()
+        report = checker._finish(
+            self._report(checker), self._wrap_edges(checker), {}
+        )
+        assert report.status == "ring-proved"
+        assert report.ring_analysis is not None
+        assert report.ring_analysis.discharged
+
+    def test_chorded_wrap_graph_stays_residual(self):
+        # One non-ring chord through the SCC breaks the proof: the graph
+        # now contains cycles that are not full single-class wraps.
+        checker = self._checker()
+        edges = self._wrap_edges(checker)
+        a = next(iter(edges))
+        succ = next(iter(edges[a]))
+        chord = (a[0], a[1], checker._vc_class[0])
+        edges[a].add(chord)
+        edges[chord] = {succ}
+        report = checker._finish(self._report(checker), edges, {})
+        assert report.status == "ring-residual"
+        assert not report.ring_proved
+
+
+class TestPayloadRoundTrip:
+    @pytest.mark.parametrize(
+        "name,pattern",
+        [
+            ("ecube", "fault-free"),       # status ok, no cycle
+            ("ecube", "center-block"),     # ring-residual with analysis
+            ("fully-adaptive", "fault-free"),  # genuine cycle
+        ],
+    )
+    def test_report_round_trips_through_json_payload(self, name, pattern):
+        payload = run(name, pattern).to_payload()
+        rebuilt = CdgReport.from_payload(payload)
+        assert rebuilt.to_payload() == payload
+        assert rebuilt.status == payload["status"]
 
 
 class _BadTierShape(MinimalAdaptive):

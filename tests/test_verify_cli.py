@@ -100,6 +100,96 @@ class TestCdgVerb:
         assert len(a) == 3 and len(b) == 3
 
 
+class TestDriftVerb:
+    def test_advisory_default_lock_is_clean(self, capsys):
+        """The committed lock must match the tree (the CI gate)."""
+        rc = main(["drift"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "ok" in out
+
+    def test_pin_then_require_round_trip(self, tmp_path, capsys):
+        lock = tmp_path / "lock.json"
+        assert main(["drift", "--pin", "--lock", str(lock)]) == 0
+        assert lock.exists()
+        assert main(["drift", "--require", "--lock", str(lock)]) == 0
+
+    def test_unpinned_require_fails_and_self_pins(self, tmp_path, capsys):
+        lock = tmp_path / "lock.json"
+        rc = main(["drift", "--require", "--lock", str(lock)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert lock.exists(), "self-pin writes the lock artifact"
+        assert "unpinned" in out
+
+    def test_stale_lock_fails_require(self, tmp_path, capsys):
+        from repro.verify.drift import compute_state, write_lock
+
+        state = dict(compute_state())
+        state["digest"] = "0" * 64
+        state["files"] = dict(state["files"])
+        first = sorted(state["files"])[0]
+        state["files"][first] = "0" * 64
+        lock = tmp_path / "lock.json"
+        write_lock(state, lock)
+        rc = main(["drift", "--require", "--lock", str(lock)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "FAIL" in out
+
+    def test_json_payload_shape(self, tmp_path, capsys):
+        lock = tmp_path / "lock.json"
+        main(["drift", "--pin", "--lock", str(lock)])
+        capsys.readouterr()
+        rc = main(["drift", "--require", "--lock", str(lock), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0 and payload["exit"] == 0
+        report = payload["report"]
+        assert report["status"] == "ok"
+        assert report["locked_version"] == report["current_version"]
+
+
+class TestBrokenPipeTolerance:
+    """`verify ... | head` must exit 0, matching the campaigns CLI.
+
+    Run in a subprocess: the handler redirects the process's stdout fd
+    to devnull, which would destroy pytest's capture if run in-process.
+    """
+
+    def _run(self, child_source: str) -> int:
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parent.parent
+        env = dict(os.environ, PYTHONPATH=str(repo / "src"))
+        return subprocess.run(
+            [sys.executable, "-c", child_source], env=env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        ).returncode
+
+    def test_verify_cli_swallows_broken_pipe(self):
+        rc = self._run(
+            "import repro.verify.cli as cli\n"
+            "def raiser(args):\n"
+            "    raise BrokenPipeError\n"
+            "cli.lint_main = raiser\n"
+            "raise SystemExit(cli.main(['lint']))\n"
+        )
+        assert rc == 0
+
+    def test_store_cli_swallows_broken_pipe(self, tmp_path):
+        rc = self._run(
+            "import repro.store.cli as store_cli\n"
+            "def raiser(store, args):\n"
+            "    raise BrokenPipeError\n"
+            "store_cli._cmd_ls = raiser\n"
+            f"raise SystemExit(store_cli.main(['ls', '--store', {str(tmp_path)!r}]))\n"
+        )
+        assert rc == 0
+
+
 class TestExperimentsPassthrough:
     def test_verify_verb_reaches_cli(self, capsys):
         from repro.experiments.cli import main as experiments_main

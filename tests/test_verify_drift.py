@@ -1,0 +1,189 @@
+"""ENGINE_VERSION drift gate: both directions, on miniature trees.
+
+The gate must fail when semantics change without a version bump and
+stay quiet when only comments/docstrings/formatting move — the store
+key contract (DESIGN.md, ``repro.store``) depends on exactly this
+distinction.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.verify.drift import (
+    compare,
+    compute_state,
+    normalized_dump,
+    read_lock,
+    run_gate,
+    write_lock,
+)
+
+ENGINE_V1 = '''\
+"""A tiny engine."""
+
+ENGINE_VERSION = 1
+
+
+def step(a, b):
+    """Advance one cycle."""
+    # combine the operands
+    return a + b
+'''
+
+
+def make_tree(tmp_path: Path, engine_src: str = ENGINE_V1) -> Path:
+    root = tmp_path / "repro"
+    (root / "simulator").mkdir(parents=True)
+    (root / "simulator" / "engine.py").write_text(engine_src)
+    (root / "routing").mkdir()
+    (root / "routing" / "alg.py").write_text("def pick(d):\n    return d[0]\n")
+    return root
+
+
+class TestNormalization:
+    def test_docstrings_and_comments_are_stripped(self):
+        bare = "def f(x):\n    return x * 2\n"
+        decorated = (
+            '"""Module doc."""\n'
+            "def f(x):\n"
+            '    """Doc."""\n'
+            "    # a comment\n"
+            "    return x * 2\n"
+        )
+        assert normalized_dump(bare) == normalized_dump(decorated)
+
+    def test_semantic_change_moves_the_dump(self):
+        assert normalized_dump("def f(x):\n    return x * 2\n") != \
+            normalized_dump("def f(x):\n    return x * 3\n")
+
+    def test_version_label_is_excluded(self):
+        # The ENGINE_VERSION assignment is the version *label*, not
+        # semantics: bumping it alone must not read as a code change
+        # (the bumped-unchanged warning depends on this).
+        assert normalized_dump("ENGINE_VERSION = 1\nX = 5\n") == \
+            normalized_dump("ENGINE_VERSION = 2\nX = 5\n")
+
+
+class TestStateAndLock:
+    def test_state_covers_the_tree(self, tmp_path):
+        root = make_tree(tmp_path)
+        state = compute_state(root, engine_version=1)
+        assert set(state["files"]) == {"simulator/engine.py", "routing/alg.py"}
+        assert state["engine_version"] == 1
+
+    def test_lock_round_trip(self, tmp_path):
+        root = make_tree(tmp_path)
+        state = compute_state(root, engine_version=1)
+        lock_path = tmp_path / "lock.json"
+        write_lock(state, lock_path)
+        lock = read_lock(lock_path)
+        assert lock["digest"] == state["digest"]
+        assert lock["engine_version"] == 1
+        assert read_lock(tmp_path / "missing.json") is None
+
+    def test_non_lock_file_is_rejected(self, tmp_path):
+        bogus = tmp_path / "lock.json"
+        bogus.write_text('{"kind": "something-else"}')
+        with pytest.raises(ValueError):
+            read_lock(bogus)
+
+
+class TestGate:
+    def pin(self, tmp_path, version=1):
+        root = make_tree(tmp_path)
+        lock_path = tmp_path / "lock.json"
+        write_lock(compute_state(root, engine_version=version), lock_path)
+        return root, lock_path
+
+    def test_unchanged_tree_passes(self, tmp_path):
+        root, lock_path = self.pin(tmp_path)
+        state = compute_state(root, engine_version=1)
+        code, lines, report = run_gate(state, lock_path, require=True)
+        assert code == 0 and report.status == "ok"
+
+    def test_semantic_edit_without_bump_fails(self, tmp_path):
+        root, lock_path = self.pin(tmp_path)
+        engine = root / "simulator" / "engine.py"
+        engine.write_text(engine.read_text().replace("a + b", "a - b"))
+        state = compute_state(root, engine_version=1)
+        code, lines, report = run_gate(state, lock_path, require=True)
+        assert code == 1 and report.status == "drift"
+        assert report.changed == ("simulator/engine.py",)
+        assert any("FAIL" in line and "bump" in line for line in lines)
+        # Advisory mode fails too: drift is never tolerable.
+        assert run_gate(state, lock_path)[0] == 1
+
+    def test_comment_and_docstring_edit_passes(self, tmp_path):
+        root, lock_path = self.pin(tmp_path)
+        engine = root / "simulator" / "engine.py"
+        engine.write_text(
+            engine.read_text()
+            .replace("Advance one cycle.", "Advance exactly one cycle!")
+            .replace("# combine the operands", "# sum the two operands")
+            .replace("return a + b", "return (a   +   b)")
+        )
+        state = compute_state(root, engine_version=1)
+        code, _, report = run_gate(state, lock_path, require=True)
+        assert code == 0 and report.status == "ok"
+
+    def test_bump_without_change_warns_but_passes(self, tmp_path):
+        root, lock_path = self.pin(tmp_path, version=1)
+        state = compute_state(root, engine_version=2)
+        code, lines, report = run_gate(state, lock_path, require=True)
+        assert code == 0 and report.status == "bumped-unchanged"
+        assert any("WARNING" in line and "gratuitous" in line for line in lines)
+
+    def test_bump_with_change_requires_repin(self, tmp_path):
+        root, lock_path = self.pin(tmp_path, version=1)
+        engine = root / "simulator" / "engine.py"
+        engine.write_text(engine.read_text().replace("a + b", "a * b"))
+        state = compute_state(root, engine_version=2)
+        code, lines, report = run_gate(state, lock_path, require=True)
+        assert code == 1 and report.status == "bumped"
+        assert any("re-pin" in line.lower() for line in lines)
+        # Advisory mode only instructs; re-pinning re-arms the gate.
+        assert run_gate(state, lock_path)[0] == 0
+        assert run_gate(state, lock_path, pin=True)[0] == 0
+        assert run_gate(state, lock_path, require=True)[0] == 0
+
+    def test_unpinned_require_self_pins_and_fails(self, tmp_path):
+        root = make_tree(tmp_path)
+        lock_path = tmp_path / "lock.json"
+        state = compute_state(root, engine_version=1)
+        code, lines, report = run_gate(state, lock_path, require=True)
+        assert code == 1 and report.status == "unpinned"
+        assert lock_path.exists(), "self-pin writes the artifact"
+        # The committed self-pin arms the gate.
+        assert run_gate(state, lock_path, require=True)[0] == 0
+
+    def test_unpinned_advisory_passes(self, tmp_path):
+        root = make_tree(tmp_path)
+        state = compute_state(root, engine_version=1)
+        code, _, report = run_gate(state, tmp_path / "lock.json")
+        assert code == 0 and report.status == "unpinned"
+        assert not (tmp_path / "lock.json").exists()
+
+    def test_file_add_and_remove_are_drift(self, tmp_path):
+        root, lock_path = self.pin(tmp_path)
+        (root / "routing" / "new_alg.py").write_text("def pick2(d):\n    return d[-1]\n")
+        state = compute_state(root, engine_version=1)
+        report = compare(read_lock(lock_path), state)
+        assert report.status == "drift"
+        assert report.added == ("routing/new_alg.py",)
+        (root / "routing" / "new_alg.py").unlink()
+        (root / "routing" / "alg.py").unlink()
+        state = compute_state(root, engine_version=1)
+        report = compare(read_lock(lock_path), state)
+        assert report.status == "drift"
+        assert report.removed == ("routing/alg.py",)
+
+
+class TestRepoLock:
+    def test_committed_lock_matches_the_tree(self):
+        """The pinned tools/engine_semantics.lock gates *this* tree."""
+        lock_path = Path(__file__).resolve().parent.parent / "tools" / "engine_semantics.lock"
+        assert lock_path.exists(), "commit tools/engine_semantics.lock"
+        code, lines, report = run_gate(compute_state(), lock_path, require=True)
+        assert code == 0, "\n".join(lines)
+        assert report.status == "ok"

@@ -433,6 +433,232 @@ class TestCanonicalKeyMaterial:
         assert self.check(src, path="src/repro/obs/bench.py") == []
 
 
+class TestEngineRng:
+    """REP011: simulator/routing randomness is seeded and instance-owned."""
+
+    PATH = "src/repro/simulator/x.py"
+
+    def check(self, src, path=PATH):
+        return lint_source(src, path=path, select={"REP011"})
+
+    def test_flags_module_level_rng_stream(self):
+        src = "import random\nRNG = random.Random(42)\n"
+        findings = self.check(src)
+        assert rules_of(findings) == {"REP011"}
+        assert "module-level RNG stream" in findings[0].message
+
+    def test_flags_unseeded_constructor(self):
+        src = (
+            "import random\n"
+            "class Sim:\n"
+            "    def __init__(self):\n"
+            "        self.rng = random.Random()\n"
+        )
+        findings = self.check(src)
+        assert len(findings) == 1
+        assert "unseeded" in findings[0].message
+
+    def test_flags_system_random_anywhere(self):
+        src = (
+            "import random\n"
+            "def pick(d):\n"
+            "    return random.SystemRandom().choice(d)\n"
+        )
+        findings = self.check(src, path="src/repro/routing/x.py")
+        assert rules_of(findings) == {"REP011"}
+        assert "unseedable" in findings[0].message
+
+    def test_flags_numpy_global_draws(self):
+        src = (
+            "import numpy as np\n"
+            "def jitter(self):\n"
+            "    return np.random.randint(0, 5)\n"
+        )
+        findings = self.check(src)
+        assert rules_of(findings) == {"REP011"}
+        assert "global" in findings[0].message
+
+    def test_accepts_seeded_instance_owned_rng(self):
+        src = (
+            "import random\n"
+            "import numpy as np\n"
+            "class Sim:\n"
+            "    def __init__(self, seed):\n"
+            "        self.rng = random.Random(seed)\n"
+            "        self.gen = np.random.default_rng(seed)\n"
+        )
+        assert self.check(src) == []
+
+    def test_other_layers_are_out_of_scope(self):
+        src = "import random\nRNG = random.Random(42)\n"
+        assert self.check(src, path="src/repro/obs/x.py") == []
+
+
+class TestPoolWorkerPurity:
+    """REP012: functions dispatched to process pools stay pure."""
+
+    PATH = "src/repro/experiments/x.py"
+
+    def check(self, src):
+        return lint_source(src, path=self.PATH, select={"REP012"})
+
+    def test_flags_mutator_call_on_module_state(self):
+        src = (
+            "RESULTS = []\n"
+            "def work(item):\n"
+            "    RESULTS.append(item)\n"
+            "    return item\n"
+            "def run(pool, items):\n"
+            "    return pool.map(work, items)\n"
+        )
+        findings = self.check(src)
+        assert rules_of(findings) == {"REP012"}
+        assert "RESULTS.append" in findings[0].message
+
+    def test_flags_global_declaration(self):
+        src = (
+            "COUNT = 0\n"
+            "def work(x):\n"
+            "    global COUNT\n"
+            "    COUNT += 1\n"
+            "    return x\n"
+            "def run(items):\n"
+            "    return parallel_map(work, items)\n"
+        )
+        findings = self.check(src)
+        assert rules_of(findings) == {"REP012"}
+        assert any("global COUNT" in f.message for f in findings)
+
+    def test_flags_subscript_write_into_module_dict(self):
+        src = (
+            "CACHE = {}\n"
+            "def work(x):\n"
+            "    CACHE[x] = 1\n"
+            "    return x\n"
+            "def go(pool, xs):\n"
+            "    return pool.imap_unordered(work, xs)\n"
+        )
+        findings = self.check(src)
+        assert rules_of(findings) == {"REP012"}
+
+    def test_accepts_pure_worker(self):
+        src = (
+            "def work(x):\n"
+            "    out = []\n"
+            "    out.append(x)\n"
+            "    return out\n"
+            "def run(pool, xs):\n"
+            "    return pool.map(work, xs)\n"
+        )
+        assert self.check(src) == []
+
+    def test_non_workers_may_touch_module_state(self):
+        # only callables actually handed to a pool are constrained
+        src = (
+            "RESULTS = []\n"
+            "def helper(x):\n"
+            "    RESULTS.append(x)\n"
+        )
+        assert self.check(src) == []
+
+
+class TestSortedReductions:
+    """REP013: merge/digest reductions iterate in sorted-key order."""
+
+    PATH = "src/repro/obs/x.py"
+
+    def check(self, src, path=PATH):
+        return lint_source(src, path=path, select={"REP013"})
+
+    def test_flags_for_loop_over_raw_items(self):
+        src = (
+            "def merge(a, b):\n"
+            "    for k, v in b.items():\n"
+            "        a[k] = v\n"
+        )
+        findings = self.check(src)
+        assert rules_of(findings) == {"REP013"}
+        assert "sorted" in findings[0].message
+
+    def test_flags_comprehension_over_raw_keys(self):
+        src = (
+            "def store_digest(rows):\n"
+            "    return [k for k in rows.keys()]\n"
+        )
+        findings = self.check(src, path="src/repro/store/x.py")
+        assert rules_of(findings) == {"REP013"}
+
+    def test_accepts_sorted_iterations(self):
+        src = (
+            "def merge(a, b):\n"
+            "    for k in sorted(b):\n"
+            "        a[k] = b[k]\n"
+            "    return {k: v for k, v in sorted(b.items())}\n"
+        )
+        assert self.check(src) == []
+
+    def test_only_merge_and_digest_functions_checked(self):
+        src = (
+            "def collect(d):\n"
+            "    for k, v in d.items():\n"
+            "        pass\n"
+        )
+        assert self.check(src) == []
+
+    def test_other_layers_are_out_of_scope(self):
+        src = (
+            "def merge(a, b):\n"
+            "    for k, v in b.items():\n"
+            "        a[k] = v\n"
+        )
+        assert self.check(src, path="src/repro/routing/x.py") == []
+
+
+class TestSimulatorSlots:
+    """REP014: hot-path simulator classes declare ``__slots__``."""
+
+    PATH = "src/repro/simulator/x.py"
+
+    def check(self, src, path=PATH):
+        return lint_source(src, path=path, select={"REP014"})
+
+    def test_flags_slotless_class(self):
+        src = (
+            "class VcState:\n"
+            "    def __init__(self):\n"
+            "        self.owner = None\n"
+        )
+        findings = self.check(src)
+        assert rules_of(findings) == {"REP014"}
+        assert "__slots__" in findings[0].message
+
+    def test_accepts_slotted_classes(self):
+        src = (
+            "class VcState:\n"
+            "    __slots__ = ('owner',)\n"
+            "class Stream:\n"
+            "    __slots__: tuple = ('buf',)\n"
+        )
+        assert self.check(src) == []
+
+    def test_dataclasses_are_exempt(self):
+        src = (
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=True)\n"
+            "class Result:\n"
+            "    delivered: int = 0\n"
+        )
+        assert self.check(src) == []
+
+    def test_exceptions_are_exempt(self):
+        src = "class DrainTimeout(RuntimeError):\n    pass\n"
+        assert self.check(src) == []
+
+    def test_other_layers_are_out_of_scope(self):
+        src = "class Plain:\n    pass\n"
+        assert self.check(src, path="src/repro/obs/x.py") == []
+
+
 class TestHarness:
     def test_catalog_is_documented(self):
         for rule_id, (scope, summary, impl) in RULES.items():
