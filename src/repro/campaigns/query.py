@@ -30,7 +30,14 @@ from repro.campaigns.spec import fault_case_label
 from repro.obs.converge import batch_means_ci
 from repro.util.serialization import result_from_dict
 
-__all__ = ["CampaignArray", "MissingCellsError", "METRICS", "query"]
+__all__ = [
+    "CampaignArray",
+    "MissingCellsError",
+    "METRICS",
+    "extract_metric",
+    "metric_names",
+    "query",
+]
 
 _SCHEMA_VERSION = 1
 
@@ -48,6 +55,27 @@ _EXTRACTORS = {
 
 #: Default metric set of :func:`query`.
 METRICS = ("latency", "throughput", "simulated_cycles")
+
+
+def metric_names() -> tuple[str, ...]:
+    """Every metric the query layer can extract, sorted."""
+    return tuple(sorted(_EXTRACTORS))
+
+
+def extract_metric(result, metric: str) -> float:
+    """One metric of a (reconstructed) SimulationResult.
+
+    The exact extractors the dense arrays use, exposed so other
+    consumers (the serving layer's simulation fallback) report values
+    identical to what :func:`query` would surface for the same run.
+    """
+    try:
+        extractor = _EXTRACTORS[metric]
+    except KeyError:
+        raise ValueError(
+            f"unknown metric {metric!r}; choose from {sorted(_EXTRACTORS)}"
+        ) from None
+    return float(extractor(result))
 
 DIMS = ("algorithm", "rate", "fault_case", "repeat")
 

@@ -26,7 +26,11 @@ from repro.metrics.aggregate import AggregateResult, aggregate
 from repro.routing.base import RoutingAlgorithm
 from repro.routing.registry import make_algorithm
 from repro.simulator.config import SimConfig
-from repro.simulator.engine import Simulation, SimulationResult
+
+# ENGINE_VERSION is re-exported here: layers above the evaluator (the
+# serving layer, per lint rule REP015) must not import repro.simulator
+# directly, yet still stamp engine_version into their contracts.
+from repro.simulator.engine import ENGINE_VERSION, Simulation, SimulationResult
 from repro.topology.mesh import Mesh2D
 from repro.traffic.patterns import TrafficPattern
 

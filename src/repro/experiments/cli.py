@@ -11,6 +11,8 @@ Examples::
     python -m repro.experiments verify check --all     # static routing analysis
     python -m repro.experiments obs bench --label pr3  # perf trajectory
     python -m repro.experiments fig3 --telemetry       # engine counters
+    python -m repro.experiments serve query runs/c1 \
+        --algorithm nhop --rate 0.01                   # tiered answers
 """
 
 from __future__ import annotations
@@ -69,6 +71,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs.cli import main as obs_main
 
         return obs_main(argv[1:])
+    if argv and argv[0] == "serve":
+        # Serving verbs (tiered queries, reliability, HTTP API):
+        # python -m repro.experiments serve {query,reliability,api}
+        from repro.serve.cli import main as serve_main
+
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the figures of the IPPS 2007 routing study.",

@@ -147,6 +147,18 @@ WORKLOADS: tuple[Workload, ...] = (
         "fault_counts": [0, 3], "fault_sets": 2, "repeats": 2,
         "seed": 17,
     }),
+    # Serving path: tiered resolution latency over a prebuilt campaign
+    # grid.  The grid is simulated and the surrogate/calibration fitted
+    # once, untimed, at setup; timed passes issue store-hit, surrogate-
+    # interpolation and calibrated-model queries and self-check the tier
+    # each answer came from — so the pinned trajectory tracks how fast
+    # an answer is served, not how fast it is computed from scratch.
+    Workload("serve_query_tiers", "ops", {
+        "op": "serve_query_tiers", "algorithms": ["nhop", "duato-nbc"],
+        "width": 6, "vcs": 24, "message_length": 4, "cycles": 300,
+        "warmup": 100, "rates": [0.005, 0.01, 0.02], "repeats": 2,
+        "passes": 50, "seed": 19,
+    }),
     Workload("verify_check_corpus", "ops", {
         # Model-checker runtime on a representative slice of the 4x4
         # fault corpus: a deterministic escape scheme, Duato's fortified
@@ -421,6 +433,67 @@ def _ops_runner(params: dict):
                     )
 
         return run, writers * per
+    if op == "serve_query_tiers":
+        import tempfile
+
+        from repro.campaigns.db import CampaignDB
+        from repro.campaigns.shard import run_campaign
+        from repro.campaigns.spec import CampaignSpec
+        from repro.serve.resolver import Query, Resolver
+        from repro.simulator.config import SimConfig
+
+        spec = CampaignSpec(
+            name="bench-serve",
+            algorithms=tuple(params["algorithms"]),
+            config=SimConfig(
+                width=params["width"],
+                vcs_per_channel=params["vcs"],
+                message_length=params["message_length"],
+                cycles=params["cycles"],
+                warmup=params["warmup"],
+                seed=params["seed"],
+                on_deadlock="drain",
+            ),
+            rates=tuple(params["rates"]),
+            repeats=params["repeats"],
+            seed=params["seed"],
+        )
+        # Untimed setup: simulate the grid once, fit the surrogate and
+        # the model calibration eagerly.  The tmp dir object rides in
+        # the closure so the campaign outlives every timed repeat.
+        tmp = tempfile.TemporaryDirectory(prefix="repro-bench-")
+        db = CampaignDB(spec, Path(tmp.name) / "campaign")
+        db.save()
+        run_campaign(db)
+        resolver = Resolver(db)
+        resolver.surrogate()
+        resolver.calibration()
+        rates = list(params["rates"])
+        mids = [
+            (a + b) / 2.0 for a, b in zip(rates, rates[1:])
+        ]
+        below = rates[0] / 2.0
+        queries = (
+            [(Query(alg, r), "store")
+             for alg in spec.algorithms for r in rates]
+            + [(Query(alg, m), "surrogate")
+               for alg in spec.algorithms for m in mids]
+            + [(Query(alg, below), "model") for alg in spec.algorithms]
+        )
+        passes = params["passes"]
+
+        def run() -> None:
+            keep_alive = tmp  # noqa: F841  (pin the campaign dir)
+            for _ in range(passes):
+                for q, expected in queries:
+                    answer = resolver.resolve(q)
+                    if answer.tier != expected:
+                        raise RuntimeError(
+                            f"serve bench: {q.to_dict()} resolved from "
+                            f"tier {answer.tier!r}, expected {expected!r}"
+                        )
+
+        return run, passes * len(queries)
     if op == "verify_check":
         from repro.routing.registry import make_algorithm
         from repro.verify.cdg import CdgChecker

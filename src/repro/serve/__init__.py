@@ -1,0 +1,27 @@
+"""`repro.serve` — tiered performance answers over campaign grids.
+
+The first subsystem that sits *above* the simulator rather than beside
+it: interactive questions ("what latency does config X have?") are
+answered from the cheapest honest source — exact store hit, grid
+surrogate, calibrated analytical model, and only then (opt-in) a
+bounded simulation — each answer carrying ``{value, ci, tier,
+engine_version}``.  A Monte-Carlo reliability endpoint answers mesh
+connectivity/routability probabilities over the same fault machinery.
+
+Layering rule (lint REP015): nothing under this package imports
+:mod:`repro.simulator` directly — simulation happens only through
+:class:`repro.store.cache.CachedEvaluator`, so every served run is
+keyed, cached, and policy-correct.
+
+See ``docs/serving.md`` for the tier contract and API schema.
+"""
+
+from repro.serve.resolver import (
+    Answer,
+    Query,
+    Resolver,
+    TIERS,
+    UnresolvedQueryError,
+)
+
+__all__ = ["Answer", "Query", "Resolver", "TIERS", "UnresolvedQueryError"]

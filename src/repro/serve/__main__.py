@@ -1,0 +1,6 @@
+"""``python -m repro.serve`` entry point."""
+
+from repro.serve.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,349 @@
+"""The tiered query resolver: store → surrogate → model → simulation.
+
+Every answer carries an explicit provenance + confidence contract,
+``{value, ci, tier, engine_version}``:
+
+tier ``"store"``
+    The query names an exact grid point of the campaign and **every**
+    declared sample of that point (all fault sets × repeats) is in the
+    store.  The answer is the pooled mean with a Student-t 95% CI from
+    :func:`repro.obs.converge.batch_means_ci` — identical to the
+    campaign query layer's own reduction.  No engine work.
+tier ``"surrogate"``
+    The query is off-grid but inside the fitted hull: piecewise-linear
+    interpolation per (algorithm, fault count) with the conservative CI
+    of :class:`~repro.serve.surrogate.GridSurrogate`.  No engine work.
+tier ``"model"``
+    Outside the hull (or the grid has holes there): the calibrated
+    M/G/1 model (:mod:`repro.serve.calibrate`), latency-only and
+    fault-free-only, with the fit residual as the confidence band.
+tier ``"simulation"``
+    Opt-in (``simulate=True``): a bounded fresh simulation through
+    :class:`~repro.store.cache.CachedEvaluator` with a per-run
+    ``cycles_mode="auto"`` override, so the run stops at statistical
+    convergence and the result lands in the store — the same question
+    again is a cache hit, not a second simulation.
+
+A query no tier can serve raises :class:`UnresolvedQueryError` listing
+each tier's refusal reason; the resolver never invents an answer.
+
+The resolver is observable with the engine's own tooling: pass a
+:class:`~repro.obs.telemetry.TelemetryRegistry` and it maintains
+per-tier hit counters (``serve.tier.<tier>``) and wall-latency
+histograms (``serve.latency_us`` overall plus per tier), stamped with
+the request index as the "cycle".
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+from repro.campaigns.db import CampaignDB
+from repro.campaigns.query import extract_metric, metric_names, query
+from repro.core.evaluator import ENGINE_VERSION
+from repro.obs.converge import batch_means_ci
+from repro.obs.telemetry import TelemetryRegistry
+from repro.serve import calibrate
+from repro.serve.surrogate import GridSurrogate, SurrogateError
+from repro.store.cache import CachedEvaluator
+
+__all__ = [
+    "Answer",
+    "Query",
+    "Resolver",
+    "TIERS",
+    "TierRefusal",
+    "UnresolvedQueryError",
+]
+
+#: Resolution order; also the fixed vocabulary of ``Answer.tier``.
+TIERS = ("store", "surrogate", "model", "simulation")
+
+#: Microsecond buckets of the serving-latency histograms.
+LATENCY_BOUNDS = (
+    100, 300, 1_000, 3_000, 10_000, 30_000, 100_000, 300_000,
+    1_000_000, 3_000_000, 10_000_000, 30_000_000,
+)
+
+
+@dataclass(frozen=True)
+class Query:
+    """One performance question: a metric at a point of the config space."""
+
+    algorithm: str
+    rate: float
+    metric: str = "latency"
+    n_faults: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError("rate must be non-negative")
+        if self.n_faults < 0:
+            raise ValueError("n_faults must be non-negative")
+        if self.metric not in metric_names():
+            raise ValueError(
+                f"unknown metric {self.metric!r}; choose from "
+                f"{list(metric_names())}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "rate": self.rate,
+            "metric": self.metric,
+            "n_faults": self.n_faults,
+        }
+
+
+@dataclass(frozen=True)
+class Answer:
+    """A served value with its provenance + confidence contract."""
+
+    value: float
+    ci: float  #: 95% half-width; NaN when honestly unknown
+    tier: str
+    engine_version: int
+    n_samples: int
+    detail: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-safe form: NaN confidence serializes as ``null``."""
+        return {
+            "value": self.value,
+            "ci": None if math.isnan(self.ci) else self.ci,
+            "tier": self.tier,
+            "engine_version": self.engine_version,
+            "n_samples": self.n_samples,
+            "detail": self.detail,
+        }
+
+
+class TierRefusal(RuntimeError):
+    """A tier declining a query (next tier is tried; not an error)."""
+
+
+class UnresolvedQueryError(LookupError):
+    """No tier could serve the query; refusal reasons per tier."""
+
+    def __init__(self, query: Query, refusals: dict[str, str]) -> None:
+        self.query = query
+        self.refusals = refusals
+        lines = "; ".join(f"{t}: {r}" for t, r in refusals.items())
+        super().__init__(
+            f"no tier can answer {query.to_dict()} ({lines})"
+        )
+
+
+class Resolver:
+    """Answer queries against one campaign through the tier cascade.
+
+    Parameters
+    ----------
+    db:
+        The campaign whose grid (and store) backs the answers.
+    simulate:
+        Enable tier 4 — bounded fresh simulations through a
+        :class:`~repro.store.cache.CachedEvaluator` with
+        ``cycles_mode="auto"``.  Off by default: a serving process
+        should opt into paying engine time.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.TelemetryRegistry` for
+        per-tier counters and latency histograms.
+    """
+
+    def __init__(
+        self,
+        db: CampaignDB,
+        *,
+        simulate: bool = False,
+        telemetry: TelemetryRegistry | None = None,
+    ) -> None:
+        self.db = db
+        self.simulate = simulate
+        self.telemetry = telemetry
+        self._requests = 0
+        self._surrogate: GridSurrogate | None = None
+        self._calibration: calibrate.Calibration | None = None
+        self._model = None  # lazy AnalyticalLatencyModel (costly to build)
+        self._evaluator: CachedEvaluator | None = None
+
+    # ------------------------------------------------------------------
+    # Lazy fitted state
+    # ------------------------------------------------------------------
+    def surrogate(self) -> GridSurrogate:
+        """The grid surrogate, fitted on first use (holes tolerated)."""
+        if self._surrogate is None:
+            array = query(
+                self.db, metrics=metric_names(), allow_missing=True
+            )
+            self._surrogate = GridSurrogate(array)
+        return self._surrogate
+
+    def calibration(self) -> calibrate.Calibration:
+        """The persisted-or-fresh model calibration (engine-gated)."""
+        if self._calibration is None:
+            array = query(
+                self.db, metrics=("latency",), allow_missing=True
+            )
+            self._calibration = calibrate.load_or_fit(self.db, array)
+        return self._calibration
+
+    def _cached_evaluator(self) -> CachedEvaluator:
+        if self._evaluator is None:
+            self._evaluator = CachedEvaluator(
+                self.db.spec.config,
+                seed=self.db.spec.seed,
+                store=self.db.store,
+            )
+        return self._evaluator
+
+    @property
+    def simulations_run(self) -> int:
+        """Engine invocations this resolver has caused (cache hits: 0)."""
+        if self._evaluator is None:
+            return 0
+        return self._evaluator.stats.misses + self._evaluator.stats.bypassed
+
+    # ------------------------------------------------------------------
+    # Tiers
+    # ------------------------------------------------------------------
+    def _try_store(self, q: Query) -> Answer:
+        spec = self.db.spec
+        if q.rate not in spec.rates:
+            raise SurrogateError(f"rate {q.rate:g} is not a grid rate")
+        point = self.surrogate().grid_point(
+            q.algorithm, q.n_faults, q.rate, q.metric
+        )
+        expected = (spec.fault_sets if q.n_faults else 1) * spec.repeats
+        if point is None or point.n_samples < expected:
+            have = 0 if point is None else point.n_samples
+            raise SurrogateError(
+                f"grid point incomplete in the store "
+                f"({have}/{expected} samples)"
+            )
+        return Answer(
+            value=point.mean,
+            ci=point.ci,
+            tier="store",
+            engine_version=ENGINE_VERSION,
+            n_samples=point.n_samples,
+            detail={"kind": "grid-point", "rate": point.rate},
+        )
+
+    def _try_surrogate(self, q: Query) -> Answer:
+        value, ci, detail = self.surrogate().predict(
+            q.algorithm, q.n_faults, q.rate, q.metric
+        )
+        return Answer(
+            value=value,
+            ci=ci,
+            tier="surrogate",
+            engine_version=ENGINE_VERSION,
+            n_samples=int(detail.get("n_samples", 0)),
+            detail=detail,
+        )
+
+    def _try_model(self, q: Query) -> Answer:
+        if q.metric != "latency":
+            raise calibrate.CalibrationError(
+                f"the analytical model predicts latency only, "
+                f"not {q.metric!r}"
+            )
+        if q.n_faults != 0:
+            raise calibrate.CalibrationError(
+                "the analytical model covers the fault-free mesh only"
+            )
+        calibration = self.calibration()
+        if self._model is None:
+            self._model = calibrate.model_for(self.db)
+        value, ci, detail = calibrate.predict(
+            self.db, calibration, q.algorithm, q.rate, model=self._model
+        )
+        return Answer(
+            value=value,
+            ci=ci,
+            tier="model",
+            engine_version=ENGINE_VERSION,
+            n_samples=len(
+                [1 for alg, _ in calibration.fitted_points if alg == q.algorithm]
+            ),
+            detail=detail,
+        )
+
+    def _try_simulation(self, q: Query) -> Answer:
+        if not self.simulate:
+            raise TierRefusal(
+                "simulation fallback disabled (pass simulate=True)"
+            )
+        spec = self.db.spec
+        evaluator = self._cached_evaluator()
+        n_sets = spec.fault_sets if q.n_faults else 1
+        case = evaluator.fault_case(q.n_faults, n_sets)
+        samples = []
+        for fault_set, faults in enumerate(case.patterns):
+            for repeat in range(spec.repeats):
+                result = evaluator.run_single(
+                    q.algorithm,
+                    faults,
+                    injection_rate=q.rate,
+                    set_index=fault_set * 1000 + repeat,
+                    cycles_mode="auto",
+                )
+                samples.append(extract_metric(result, q.metric))
+        mean, ci = batch_means_ci(samples)
+        stats = evaluator.stats
+        return Answer(
+            value=mean,
+            ci=ci,
+            tier="simulation",
+            engine_version=ENGINE_VERSION,
+            n_samples=len(samples),
+            detail={
+                "kind": "bounded-simulation",
+                "cycles_mode": "auto",
+                "cache": stats.as_dict(),
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def resolve(self, q: Query) -> Answer:
+        """Serve *q* from the cheapest tier able to answer it."""
+        self._requests += 1
+        request = self._requests
+        started = time.perf_counter()
+        if self.telemetry is not None:
+            self.telemetry.counter("serve.queries").inc(request)
+        refusals: dict[str, str] = {}
+        tiers = (
+            ("store", self._try_store),
+            ("surrogate", self._try_surrogate),
+            ("model", self._try_model),
+            ("simulation", self._try_simulation),
+        )
+        for tier, attempt in tiers:
+            try:
+                answer = attempt(q)
+            except (
+                SurrogateError, calibrate.CalibrationError, TierRefusal
+            ) as exc:
+                refusals[tier] = str(exc)
+                continue
+            self._observe(request, tier, started)
+            return answer
+        if self.telemetry is not None:
+            self.telemetry.counter("serve.unresolved").inc(request)
+        raise UnresolvedQueryError(q, refusals)
+
+    def _observe(self, request: int, tier: str, started: float) -> None:
+        if self.telemetry is None:
+            return
+        elapsed_us = int((time.perf_counter() - started) * 1e6)
+        self.telemetry.counter(f"serve.tier.{tier}").inc(request)
+        self.telemetry.histogram(
+            "serve.latency_us", LATENCY_BOUNDS
+        ).observe(request, elapsed_us)
+        self.telemetry.histogram(
+            f"serve.latency_us.{tier}", LATENCY_BOUNDS
+        ).observe(request, elapsed_us)

@@ -1008,6 +1008,44 @@ def _rule_simulator_slots(mod: _Module) -> list[Finding]:
 
 
 # ----------------------------------------------------------------------
+# REP015 — the serving layer never touches the simulator directly
+# ----------------------------------------------------------------------
+def _rule_serve_boundary(mod: _Module) -> list[Finding]:
+    """REP015: ``repro.serve`` must not import ``repro.simulator``.
+
+    The serving layer sits *above* the evaluator: simulation happens
+    only through :class:`repro.store.cache.CachedEvaluator`, so every
+    served run is canonically keyed, cached in the store, and gets the
+    deadlock-policy/seed-derivation treatment of
+    :class:`repro.core.evaluator.Evaluator`.  A direct
+    ``repro.simulator`` import would let answers bypass all three
+    (``ENGINE_VERSION`` is re-exported by ``repro.core.evaluator`` for
+    exactly this reason).
+    """
+    if "repro/serve/" not in mod.path:
+        return []
+    found = []
+    for node in _iter_code_nodes(mod.tree):
+        targets: list[str] = []
+        if isinstance(node, ast.Import):
+            targets = [alias.name for alias in node.names]
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            targets = [node.module]
+        for target in targets:
+            if target == "repro.simulator" or target.startswith(
+                "repro.simulator."
+            ):
+                found.append(Finding(
+                    "REP015", mod.path, node.lineno, node.col_offset,
+                    f"serving boundary: repro.serve must not import "
+                    f"{target} — simulate only through "
+                    "repro.core.evaluator / repro.store.cache so served "
+                    "runs are keyed, cached, and policy-correct",
+                ))
+    return found
+
+
+# ----------------------------------------------------------------------
 # Catalog
 # ----------------------------------------------------------------------
 #: rule id -> (scope, summary, implementation).
@@ -1088,6 +1126,12 @@ RULES: dict[str, tuple[str, str, object]] = {
         "module",
         "repro.simulator classes declare __slots__ (hot-path allocation)",
         _rule_simulator_slots,
+    ),
+    "REP015": (
+        "module",
+        "repro.serve never imports repro.simulator (simulate only via "
+        "the cached evaluator)",
+        _rule_serve_boundary,
     ),
 }
 

@@ -69,3 +69,34 @@ def run_quick(algorithm: str, faults: FaultPattern | None = None, **overrides) -
 def algorithm_name(request) -> str:
     """Parametrize a test over all eleven registered algorithms."""
     return request.param
+
+
+@pytest.fixture(scope="session")
+def serve_campaign(tmp_path_factory):
+    """A completed fig2-style campaign grid for the serving-layer tests.
+
+    Two algorithms x four rates x {fault-free, 2-fault} x two repeats:
+    enough rates for held-out cross-validation (two interior points)
+    and a repeat axis for real CIs, small enough to simulate once per
+    session.
+    """
+    from repro.campaigns.db import CampaignDB
+    from repro.campaigns.shard import run_campaign
+    from repro.campaigns.spec import CampaignSpec
+
+    spec = CampaignSpec(
+        name="serve-test",
+        algorithms=("nhop", "duato-nbc"),
+        config=SimConfig(
+            width=6, vcs_per_channel=24, message_length=4,
+            cycles=300, warmup=100,
+        ),
+        rates=(0.005, 0.01, 0.02, 0.03),
+        fault_counts=(0, 2),
+        fault_sets=1,
+        repeats=2,
+    )
+    db = CampaignDB(spec, tmp_path_factory.mktemp("serve") / "c")
+    db.save()
+    run_campaign(db)
+    return db

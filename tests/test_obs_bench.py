@@ -105,6 +105,17 @@ def test_verify_check_corpus_workload_runs_the_model_checker():
     assert metrics["ops_per_sec"] > 0
 
 
+def test_serve_query_tiers_workload_self_checks_tiers():
+    """The workload resolves store/surrogate/model queries each pass and
+    raises if any answer comes from the wrong tier — a clean run proves
+    grid answers never fall through to the engine."""
+    (w,) = [w for w in WORKLOADS if w.name == "serve_query_tiers"]
+    metrics = run_suite(workloads=(w,), repeats=1)["serve_query_tiers"]
+    # 2 algs x (3 grid rates + 2 midpoints + 1 below-hull) x 50 passes.
+    assert metrics["ops"] == 600
+    assert metrics["ops_per_sec"] > 0
+
+
 def test_campaign_plan_resume_workload_times_pure_planning():
     """The workload plans, kills half the cells, and replans — its own
     internal exactness check raises if the resume plan is not exactly

@@ -1,0 +1,139 @@
+"""HTTP serving (`repro.serve.api`): real socket round-trips against a
+QueryServer running on a background asyncio loop, stdlib client only."""
+
+import asyncio
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.evaluator import ENGINE_VERSION
+from repro.serve.api import QueryServer
+
+
+@pytest.fixture(scope="module")
+def server(serve_campaign):
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+    srv = QueryServer(serve_campaign)  # port=0: bind a free port
+    asyncio.run_coroutine_threadsafe(srv.start(), loop).result(timeout=30)
+    yield srv
+    asyncio.run_coroutine_threadsafe(srv.stop(), loop).result(timeout=30)
+    loop.call_soon_threadsafe(loop.stop)
+    thread.join(timeout=30)
+    loop.close()
+
+
+def _request(server, path, body=None, method=None):
+    """Return (status, decoded-JSON) for one request, errors included."""
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{server.port}{path}",
+        data=None if body is None else json.dumps(body).encode(),
+        headers={} if body is None else {"Content-Type": "application/json"},
+        method=method,
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        status, payload = _request(server, "/healthz")
+        assert status == 200
+        assert payload == {
+            "ok": True,
+            "campaign": "serve-test",
+            "engine_version": ENGINE_VERSION,
+        }
+
+    def test_query_get_on_grid_is_store_tier(self, server):
+        status, payload = _request(
+            server, "/query?algorithm=nhop&rate=0.01"
+        )
+        assert status == 200
+        assert payload["answer"]["tier"] == "store"
+        assert payload["answer"]["engine_version"] == ENGINE_VERSION
+        assert payload["query"]["metric"] == "latency"
+
+    def test_query_post_body_overrides_query_string(self, server):
+        status, payload = _request(
+            server,
+            "/query?algorithm=nhop&rate=0.01",
+            body={"rate": 0.015},
+        )
+        assert status == 200
+        assert payload["query"]["rate"] == 0.015
+        assert payload["answer"]["tier"] == "surrogate"
+
+    def test_query_unresolved_is_422_with_refusals(self, server):
+        status, payload = _request(
+            server, "/query?algorithm=nhop&rate=0.9&metric=throughput"
+        )
+        assert status == 422
+        assert payload["error"] == "unresolved"
+        assert set(payload["refusals"]) == {
+            "store", "surrogate", "model", "simulation",
+        }
+
+    def test_query_missing_rate_is_400(self, server):
+        status, payload = _request(server, "/query?algorithm=nhop")
+        assert status == 400
+        assert "rate" in payload["error"]
+
+    def test_query_bad_metric_is_400(self, server):
+        status, payload = _request(
+            server, "/query?algorithm=nhop&rate=0.01&metric=flux"
+        )
+        assert status == 400
+        assert "unknown metric" in payload["error"]
+
+    def test_reliability_post(self, server):
+        status, payload = _request(
+            server,
+            "/reliability",
+            body={
+                "width": 6, "failure_rate": 0.1,
+                "trials": 100, "seed": 11,
+            },
+        )
+        assert status == 200
+        assert payload["trials"] == 100
+        assert 0.0 <= payload["ci_low"] <= payload["p_connected"]
+        assert payload["p_connected"] <= payload["ci_high"] <= 1.0
+        assert payload["engine_version"] == ENGINE_VERSION
+
+    def test_reliability_rejects_get(self, server):
+        status, payload = _request(
+            server, "/reliability?width=6&failure_rate=0.1"
+        )
+        assert status == 405
+
+    def test_metrics_exposes_serve_counters(self, server):
+        # At least the queries above have been counted by now.
+        status, snapshot = _request(server, "/metrics")
+        assert status == 200
+        assert snapshot["serve.queries"]["type"] == "counter"
+        assert snapshot["serve.queries"]["value"] >= 1
+        assert snapshot["serve.tier.store"]["value"] >= 1
+        assert snapshot["serve.latency_us"]["type"] == "histogram"
+
+    def test_unknown_path_is_404(self, server):
+        status, payload = _request(server, "/nope")
+        assert status == 404
+        assert "/nope" in payload["error"]
+
+    def test_malformed_body_is_400(self, server):
+        req = urllib.request.Request(
+            f"http://127.0.0.1:{server.port}/query",
+            data=b"not json",
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req, timeout=30)
+        assert err.value.code == 400

@@ -1,0 +1,148 @@
+"""Model calibration (`repro.serve.calibrate`): per-algorithm factors,
+persistence, and ENGINE_VERSION-mismatch invalidation."""
+
+import json
+
+import pytest
+
+from repro.campaigns.query import query
+from repro.core.evaluator import ENGINE_VERSION
+from repro.serve import calibrate
+from repro.serve.calibrate import (
+    CALIBRATION_FILE,
+    Calibration,
+    CalibrationError,
+    StaleCalibrationError,
+    effective_vcs,
+)
+
+
+@pytest.fixture(scope="module")
+def latency_array(serve_campaign):
+    return query(serve_campaign, metrics=("latency",))
+
+
+@pytest.fixture(scope="module")
+def calibration(serve_campaign, latency_array):
+    return calibrate.fit(serve_campaign, latency_array)
+
+
+class TestFit:
+    def test_factor_per_algorithm(self, serve_campaign, calibration):
+        assert set(calibration.factors) == set(
+            serve_campaign.spec.algorithms
+        )
+        for factor in calibration.factors.values():
+            assert 0.1 < factor < 10.0  # sane multiplicative correction
+
+    def test_residual_covers_fitting_points(
+        self, serve_campaign, calibration, latency_array
+    ):
+        """Every fitted point lies within the reported residual band."""
+        from repro.serve.surrogate import GridSurrogate
+
+        model = calibrate.model_for(serve_campaign)
+        surrogate = GridSurrogate(latency_array, metrics=("latency",))
+        for alg, rate in calibration.fitted_points:
+            sim = surrogate.grid_point(alg, 0, rate, "latency").mean
+            predicted = (
+                calibration.factors[alg] * model.predict(rate).latency
+            )
+            assert abs(predicted - sim) / sim <= (
+                calibration.residual_rel + 1e-12
+            )
+
+    def test_engine_version_stamped(self, calibration):
+        assert calibration.engine_version == ENGINE_VERSION
+
+    def test_effective_vcs_reserves_escape_budget(self):
+        assert effective_vcs(24) == 20
+        assert effective_vcs(4) == 1  # floored, never zero
+
+    def test_predict_refuses_saturation(self, serve_campaign, calibration):
+        model = calibrate.model_for(serve_campaign)
+        with pytest.raises(CalibrationError, match="saturates"):
+            calibrate.predict(
+                serve_campaign, calibration, "nhop",
+                model.saturation_rate() * 2,
+            )
+
+    def test_predict_unknown_algorithm(self, serve_campaign, calibration):
+        with pytest.raises(CalibrationError, match="covers"):
+            calibrate.predict(
+                serve_campaign, calibration, "west-first", 0.01
+            )
+
+    def test_predict_ci_is_residual_band(self, serve_campaign, calibration):
+        value, ci, detail = calibrate.predict(
+            serve_campaign, calibration, "nhop", 0.001
+        )
+        assert ci == pytest.approx(calibration.residual_rel * value)
+        assert detail["kind"] == "calibrated-model"
+
+
+class TestPersistence:
+    def test_roundtrip(self, serve_campaign, calibration, tmp_path):
+        calibration.save(tmp_path)
+        loaded = calibrate.load(tmp_path)
+        assert loaded == calibration
+
+    def test_load_absent_returns_none(self, tmp_path):
+        assert calibrate.load(tmp_path) is None
+
+    def test_engine_version_mismatch_invalidates(
+        self, calibration, tmp_path
+    ):
+        """A calibration fitted by an older engine must not be served."""
+        path = calibration.save(tmp_path)
+        payload = json.loads(path.read_text())
+        payload["engine_version"] = ENGINE_VERSION - 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(StaleCalibrationError, match="engine_version"):
+            calibrate.load(tmp_path)
+
+    def test_load_or_fit_refits_stale_calibration(
+        self, serve_campaign, latency_array
+    ):
+        """Stale persisted calibrations are silently refitted + rewritten."""
+        path = serve_campaign.root / CALIBRATION_FILE
+        stale = Calibration(
+            campaign="serve-test",
+            engine_version=ENGINE_VERSION - 1,
+            factors={"nhop": 99.0, "duato-nbc": 99.0},
+            residual_rel=9.9,
+            fitted_points=(("nhop", 0.01),),
+        )
+        stale.save(serve_campaign.root)
+        fresh = calibrate.load_or_fit(serve_campaign, latency_array)
+        assert fresh.engine_version == ENGINE_VERSION
+        assert fresh.factors["nhop"] != 99.0
+        # and the persisted file was healed in place
+        healed = json.loads(path.read_text())
+        assert healed["engine_version"] == ENGINE_VERSION
+
+    def test_load_or_fit_reuses_current_file(
+        self, serve_campaign, latency_array
+    ):
+        first = calibrate.load_or_fit(serve_campaign, latency_array)
+        again = calibrate.load_or_fit(serve_campaign, latency_array)
+        assert again == first
+
+
+class TestDegenerateGrids:
+    def test_all_holes_raise(self, serve_campaign):
+        from repro.campaigns.query import CampaignArray
+
+        nan = float("nan")
+        empty = CampaignArray(
+            "empty",
+            {
+                "algorithm": ("nhop", "duato-nbc"),
+                "rate": (0.01,),
+                "fault_case": ("f0/s0",),
+                "repeat": (0,),
+            },
+            {"latency": [[[[nan]]], [[[nan]]]]},
+        )
+        with pytest.raises(CalibrationError, match="no usable"):
+            calibrate.fit(serve_campaign, empty)

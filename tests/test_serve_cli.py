@@ -1,0 +1,114 @@
+"""Serving CLI (`python -m repro.serve` + the `experiments serve`
+passthrough): verbs, exit codes, output shapes."""
+
+import json
+
+import pytest
+
+from repro.core.evaluator import ENGINE_VERSION
+from repro.serve.cli import main
+
+
+@pytest.fixture()
+def root(serve_campaign):
+    return str(serve_campaign.root)
+
+
+class TestQueryVerb:
+    def test_on_grid_human_line(self, root, capsys):
+        rc = main(["query", root, "--algorithm", "nhop", "--rate", "0.01"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "latency" in out
+        assert "tier=store" in out
+        assert f"engine=v{ENGINE_VERSION}" in out
+
+    def test_json_answer_carries_the_contract(self, root, capsys):
+        rc = main([
+            "query", root, "--algorithm", "nhop", "--rate", "0.015",
+            "--json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["query"]["rate"] == 0.015
+        answer = payload["answer"]
+        assert answer["tier"] == "surrogate"
+        assert answer["engine_version"] == ENGINE_VERSION
+        assert {"value", "ci", "tier", "n_samples"} <= set(answer)
+
+    def test_faulty_metric_query(self, root, capsys):
+        rc = main([
+            "query", root, "--algorithm", "duato-nbc", "--rate", "0.02",
+            "--metric", "throughput", "--n-faults", "2",
+        ])
+        assert rc == 0
+        assert "throughput" in capsys.readouterr().out
+
+    def test_unresolved_exits_3_naming_refusals(self, root, capsys):
+        rc = main([
+            "query", root, "--algorithm", "nhop", "--rate", "0.9",
+            "--metric", "throughput",
+        ])
+        err = capsys.readouterr().err
+        assert rc == 3
+        assert "unresolved" in err
+        assert "simulation" in err  # refusals are spelled out per tier
+
+    def test_bad_input_exits_2(self, root, capsys):
+        rc = main([
+            "query", root, "--algorithm", "nhop", "--rate", "-1",
+        ])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_campaign_exits_2(self, tmp_path, capsys):
+        rc = main([
+            "query", str(tmp_path / "nope"),
+            "--algorithm", "nhop", "--rate", "0.01",
+        ])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestReliabilityVerb:
+    def test_human_line(self, capsys):
+        rc = main([
+            "reliability", "--width", "10", "--failure-rate", "0.05",
+            "--trials", "200", "--seed", "7",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "10x10 mesh" in out
+        assert "P(connected)=" in out
+        assert "trials=200 seed=7" in out
+
+    def test_json_is_seed_reproducible(self, capsys):
+        argv = [
+            "reliability", "--width", "10", "--failure-rate", "0.05",
+            "--trials", "200", "--seed", "7", "--json",
+        ]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first == second
+        assert first["ci_low"] <= first["p_connected"] <= first["ci_high"]
+
+    def test_bad_rate_exits_2(self, capsys):
+        rc = main([
+            "reliability", "--width", "6", "--failure-rate", "1.5",
+        ])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestExperimentsPassthrough:
+    def test_serve_verb_reaches_the_serving_cli(self, root, capsys):
+        from repro.experiments.cli import main as experiments_main
+
+        rc = experiments_main([
+            "serve", "query", root, "--algorithm", "nhop",
+            "--rate", "0.01",
+        ])
+        assert rc == 0
+        assert "tier=store" in capsys.readouterr().out

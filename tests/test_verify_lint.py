@@ -659,6 +659,49 @@ class TestSimulatorSlots:
         assert self.check(src, path="src/repro/obs/x.py") == []
 
 
+class TestServeBoundary:
+    """REP015: repro.serve never imports repro.simulator directly."""
+
+    PATH = "src/repro/serve/x.py"
+
+    def check(self, src, path=PATH):
+        return lint_source(src, path=path, select={"REP015"})
+
+    def test_flags_direct_simulator_import(self):
+        findings = self.check("import repro.simulator\n")
+        assert rules_of(findings) == {"REP015"}
+        assert "repro.core.evaluator" in findings[0].message
+
+    def test_flags_from_import_of_submodule(self):
+        src = "from repro.simulator.engine import SimulationEngine\n"
+        findings = self.check(src)
+        assert rules_of(findings) == {"REP015"}
+
+    def test_flags_from_simulator_import_name(self):
+        src = "from repro.simulator import config\n"
+        assert rules_of(self.check(src)) == {"REP015"}
+
+    def test_accepts_the_sanctioned_routes(self):
+        src = (
+            "from repro.core.evaluator import ENGINE_VERSION, Evaluator\n"
+            "from repro.store.cache import CachedEvaluator\n"
+            "from repro.campaigns.db import CampaignDB\n"
+        )
+        assert self.check(src) == []
+
+    def test_type_checking_imports_exempt(self):
+        src = (
+            "from typing import TYPE_CHECKING\n"
+            "if TYPE_CHECKING:\n"
+            "    from repro.simulator.config import SimConfig\n"
+        )
+        assert self.check(src) == []
+
+    def test_other_layers_are_out_of_scope(self):
+        src = "import repro.simulator\n"
+        assert self.check(src, path="src/repro/experiments/x.py") == []
+
+
 class TestHarness:
     def test_catalog_is_documented(self):
         for rule_id, (scope, summary, impl) in RULES.items():
