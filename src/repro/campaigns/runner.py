@@ -38,6 +38,7 @@ from repro.campaigns.spec import (
     draw_cases,
     execute_cell,
 )
+from repro.obs.profile import clock
 from repro.store.backend import ResultStore, store_dir_of
 from repro.store.cache import make_evaluator
 from repro.util.serialization import pattern_to_dict
@@ -93,7 +94,6 @@ def _campaign_worker(
     cache hit everywhere else.
     """
     import os
-    import time
 
     from repro.experiments.parallel import _worker_registry, \
         evaluator_cache_dict
@@ -108,14 +108,14 @@ def _campaign_worker(
     rows = []
     cells = []
     for key in keys:
-        t0 = time.perf_counter()
+        t0 = clock()
         row = execute_cell(evaluator, cases, key)
         row["id"] = cell_id(key)
         rows.append(row)
         cells.append(
             {
                 "id": row["id"],
-                "seconds": time.perf_counter() - t0,
+                "seconds": clock() - t0,
                 "cycles": row["cycles"],
             }
         )
@@ -204,7 +204,6 @@ class CampaignRunner:
         configured, and worker telemetry snapshots merge into the
         parent instrument's registry.
         """
-        import time
 
         from repro.experiments.parallel import (
             cache_delta,
@@ -282,14 +281,14 @@ class CampaignRunner:
                     cid = cell_id(key)
                     events.cell_start(cid)
                     before = evaluator_cache_dict(self._evaluator)
-                    t0 = time.perf_counter()
+                    t0 = clock()
                     row = self._run_job(key)
                     row["id"] = cid
                     _emit(row)
                     executed += 1
                     events.cell_finish(
                         cid,
-                        seconds=time.perf_counter() - t0,
+                        seconds=clock() - t0,
                         cycles=row["cycles"],
                         cache=cache_delta(
                             before, evaluator_cache_dict(self._evaluator)

@@ -36,6 +36,7 @@ from pathlib import Path
 from repro.campaigns.db import CampaignDB, store_digest
 from repro.campaigns.spec import CampaignSpec, cell_id, draw_cases, \
     execute_cell
+from repro.obs.profile import clock
 from repro.store.backend import ResultStore
 
 __all__ = [
@@ -78,7 +79,6 @@ def run_shard(
     — the contract a remote host would ship home alongside the
     directory itself.
     """
-    import time
 
     from repro.experiments.parallel import _worker_registry
     from repro.obs.manifest import ManifestWriter
@@ -101,12 +101,12 @@ def run_shard(
         for key in coords:
             cid = cell_id(key)
             events.cell_start(cid)
-            t0 = time.perf_counter()
+            t0 = clock()
             row = execute_cell(evaluator, cases, key)
             cells.append(
                 {
                     "id": cid,
-                    "seconds": time.perf_counter() - t0,
+                    "seconds": clock() - t0,
                     "cycles": row["cycles"],
                 }
             )
@@ -231,7 +231,6 @@ def run_campaign(
     Returns a JSON-safe summary including the campaign store digest
     and, when *telemetry* is on, the merged registry digest.
     """
-    import time
 
     from repro.experiments.parallel import _worker_registry, parallel_map
     from repro.obs.manifest import ManifestWriter
@@ -268,10 +267,10 @@ def run_campaign(
             for key in missing:
                 cid = cell_id(key)
                 events.cell_start(cid)
-                t0 = time.perf_counter()
+                t0 = clock()
                 row = execute_cell(evaluator, cases, key)
                 events.cell_finish(
-                    cid, seconds=time.perf_counter() - t0,
+                    cid, seconds=clock() - t0,
                     cycles=row["cycles"],
                 )
                 if progress:

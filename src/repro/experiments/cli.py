@@ -66,8 +66,11 @@ def main(argv: list[str] | None = None) -> int:
 
         return campaigns_main(argv[1:])
     if argv and argv[0] == "obs":
-        # Observability verbs (perf harness, manifests, heatmaps):
-        # python -m repro.experiments obs {bench,compare,smoke,report,heatmap}
+        # Observability verbs (perf harness, manifests, heatmaps,
+        # phase profiler, perf ledger):
+        # python -m repro.experiments obs
+        #   {bench,compare,smoke,report,heatmap,timeline,converge,
+        #    profile,history}
         from repro.obs.cli import main as obs_main
 
         return obs_main(argv[1:])

@@ -14,6 +14,7 @@ from repro.core.evaluator import FaultCase
 from repro.experiments.ascii_plot import line_chart, table
 from repro.experiments.profiles import Profile
 from repro.metrics.aggregate import AggregateResult
+from repro.obs.profile import clock
 from repro.routing.registry import display_name
 
 
@@ -126,7 +127,7 @@ def run_fault_study(
         if manifest is not None:
             manifest.cell_start(alg)
         before = evaluator_cache_dict(evaluator)
-        t0 = time.perf_counter()
+        t0 = clock()
         pts = [
             evaluator.run_case(alg, case, injection_rate=rate) for case in cases
         ]
@@ -134,7 +135,7 @@ def run_fault_study(
         if manifest is not None:
             manifest.cell_finish(
                 alg,
-                seconds=time.perf_counter() - t0,
+                seconds=clock() - t0,
                 cycles=sum(p.simulated_cycles for p in pts),
                 cache=cache_delta(before, evaluator_cache_dict(evaluator)),
             )

@@ -20,6 +20,7 @@ from repro.metrics.traffic_load import (
     ring_corner_split,
     traffic_load_split,
 )
+from repro.obs.profile import clock
 from repro.routing.registry import display_name
 
 
@@ -140,7 +141,7 @@ def run_fring_study(
         if manifest is not None:
             manifest.cell_start(alg)
         before = evaluator_cache_dict(evaluator)
-        t0 = time.perf_counter()
+        t0 = clock()
         cases: dict[str, TrafficLoadSplit] = {}
         cell_cycles = 0
         for label, fp in (("0%", fault_free), ("faulty", faulty)):
@@ -159,7 +160,7 @@ def run_fring_study(
         if manifest is not None:
             manifest.cell_finish(
                 alg,
-                seconds=time.perf_counter() - t0,
+                seconds=clock() - t0,
                 cycles=cell_cycles,
                 cache=cache_delta(before, evaluator_cache_dict(evaluator)),
             )

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from repro.experiments.ascii_plot import line_chart, table
 from repro.experiments.profiles import Profile
 from repro.metrics.saturation import SaturationPoint, find_saturation, peak_throughput
+from repro.obs.profile import clock
 from repro.routing.registry import display_name
 
 
@@ -138,14 +139,14 @@ def run_sweep(
         if manifest is not None:
             manifest.cell_start(alg)
         before = evaluator_cache_dict(evaluator)
-        t0 = time.perf_counter()
+        t0 = clock()
         points = evaluator.rate_sweep(alg, profile.sweep_rates)
         result.throughput[alg] = [p.throughput for p in points]
         result.latency[alg] = [p.network_latency for p in points]
         if manifest is not None:
             manifest.cell_finish(
                 alg,
-                seconds=time.perf_counter() - t0,
+                seconds=clock() - t0,
                 cycles=sum(p.simulated_cycles for p in points),
                 cache=cache_delta(before, evaluator_cache_dict(evaluator)),
             )

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from repro.experiments.ascii_plot import table
 from repro.experiments.profiles import Profile
 from repro.metrics.vc_usage import usage_imbalance, vc_usage_percent
+from repro.obs.profile import clock
 from repro.routing.registry import display_name
 
 #: The paper's two panels.
@@ -119,7 +120,7 @@ def run_vc_usage(
         if manifest is not None:
             manifest.cell_start(alg)
         before = evaluator_cache_dict(evaluator)
-        t0 = time.perf_counter()
+        t0 = clock()
         run = evaluator.run_single(
             alg,
             case.patterns[0],
@@ -130,7 +131,7 @@ def run_vc_usage(
         if manifest is not None:
             manifest.cell_finish(
                 alg,
-                seconds=time.perf_counter() - t0,
+                seconds=clock() - t0,
                 cycles=run.measured_cycles + run.config.warmup,
                 cache=cache_delta(before, evaluator_cache_dict(evaluator)),
             )

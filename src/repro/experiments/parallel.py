@@ -32,9 +32,10 @@ counters (``cache``, or ``None`` without a store).
 from __future__ import annotations
 
 import os
-import time
 from collections.abc import Callable, Sequence
 from multiprocessing import get_context
+
+from repro.obs.profile import clock
 
 
 def pool_safe_instrument(instrument) -> bool:
@@ -102,7 +103,7 @@ def _make_evaluator(profile_config, seed: int, store_dir: str | None,
 
 
 def _finish_data(data: dict, registry, evaluator, t0: float) -> dict:
-    data["seconds"] = time.perf_counter() - t0
+    data["seconds"] = clock() - t0
     data["pid"] = os.getpid()
     data["snapshot"] = None if registry is None else registry.snapshot()
     data["cache"] = evaluator_cache_dict(evaluator)
@@ -115,7 +116,7 @@ def _sweep_worker(
     profile_name, algorithm, seed, store_dir, with_telemetry = args
     from repro.experiments.profiles import get_profile
 
-    t0 = time.perf_counter()
+    t0 = clock()
     profile = get_profile(profile_name)
     registry, instrument = _worker_registry(with_telemetry)
     evaluator = _make_evaluator(profile.config, seed, store_dir, instrument)
@@ -135,7 +136,7 @@ def _fault_worker(
      with_telemetry) = args
     from repro.experiments.profiles import get_profile
 
-    t0 = time.perf_counter()
+    t0 = clock()
     profile = get_profile(profile_name)
     registry, instrument = _worker_registry(with_telemetry)
     evaluator = _make_evaluator(profile.config, seed, store_dir, instrument)
@@ -159,7 +160,7 @@ def _vc_usage_worker(
     from repro.experiments.profiles import get_profile
     from repro.metrics.vc_usage import vc_usage_percent
 
-    t0 = time.perf_counter()
+    t0 = clock()
     profile = get_profile(profile_name)
     registry, instrument = _worker_registry(with_telemetry)
     evaluator = _make_evaluator(profile.config, seed, store_dir, instrument)
@@ -186,7 +187,7 @@ def _fring_worker(
     from repro.faults.pattern import FaultPattern
     from repro.metrics.traffic_load import ring_corner_split, traffic_load_split
 
-    t0 = time.perf_counter()
+    t0 = clock()
     profile = get_profile(profile_name)
     registry, instrument = _worker_registry(with_telemetry)
     evaluator = _make_evaluator(profile.config, seed, store_dir, instrument)

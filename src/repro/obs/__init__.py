@@ -14,6 +14,15 @@ Three layers, all opt-in and all zero-cost when unused:
   (``python -m repro.obs bench``) writing ``BENCH_<label>.json``
   trajectories, plus a regression gate (``python -m repro.obs
   compare``).
+* :mod:`repro.obs.profile` — the engine phase profiler
+  (``Simulation.attach_profiler``; ``python -m repro.obs profile``):
+  per-phase wall-time shares and activity attribution, bit-identical
+  to a detached run.  Also home of the project's sanctioned monotonic
+  timer ``clock`` (lint rule REP016).
+* :mod:`repro.obs.history` — the perf ledger
+  (``tools/perf_ledger.jsonl``; ``python -m repro.obs history``):
+  committed ``BENCH_*.json`` files as a per-workload time series with
+  a phase-attributing regression gate.
 
 See ``docs/observability.md`` for the counter catalog and workflows.
 """
@@ -23,9 +32,18 @@ from repro.obs.bench import (
     Workload,
     bench_key,
     compare_payloads,
+    host_warnings,
     parse_regress,
     run_suite,
     write_bench_file,
+)
+from repro.obs.history import (
+    gate_against_ledger,
+    ingest,
+    ledger_entry,
+    read_ledger,
+    render_history,
+    write_ledger,
 )
 from repro.obs.heatmap import (
     heatmap_csv,
@@ -38,6 +56,12 @@ from repro.obs.manifest import (
     read_manifest,
     render_report,
     summarize_manifest,
+)
+from repro.obs.profile import (
+    PHASE_NAMES,
+    PhaseProfiler,
+    clock,
+    render_profile,
 )
 from repro.obs.telemetry import (
     Counter,
@@ -66,21 +90,31 @@ __all__ = [
     "Instrument",
     "LabeledCounter",
     "ManifestWriter",
+    "PHASE_NAMES",
+    "PhaseProfiler",
     "Series",
     "TelemetryRegistry",
     "WORKLOADS",
     "Workload",
     "bench_key",
     "chrome_trace",
+    "clock",
     "compare_payloads",
+    "gate_against_ledger",
     "heatmap_csv",
+    "host_warnings",
+    "ingest",
     "jsonl_lines",
+    "ledger_entry",
     "lifecycle_tracer",
     "make_instrument",
     "node_surface",
     "parse_regress",
+    "read_ledger",
     "read_manifest",
+    "render_history",
     "render_node_heatmap",
+    "render_profile",
     "render_report",
     "run_suite",
     "series_snapshot",
@@ -89,5 +123,6 @@ __all__ = [
     "write_bench_file",
     "write_chrome_trace",
     "write_jsonl",
+    "write_ledger",
     "write_trace",
 ]

@@ -25,10 +25,15 @@ Methodology:
   workload silently stops gating instead of producing bogus deltas.
 * ``peak_rss_kb`` is ``ru_maxrss`` after the workload (process-lifetime
   peak: monotone across the suite, meaningful per-file).
+* Engine workloads additionally carry ``phases`` (per-phase wall-time
+  shares from a :class:`repro.obs.profile.PhaseProfiler` attached to
+  the untimed twin) and an ``activity`` summary — so the perf ledger
+  (``obs history``) can attribute a regression to the phase whose share
+  grew, not just name the workload.
 
-Wall-clock calls live here, *outside* ``repro.simulator`` — the REP006
-lint rule keeps them out of the engine, where cycle-stamped telemetry is
-the sanctioned mechanism.
+Wall-clock reads go through :data:`repro.obs.profile.clock` — the
+project's sanctioned timer (REP016); REP006 keeps clocks out of the
+engine itself, where cycle-stamped telemetry is the mechanism.
 """
 
 from __future__ import annotations
@@ -43,6 +48,7 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.obs.profile import clock
 from repro.store.keys import canonical_json
 
 __all__ = [
@@ -51,6 +57,7 @@ __all__ = [
     "WORKLOADS",
     "bench_key",
     "compare_payloads",
+    "host_warnings",
     "parse_regress",
     "run_suite",
     "write_bench_file",
@@ -230,26 +237,32 @@ def _build_engine_sim(params: dict, telemetry=None):
 
 
 def _run_engine_workload(params: dict, repeats: int) -> dict:
+    from repro.obs.profile import PhaseProfiler
     from repro.obs.telemetry import TelemetryRegistry
 
     cycles = params["cycles"]
-    # Untimed twin: warm without instruments, attach, count the measured
-    # window.  Same seed as the timed runs -> identical flit schedule.
+    # Untimed twin: warm without instruments, attach telemetry *and* the
+    # phase profiler, run the measured window.  Same seed as the timed
+    # runs -> identical flit schedule, so the twin supplies flit-hop
+    # counts and per-phase shares without contaminating the timings.
     registry = TelemetryRegistry()
+    profiler = PhaseProfiler()
     twin = _build_engine_sim(params)
     twin.step(params["warm"])
     twin.attach_telemetry(registry)
+    twin.attach_profiler(profiler)
     twin.step(cycles)
     flit_hops = registry.value("engine.flits.hops")
     delivered = registry.value("engine.messages.delivered")
+    profile = profiler.report()
 
     samples = []
     for _ in range(repeats):
         sim = _build_engine_sim(params)
         sim.step(params["warm"])
-        t0 = time.perf_counter()
+        t0 = clock()
         sim.step(cycles)
-        samples.append(time.perf_counter() - t0)
+        samples.append(clock() - t0)
     best = min(samples)
     return {
         "seconds": best,
@@ -259,6 +272,12 @@ def _run_engine_workload(params: dict, repeats: int) -> dict:
         "flit_hops": flit_hops,
         "flit_hops_per_sec": flit_hops / best if best else float("inf"),
         "delivered_messages": delivered,
+        "phases": profiler.phase_shares(),
+        "activity": {
+            "mesh_nodes": profile["activity"]["mesh_nodes"],
+            "active_routers_mean": profile["activity"]["active_routers"]["mean"],
+            "occupied_vcs_mean": profile["activity"]["occupied_vcs"]["mean"],
+        },
     }
 
 
@@ -528,9 +547,9 @@ def _run_ops_workload(params: dict, repeats: int) -> dict:
     run, ops = _ops_runner(params)
     samples = []
     for _ in range(repeats):
-        t0 = time.perf_counter()
+        t0 = clock()
         run()
-        samples.append(time.perf_counter() - t0)
+        samples.append(clock() - t0)
     best = min(samples)
     return {
         "seconds": best,
@@ -614,6 +633,27 @@ def parse_regress(text: str) -> float:
 
 #: Rate metrics compared per workload, in preference order (higher=better).
 _RATE_METRICS = ("cycles_per_sec", "flit_hops_per_sec", "ops_per_sec")
+
+
+def host_warnings(old: dict, new: dict) -> list[str]:
+    """Comparability warnings between two bench payloads' host stanzas.
+
+    Rates measured on different platforms or interpreter versions are
+    not the same experiment; ``obs compare`` and ``obs history`` print
+    these instead of silently comparing (the gate still runs — a noisy
+    warning beats a silent apples-to-oranges delta).
+    """
+    warnings = []
+    old_host = old.get("host", {}) or {}
+    new_host = new.get("host", {}) or {}
+    for field in ("platform", "python", "machine"):
+        a, b = old_host.get(field), new_host.get(field)
+        if a and b and a != b:
+            warnings.append(
+                f"host.{field} differs: baseline {a!r} vs candidate {b!r} "
+                "— timings may not be comparable"
+            )
+    return warnings
 
 
 def compare_payloads(

@@ -31,6 +31,20 @@
 * ``converge`` runs the MSER warm-up truncation + batch-means CI
   analysis per shipped profile and prints an adequacy verdict on the
   profile's configured ``warmup`` (see :mod:`repro.obs.converge`).
+* ``profile`` runs a pinned bench workload (``--workload
+  engine_saturated``) or an experiment profile (``--profile quick``)
+  under the engine phase profiler and renders the per-phase wall-time
+  breakdown + activity attribution (active routers / occupied VCs /
+  routing headers vs mesh size); ``--json FILE`` exports the payload.
+  A detached twin run self-checks bit-identical results by default
+  (see :mod:`repro.obs.profile`).
+* ``history`` maintains ``tools/perf_ledger.jsonl``: positional
+  ``BENCH_*.json`` files are ingested (deduped by label), then the
+  per-workload trajectory renders as sparklines.  ``--delta A B``
+  prints the compare table between two ledger labels; ``--gate
+  CANDIDATE.json`` gates a fresh bench file against the ledger
+  baseline, naming the regressed workload, metric, and phase (see
+  :mod:`repro.obs.history`).
 """
 
 from __future__ import annotations
@@ -132,6 +146,10 @@ def compare_main(argv: list[str]) -> int:
     except (OSError, json.JSONDecodeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    from repro.obs.bench import host_warnings
+
+    for warning in host_warnings(old, new):
+        print(f"warning: {warning}", file=sys.stderr)
     rows, code = compare_payloads(old, new, max_regress=tolerance)
     print(
         f"comparing {args.old.name} (engine v{old.get('engine_version', '?')})"
@@ -506,6 +524,271 @@ def converge_main(argv: list[str]) -> int:
     return 0
 
 
+def profile_main(argv: list[str]) -> int:
+    from repro.obs.bench import WORKLOADS, _build_engine_sim
+    from repro.obs.profile import PhaseProfiler, render_profile
+    from repro.simulator.engine import ENGINE_VERSION
+
+    engine_workloads = [w.name for w in WORKLOADS if w.kind == "engine"]
+    from repro.experiments.profiles import PROFILES
+
+    base_profiles = sorted(n for n in PROFILES if "+" not in n)
+    parser = argparse.ArgumentParser(
+        prog="repro-obs profile",
+        description="Run one workload under the engine phase profiler; "
+        "render per-phase wall-time shares and activity attribution "
+        "(active routers / occupied VCs / routing headers vs mesh size).",
+    )
+    parser.add_argument(
+        "--workload", choices=engine_workloads, default=None,
+        help="pinned bench workload to profile (default: "
+        "engine_saturated when --profile is not given)",
+    )
+    parser.add_argument(
+        "--profile", choices=base_profiles, default=None,
+        help="profile an experiment profile's configuration instead of "
+        "a pinned bench workload",
+    )
+    parser.add_argument("--algorithm", default="duato-nbc",
+                        help="algorithm for --profile mode")
+    parser.add_argument(
+        "--load", type=float, default=None,
+        help="offered flit load for --profile mode (default: the "
+        "profile's 4th sweep point)",
+    )
+    parser.add_argument("--faults", type=int, default=0,
+                        help="random block-faulty nodes for --profile mode")
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--json", type=Path, default=None, metavar="FILE",
+        help="also write the profile payload as JSON",
+    )
+    parser.add_argument(
+        "--no-selfcheck", action="store_true",
+        help="skip the detached twin run proving bit-identical results",
+    )
+    args = parser.parse_args(argv)
+    if args.workload is not None and args.profile is not None:
+        print("give --workload or --profile, not both", file=sys.stderr)
+        return 2
+
+    profiler = PhaseProfiler()
+    if args.profile is not None:
+        from repro.experiments.profiles import get_profile
+        from repro.faults.generator import generate_block_fault_pattern
+        from repro.faults.pattern import FaultPattern
+        from repro.routing.registry import make_algorithm
+        from repro.simulator.engine import Simulation
+        from repro.topology.mesh import Mesh2D
+
+        prof = get_profile(args.profile)
+        load = (
+            args.load
+            if args.load is not None
+            else prof.sweep_loads[min(3, len(prof.sweep_loads) - 1)]
+        )
+        cfg = prof.config.with_(
+            injection_rate=prof.rate(load), on_deadlock="drain",
+        )
+        if args.seed is not None:
+            cfg = cfg.with_(seed=args.seed)
+
+        def build():
+            mesh = Mesh2D(cfg.width, cfg.height)
+            faults = (
+                generate_block_fault_pattern(
+                    mesh, args.faults, random.Random(cfg.seed)
+                )
+                if args.faults
+                else FaultPattern.fault_free(mesh)
+            )
+            return Simulation(
+                cfg, make_algorithm(args.algorithm), faults=faults
+            )
+
+        warm, measured = cfg.warmup, cfg.cycles - cfg.warmup
+        context = {
+            "profile": args.profile, "algorithm": args.algorithm,
+            "load": load, "faults": args.faults, "seed": cfg.seed,
+        }
+        title = (
+            f"profile {args.profile} ({args.algorithm}, load {load}, "
+            f"{args.faults} faults)"
+        )
+    else:
+        workload = {w.name: w for w in WORKLOADS}[
+            args.workload or "engine_saturated"
+        ]
+        params = dict(workload.params)
+        if args.seed is not None:
+            params["seed"] = args.seed
+
+        def build():
+            return _build_engine_sim(params)
+
+        warm, measured = params["warm"], params["cycles"]
+        context = {"workload": workload.name, "params": params}
+        title = f"workload {workload.name}"
+
+    print(f"[profile] {title}: warm {warm}, measure {measured} cycles "
+          f"(engine v{ENGINE_VERSION})")
+    sim = build()
+    sim.step(warm)
+    sim.attach_profiler(profiler)
+    sim.step(measured)
+
+    selfcheck = None
+    if not args.no_selfcheck:
+        twin = build()
+        twin.step(warm + measured)
+
+        def state(s):
+            return (
+                s.result.generated, s.result.delivered,
+                s.result.delivered_flits, s.result.latency_sum,
+                s.result.hops_sum, s.total_generated, s.total_delivered,
+                s.total_dropped, s.rng.getstate(),
+                str(s._perm_rng.bit_generator.state),
+            )
+
+        selfcheck = state(sim) == state(twin)
+
+    report = profiler.report()
+    print(render_profile(report))
+    if selfcheck is not None:
+        if not selfcheck:
+            print(
+                "[profile] FAIL: attached run diverged from detached twin "
+                "(profiler is not neutral)",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            "[profile] self-check ok: attached == detached "
+            "(bit-identical results and RNG stream)"
+        )
+    if args.json is not None:
+        profiler.write_json(
+            args.json,
+            context=context,
+            engine_version=ENGINE_VERSION,
+            selfcheck=selfcheck,
+        )
+        print(f"[profile] wrote {args.json}")
+    return 0
+
+
+def history_main(argv: list[str]) -> int:
+    from repro.obs.bench import parse_regress, render_comparison
+    from repro.obs.history import (
+        DEFAULT_LEDGER, compare_payloads, gate_against_ledger, ingest,
+        read_ledger, render_history,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro-obs history",
+        description="Maintain and render the perf ledger "
+        "(tools/perf_ledger.jsonl): ingest BENCH_*.json files, render "
+        "per-workload trajectories, diff labels, gate candidates.",
+    )
+    parser.add_argument(
+        "bench_files", nargs="*", type=Path, metavar="BENCH.json",
+        help="bench payloads to ingest into the ledger before rendering",
+    )
+    parser.add_argument(
+        "--ledger", type=Path, default=DEFAULT_LEDGER,
+        help=f"ledger path (default {DEFAULT_LEDGER})",
+    )
+    parser.add_argument("--workload", default=None,
+                        help="restrict rendering to one workload")
+    parser.add_argument("--metric", default=None,
+                        help="restrict rendering to one rate metric")
+    parser.add_argument(
+        "--delta", nargs=2, metavar=("OLD", "NEW"), default=None,
+        help="print the compare table between two ledger labels",
+    )
+    parser.add_argument(
+        "--gate", type=Path, default=None, metavar="BENCH.json",
+        help="gate a fresh bench payload against the ledger baseline "
+        "(exit 1 on regression, naming workload/metric/phase)",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help="ledger label to gate against (default: newest entry)",
+    )
+    parser.add_argument(
+        "--max-regress", default="15%",
+        help="allowed rate-metric drop for --gate/--delta (default 15%%)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        tolerance = parse_regress(args.max_regress)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def load(path: Path) -> dict | None:
+        try:
+            return json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: {path}: {exc}", file=sys.stderr)
+            return None
+
+    if args.bench_files:
+        payloads = [load(p) for p in args.bench_files]
+        if any(p is None for p in payloads):
+            return 2
+        added, replaced = ingest(payloads, args.ledger)
+        print(
+            f"[history] ingested {len(payloads)} file(s) into "
+            f"{args.ledger} ({added} new, {replaced} replaced)"
+        )
+    try:
+        entries = read_ledger(args.ledger)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.gate is not None:
+        candidate = load(args.gate)
+        if candidate is None:
+            return 2
+        rows, code, messages = gate_against_ledger(
+            entries, candidate,
+            baseline=args.baseline, max_regress=tolerance,
+        )
+        print(messages[0] if messages else "")
+        for message in messages[1:]:
+            print(message, file=sys.stderr)
+        if rows:
+            print(render_comparison(rows, max_regress=tolerance))
+        return code
+
+    if args.delta is not None:
+        old_label, new_label = args.delta
+        by_label = {e.get("label"): e for e in entries}
+        missing = [lbl for lbl in (old_label, new_label) if lbl not in by_label]
+        if missing:
+            have = ", ".join(sorted(filter(None, by_label)))
+            print(
+                f"error: label(s) {', '.join(missing)} not in ledger "
+                f"(have: {have})",
+                file=sys.stderr,
+            )
+            return 2
+        rows, code = compare_payloads(
+            by_label[old_label], by_label[new_label], max_regress=tolerance
+        )
+        print(f"delta {old_label} -> {new_label}")
+        print(render_comparison(rows, max_regress=tolerance))
+        return code
+
+    print(render_history(
+        entries, workload=args.workload, metric=args.metric
+    ))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -517,6 +800,8 @@ def main(argv: list[str] | None = None) -> int:
         "heatmap": heatmap_main,
         "timeline": timeline_main,
         "converge": converge_main,
+        "profile": profile_main,
+        "history": history_main,
     }
     if not argv or argv[0] in ("-h", "--help"):
         print(__doc__)

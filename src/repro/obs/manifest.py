@@ -35,6 +35,8 @@ import json
 import time
 from pathlib import Path
 
+from repro.obs.profile import clock
+
 __all__ = [
     "ManifestWriter",
     "read_manifest",
@@ -55,13 +57,13 @@ class ManifestWriter:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fh = open(self.path, "a", encoding="utf-8")
-        self._t0 = time.perf_counter()
+        self._t0 = clock()
         self.events_written = 0
 
     # ------------------------------------------------------------------
     def event(self, event: str, **fields) -> dict:
         """Append one event (``t`` = seconds since writer creation)."""
-        payload = {"event": event, "t": round(time.perf_counter() - self._t0, 6)}
+        payload = {"event": event, "t": round(clock() - self._t0, 6)}
         payload.update(fields)
         self._fh.write(json.dumps(payload, sort_keys=True) + "\n")
         self._fh.flush()
@@ -131,7 +133,7 @@ class ManifestWriter:
         """
         fields = {
             "status": status,
-            "seconds": round(time.perf_counter() - self._t0, 6),
+            "seconds": round(clock() - self._t0, 6),
         }
         if cache is not None:
             fields["cache"] = cache

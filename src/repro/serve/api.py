@@ -27,6 +27,15 @@ library.  Resolution itself is synchronous CPU work (and the resolver's
 lazy fitting is not thread-safe), so requests are handed to a
 single-thread executor — the asyncio loop stays responsive to accepts
 and health checks while answers are computed in order.
+
+Every response carries an ``x-request-id`` header: the client's own id
+echoed back when it sent one (sanitized to ``[A-Za-z0-9._-]{1,64}``),
+else a server-assigned ``req-<seq>``.  The HTTP layer additionally
+publishes per-request counters next to the resolver's tier metrics —
+``serve.http.requests``, ``serve.http.status.<code>``,
+``serve.http.latency_us``, and ``serve.http.query.tier.<tier>`` for
+answered queries — so ``/metrics`` shows both the resolver's view
+(which tier answered) and the transport's (status mix, wire latency).
 """
 
 from __future__ import annotations
@@ -34,17 +43,25 @@ from __future__ import annotations
 import asyncio
 import concurrent.futures
 import json
+import re
 from urllib.parse import parse_qsl, urlsplit
 
 from repro.campaigns.db import CampaignDB
 from repro.core.evaluator import ENGINE_VERSION
+from repro.obs.profile import clock
 from repro.obs.telemetry import TelemetryRegistry
 from repro.serve import reliability
-from repro.serve.resolver import Query, Resolver, UnresolvedQueryError
+from repro.serve.resolver import (
+    LATENCY_BOUNDS, Query, Resolver, UnresolvedQueryError,
+)
 
 __all__ = ["QueryServer"]
 
 _MAX_BODY = 1 << 20  # 1 MiB: generous for JSON queries, bounded anyway
+
+#: Client-supplied request ids are echoed only when they match this
+#: (header values land verbatim in the response and in logs).
+_REQUEST_ID_RE = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
 
 
 class _BadRequest(ValueError):
@@ -132,6 +149,10 @@ class QueryServer:
         self._executor = concurrent.futures.ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="serve-resolve"
         )
+        # Monotonic request ordinal: the fallback x-request-id suffix
+        # and the stamp on the serve.http.* instruments (the serving
+        # registry's cycle axis, matching the resolver's convention).
+        self._http_requests = 0
 
     # ------------------------------------------------------------------
     async def start(self) -> None:
@@ -161,12 +182,19 @@ class QueryServer:
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        self._http_requests += 1
+        seq = self._http_requests
+        started = clock()
+        request_id = f"req-{seq}"
         try:
-            status, payload = await self._exchange(reader)
+            status, payload, request_id = await self._exchange(
+                reader, request_id
+            )
         except _BadRequest as exc:
             status, payload = 400, {"error": str(exc)}
         except Exception as exc:  # never kill the server on one request
             status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        self._observe_http(seq, status, payload, started)
         body = json.dumps(payload).encode("utf-8")
         reason = {
             200: "OK",
@@ -181,6 +209,7 @@ class QueryServer:
                 f"HTTP/1.1 {status} {reason}\r\n"
                 "Content-Type: application/json\r\n"
                 f"Content-Length: {len(body)}\r\n"
+                f"x-request-id: {request_id}\r\n"
                 "Connection: close\r\n"
                 "\r\n"
             ).encode("ascii")
@@ -193,9 +222,25 @@ class QueryServer:
         except (ConnectionError, BrokenPipeError):
             pass
 
+    def _observe_http(
+        self, request: int, status: int, payload: dict, started: float
+    ) -> None:
+        """Per-request transport metrics, visible at ``/metrics``."""
+        elapsed_us = int((clock() - started) * 1e6)
+        self.telemetry.counter("serve.http.requests").inc(request)
+        self.telemetry.counter(f"serve.http.status.{status}").inc(request)
+        self.telemetry.histogram(
+            "serve.http.latency_us", LATENCY_BOUNDS
+        ).observe(request, elapsed_us)
+        answer = payload.get("answer") if isinstance(payload, dict) else None
+        if isinstance(answer, dict) and "tier" in answer:
+            self.telemetry.counter(
+                f"serve.http.query.tier.{answer['tier']}"
+            ).inc(request)
+
     async def _exchange(
-        self, reader: asyncio.StreamReader
-    ) -> tuple[int, dict]:
+        self, reader: asyncio.StreamReader, request_id: str
+    ) -> tuple[int, dict, str]:
         request_line = (await reader.readline()).decode("latin-1").strip()
         parts = request_line.split()
         if len(parts) != 3:
@@ -207,11 +252,16 @@ class QueryServer:
             if not line:
                 break
             name, _, value = line.partition(":")
-            if name.strip().lower() == "content-length":
+            header = name.strip().lower()
+            if header == "content-length":
                 try:
                     content_length = int(value.strip())
                 except ValueError:
                     raise _BadRequest("bad Content-Length") from None
+            elif header == "x-request-id":
+                client_id = value.strip()
+                if _REQUEST_ID_RE.match(client_id):
+                    request_id = client_id
         if content_length > _MAX_BODY:
             raise _BadRequest("request body too large")
         body = (
@@ -229,7 +279,8 @@ class QueryServer:
             if not isinstance(decoded, dict):
                 raise _BadRequest("request body must be a JSON object")
             params.update(decoded)
-        return await self._route(method, url.path, params)
+        status, payload = await self._route(method, url.path, params)
+        return status, payload, request_id
 
     async def _route(
         self, method: str, path: str, params: dict

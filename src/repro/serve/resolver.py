@@ -37,13 +37,13 @@ the request index as the "cycle".
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass, field
 
 from repro.campaigns.db import CampaignDB
 from repro.campaigns.query import extract_metric, metric_names, query
 from repro.core.evaluator import ENGINE_VERSION
 from repro.obs.converge import batch_means_ci
+from repro.obs.profile import clock
 from repro.obs.telemetry import TelemetryRegistry
 from repro.serve import calibrate
 from repro.serve.surrogate import GridSurrogate, SurrogateError
@@ -312,7 +312,7 @@ class Resolver:
         """Serve *q* from the cheapest tier able to answer it."""
         self._requests += 1
         request = self._requests
-        started = time.perf_counter()
+        started = clock()
         if self.telemetry is not None:
             self.telemetry.counter("serve.queries").inc(request)
         refusals: dict[str, str] = {}
@@ -339,7 +339,7 @@ class Resolver:
     def _observe(self, request: int, tier: str, started: float) -> None:
         if self.telemetry is None:
             return
-        elapsed_us = int((time.perf_counter() - started) * 1e6)
+        elapsed_us = int((clock() - started) * 1e6)
         self.telemetry.counter(f"serve.tier.{tier}").inc(request)
         self.telemetry.histogram(
             "serve.latency_us", LATENCY_BOUNDS

@@ -56,6 +56,13 @@ _MIN_AUTO_BATCHES = 10
 #: self-invalidate instead of silently serving stale numbers.
 ENGINE_VERSION = 2
 
+#: Phase indices the per-cycle loop reports to an attached profiler.
+#: ``repro.obs.profile.PHASE_NAMES`` is ordered to match (pinned by a
+#: unit test); keeping bare ints here means the engine never imports
+#: the observability layer.
+(_PH_GENERATE, _PH_INJECT, _PH_ROUTE, _PH_SWITCH,
+ _PH_WATCHDOG, _PH_COLLECT_VC) = range(6)
+
 
 class InputVC:
     """One virtual channel on the input side of a router port."""
@@ -208,7 +215,7 @@ class Simulation:
         "_inj_pending", "_needs_routing", "_active",
         "total_generated", "total_delivered", "total_dropped",
         "_auto", "_win", "_win_lat_sum", "_win_lat_cnt",
-        "tracer", "telemetry", "result",
+        "tracer", "telemetry", "profiler", "result",
         "_invcs", "_ovcs", "_role_of", "_ring_role",
         "_t_generated", "_t_injected", "_t_delivered", "_t_flit_hops",
         "_t_ejected", "_t_blocked", "_t_drain_deadlock",
@@ -290,6 +297,11 @@ class Simulation:
         self.telemetry = None
         if telemetry is not None:
             self.attach_telemetry(telemetry)
+
+        #: Optional phase profiler (see :mod:`repro.obs.profile`).
+        #: ``None`` keeps the per-cycle loop hook-free: one ``is not
+        #: None`` check per phase, no clock reads (REP006).
+        self.profiler = None
 
         self.result = SimulationResult(
             algorithm=algorithm.name,
@@ -400,6 +412,20 @@ class Simulation:
         )
         self._t_fring: dict[int, object] = {}
 
+    def attach_profiler(self, profiler) -> None:
+        """Bind a :class:`repro.obs.PhaseProfiler` to this run.
+
+        The per-cycle loop then reports phase boundaries to it; every
+        wall-clock read stays inside the profiler object (the engine
+        remains cycle-driven and REP006-clean).  The profiler only
+        *reads* engine state between cycles and draws no RNG, so an
+        attached run is bit-identical to a detached one — the same
+        guarantee (and A/B test pattern) as telemetry.  May be called
+        mid-run, e.g. after an unprofiled warmup.
+        """
+        self.profiler = profiler
+        profiler.bind(self)
+
     def _fring_counter(self, ring):
         """The per-f-ring traversal counter (lazy, keyed by identity)."""
         counter = self._t_fring.get(id(ring))
@@ -428,16 +454,33 @@ class Simulation:
         collect_vc = cfg.collect_vc_stats or self.telemetry is not None
         auto = self._auto
         win = self._win
+        profiler = self.profiler
         for _ in range(cfg.cycles):
             cycle = self.cycle
+            if profiler is not None:
+                profiler.start_cycle(cycle)
             self._generate(cycle)
+            if profiler is not None:
+                profiler.lap(_PH_GENERATE)
             self._inject(cycle)
+            if profiler is not None:
+                profiler.lap(_PH_INJECT)
             self._route(cycle)
+            if profiler is not None:
+                profiler.lap(_PH_ROUTE)
             self._switch_and_traverse(cycle)
+            if profiler is not None:
+                profiler.lap(_PH_SWITCH)
             if cycle % _WATCHDOG_INTERVAL == 0:
                 self._watchdog(cycle)
+                if profiler is not None:
+                    profiler.lap(_PH_WATCHDOG)
             if collect_vc and cycle >= cfg.warmup:
                 self._collect_vc(cycle)
+                if profiler is not None:
+                    profiler.lap(_PH_COLLECT_VC)
+            if profiler is not None:
+                profiler.end_cycle(self)
             self.cycle += 1
             if (
                 auto
@@ -459,16 +502,33 @@ class Simulation:
         """
         cfg = self.config
         collect_vc = cfg.collect_vc_stats or self.telemetry is not None
+        profiler = self.profiler
         for _ in range(cycles):
             cycle = self.cycle
+            if profiler is not None:
+                profiler.start_cycle(cycle)
             self._generate(cycle)
+            if profiler is not None:
+                profiler.lap(_PH_GENERATE)
             self._inject(cycle)
+            if profiler is not None:
+                profiler.lap(_PH_INJECT)
             self._route(cycle)
+            if profiler is not None:
+                profiler.lap(_PH_ROUTE)
             self._switch_and_traverse(cycle)
+            if profiler is not None:
+                profiler.lap(_PH_SWITCH)
             if cycle % _WATCHDOG_INTERVAL == 0:
                 self._watchdog(cycle)
+                if profiler is not None:
+                    profiler.lap(_PH_WATCHDOG)
             if collect_vc and cycle >= cfg.warmup:
                 self._collect_vc(cycle)
+                if profiler is not None:
+                    profiler.lap(_PH_COLLECT_VC)
+            if profiler is not None:
+                profiler.end_cycle(self)
             self.cycle += 1
 
     # ------------------------------------------------------------------

@@ -48,10 +48,10 @@ acyclicity, that is a concrete deadlock recipe.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.faults.pattern import FaultPattern
+from repro.obs.profile import clock
 from repro.routing.base import RoutingAlgorithm, RoutingError
 from repro.routing.budgets import ROLE_ADAPTIVE, ROLE_CLASS, ROLE_ESCAPE, ROLE_RING
 from repro.routing.registry import make_algorithm
@@ -577,7 +577,7 @@ class CdgChecker:
     # ------------------------------------------------------------------
     def run(self) -> CdgReport:
         """Explore every healthy (src, dst) pair and check the CDG."""
-        t0 = time.perf_counter()
+        t0 = clock()
         report = CdgReport(
             algorithm=self.algorithm.name,
             declared_deadlock_free=self.algorithm.deadlock_free,
@@ -633,7 +633,7 @@ class CdgChecker:
                             "state-overflow", node, src, dst,
                             f"more than {self.max_states} reachable states",
                         )
-                        report.elapsed = time.perf_counter() - t0
+                        report.elapsed = clock() - t0
                         return self._finish(report, edges, witness)
                     self._restore(msg, snap)
                     try:
@@ -706,7 +706,7 @@ class CdgChecker:
                         if key not in visited:
                             visited.add(key)
                             frontier.append((key[0], nxt_escape, self._snapshot(msg)))
-        report.elapsed = time.perf_counter() - t0
+        report.elapsed = clock() - t0
         return self._finish(report, edges, witness)
 
     # ------------------------------------------------------------------

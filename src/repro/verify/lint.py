@@ -1046,6 +1046,78 @@ def _rule_serve_boundary(mod: _Module) -> list[Finding]:
 
 
 # ----------------------------------------------------------------------
+# REP016 — monotonic timing goes through the sanctioned clock
+# ----------------------------------------------------------------------
+#: The one module allowed to name ``time.perf_counter``: it exports
+#: ``clock`` for every other timing site.
+_TIMER_HOME = "repro/obs/profile"
+
+_TIMER_ATTRS = {"perf_counter", "perf_counter_ns"}
+
+
+def _rule_sanctioned_timer(mod: _Module) -> list[Finding]:
+    """REP016: ``time.perf_counter`` is named only in the timer home.
+
+    :mod:`repro.obs.profile` exports ``clock`` (=``time.perf_counter``)
+    as the project's single monotonic timer; bench, manifests, figure
+    drivers, campaign shards, and the serving layer import it from
+    there.  Keeping the raw name in one module makes every timing site
+    greppable (``grep 'import clock'``) and stops the engine-facing
+    no-wall-clock rule (REP006) eroding one ad-hoc ``import time`` at
+    a time.  Inside REP006's forbidden scope even *importing* the
+    timer home is flagged — the engine reports phase boundaries to an
+    attached profiler; it never reads a clock itself.
+    """
+    if _TIMER_HOME in mod.path:
+        return []
+    found = []
+    if any(p in mod.path for p in _WALLCLOCK_FORBIDDEN_PREFIXES):
+        for node in _iter_code_nodes(mod.tree):
+            targets: list[str] = []
+            if isinstance(node, ast.Import):
+                targets = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                targets = [node.module]
+            if any(t == "repro.obs.profile" for t in targets):
+                found.append(Finding(
+                    "REP016", mod.path, node.lineno, node.col_offset,
+                    "importing repro.obs.profile from a no-wall-clock "
+                    "module; the engine reports phase boundaries to an "
+                    "attached profiler (attach_profiler) and never reads "
+                    "the clock itself",
+                ))
+    time_names: set[str] = set()
+    for node in ast.walk(mod.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "time":
+                    time_names.add(alias.asname or "time")
+        elif isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name in _TIMER_ATTRS:
+                    found.append(Finding(
+                        "REP016", mod.path, node.lineno, node.col_offset,
+                        f"'from time import {alias.name}' outside the "
+                        "sanctioned timer module; use 'from "
+                        "repro.obs.profile import clock'",
+                    ))
+    if time_names:
+        for node in ast.walk(mod.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id in time_names
+                and node.attr in _TIMER_ATTRS
+            ):
+                found.append(Finding(
+                    "REP016", mod.path, node.lineno, node.col_offset,
+                    f"time.{node.attr} outside the sanctioned timer "
+                    "module; use 'from repro.obs.profile import clock'",
+                ))
+    return found
+
+
+# ----------------------------------------------------------------------
 # Catalog
 # ----------------------------------------------------------------------
 #: rule id -> (scope, summary, implementation).
@@ -1132,6 +1204,13 @@ RULES: dict[str, tuple[str, str, object]] = {
         "repro.serve never imports repro.simulator (simulate only via "
         "the cached evaluator)",
         _rule_serve_boundary,
+    ),
+    "REP016": (
+        "module",
+        "time.perf_counter only in repro.obs.profile (everyone else "
+        "imports its clock); no-wall-clock modules may not import the "
+        "timer home at all",
+        _rule_sanctioned_timer,
     ),
 }
 

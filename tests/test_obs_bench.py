@@ -86,6 +86,28 @@ def test_engine_workload_reports_rates():
     assert m["cycles_per_sec"] > 0
     assert m["flit_hops"] > 0
     assert m["flit_hops_per_sec"] > 0
+    # The untimed twin also carries the phase profiler.
+    assert sum(m["phases"].values()) == pytest.approx(1.0, abs=1e-9)
+    assert m["phases"]["switch_traverse"] > 0
+    activity = m["activity"]
+    assert activity["mesh_nodes"] == 25
+    assert 0 < activity["active_routers_mean"] <= 25
+    assert activity["occupied_vcs_mean"] > 0
+
+
+def test_host_warnings_on_platform_and_python_mismatch():
+    from repro.obs.bench import host_warnings
+
+    base = {"host": {"platform": "linux", "python": "3.12.1", "machine": "x"}}
+    same = {"host": dict(base["host"])}
+    assert host_warnings(base, same) == []
+    cand = {"host": {"platform": "darwin", "python": "3.13.0", "machine": "x"}}
+    messages = host_warnings(base, cand)
+    assert len(messages) == 2
+    assert any("host.platform differs" in m for m in messages)
+    assert any("host.python differs" in m for m in messages)
+    # Missing host stanzas never warn (old payloads).
+    assert host_warnings({}, cand) == []
 
 
 def test_campaign_workload_runs_grid_through_store():
@@ -228,3 +250,53 @@ def test_cli_bench_writes_file(tmp_path, capsys):
     # Self-compare of a fresh file is always clean.
     path = str(tmp_path / "BENCH_unit.json")
     assert obs_main(["compare", path, path]) == 0
+
+
+def test_cli_history_ingest_render_and_gate(tmp_path, capsys):
+    ledger = str(tmp_path / "ledger.jsonl")
+    base = dict(_payload(1000.0), label="pr9", created_unix=100)
+    cand_ok = dict(_payload(990.0), label="ci")
+    cand_slow = dict(_payload(100.0), label="ci")
+    base_f = _write(tmp_path / "base.json", base)
+    ok_f = _write(tmp_path / "ok.json", cand_ok)
+    slow_f = _write(tmp_path / "slow.json", cand_slow)
+
+    # Empty ledger: gating has no baseline (exit 3).
+    assert obs_main(["history", "--ledger", ledger, "--gate", ok_f]) == 3
+
+    assert obs_main(["history", base_f, "--ledger", ledger]) == 0
+    out = capsys.readouterr().out
+    assert "ingested 1 file(s)" in out
+    assert "pr9" in out and "1000" in out
+
+    assert obs_main(["history", "--ledger", ledger, "--gate", ok_f]) == 0
+    assert obs_main(["history", "--ledger", ledger, "--gate", slow_f]) == 1
+    err = capsys.readouterr().err
+    assert "REGRESSED: workload w, metric cycles_per_sec" in err
+
+    # Delta between ledger labels; unknown labels are usage errors.
+    assert obs_main(["history", ok_f, "--ledger", ledger]) == 0
+    capsys.readouterr()
+    assert obs_main(["history", "--ledger", ledger,
+                     "--delta", "pr9", "ci"]) == 0
+    assert "delta pr9 -> ci" in capsys.readouterr().out
+    assert obs_main(["history", "--ledger", ledger,
+                     "--delta", "pr9", "nope"]) == 2
+
+
+def test_cli_profile_smoke_profile(tmp_path, capsys):
+    out_json = tmp_path / "profile.json"
+    code = obs_main([
+        "profile", "--profile", "smoke", "--load", "0.02",
+        "--json", str(out_json),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "phase breakdown" in out
+    assert "self-check ok" in out
+    payload = json.loads(out_json.read_text())
+    assert payload["kind"] == "phase-profile"
+    assert payload["selfcheck"] is True
+    assert payload["context"]["profile"] == "smoke"
+    shares = [p["share"] for p in payload["phases"].values()]
+    assert sum(shares) == pytest.approx(1.0, abs=1e-9)

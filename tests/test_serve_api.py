@@ -137,3 +137,77 @@ class TestEndpoints:
         with pytest.raises(urllib.error.HTTPError) as err:
             urllib.request.urlopen(req, timeout=30)
         assert err.value.code == 400
+
+
+def _request_raw(server, path, body=None, headers=None, method=None):
+    """Like ``_request`` but also returns the response headers."""
+    extra = dict(headers or {})
+    if body is not None:
+        extra.setdefault("Content-Type", "application/json")
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{server.port}{path}",
+        data=None if body is None else json.dumps(body).encode(),
+        headers=extra,
+        method=method,
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, json.loads(resp.read()), dict(resp.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read()), dict(exc.headers)
+
+
+class TestRequestIds:
+    def test_client_request_id_is_echoed(self, server):
+        status, payload, headers = _request_raw(
+            server, "/query?algorithm=nhop&rate=0.01",
+            headers={"x-request-id": "trace-42.a_b"},
+        )
+        assert status == 200
+        assert headers["x-request-id"] == "trace-42.a_b"
+
+    def test_server_assigns_id_when_absent(self, server):
+        status, _, headers = _request_raw(server, "/healthz")
+        assert status == 200
+        assert headers["x-request-id"].startswith("req-")
+
+    def test_invalid_client_id_is_replaced(self, server):
+        status, _, headers = _request_raw(
+            server, "/healthz",
+            headers={"x-request-id": "bad id with spaces!"},
+        )
+        assert status == 200
+        assert headers["x-request-id"].startswith("req-")
+
+    def test_reliability_response_carries_id(self, server):
+        status, _, headers = _request_raw(
+            server, "/reliability",
+            body={"width": 6, "failure_rate": 0.1, "trials": 50},
+            headers={"x-request-id": "rel-1"},
+        )
+        assert status == 200
+        assert headers["x-request-id"] == "rel-1"
+
+    def test_error_responses_carry_an_id(self, server):
+        status, _, headers = _request_raw(server, "/nope")
+        assert status == 404
+        assert headers["x-request-id"]
+
+
+class TestHttpMetrics:
+    def test_per_request_counters_visible_in_metrics(self, server):
+        status, payload, _ = _request_raw(
+            server, "/query?algorithm=nhop&rate=0.01"
+        )
+        assert status == 200
+        tier = payload["answer"]["tier"]
+        _, snapshot, _ = _request_raw(server, "/metrics")
+        assert snapshot["serve.http.requests"]["value"] >= 2
+        assert snapshot["serve.http.status.200"]["value"] >= 1
+        assert snapshot["serve.http.latency_us"]["type"] == "histogram"
+        assert snapshot[f"serve.http.query.tier.{tier}"]["value"] >= 1
+
+    def test_status_counters_split_by_code(self, server):
+        _request_raw(server, "/nope")
+        _, snapshot, _ = _request_raw(server, "/metrics")
+        assert snapshot["serve.http.status.404"]["value"] >= 1

@@ -702,6 +702,53 @@ class TestServeBoundary:
         assert self.check(src, path="src/repro/experiments/x.py") == []
 
 
+class TestSanctionedTimer:
+    """REP016: time.perf_counter only in repro.obs.profile."""
+
+    def check(self, src, path="src/repro/experiments/x.py"):
+        return lint_source(src, path=path, select={"REP016"})
+
+    def test_flags_attribute_access(self):
+        src = "import time\nt0 = time.perf_counter()\n"
+        findings = self.check(src)
+        assert rules_of(findings) == {"REP016"}
+        assert "repro.obs.profile import clock" in findings[0].message
+
+    def test_flags_perf_counter_ns_and_aliased_time(self):
+        src = "import time as _t\nt0 = _t.perf_counter_ns()\n"
+        assert rules_of(self.check(src)) == {"REP016"}
+
+    def test_flags_from_time_import(self):
+        src = "from time import perf_counter\n"
+        assert rules_of(self.check(src)) == {"REP016"}
+
+    def test_timer_home_is_exempt(self):
+        src = "from time import perf_counter as clock\n"
+        assert self.check(src, path="src/repro/obs/profile.py") == []
+
+    def test_sanctioned_clock_import_is_clean(self):
+        src = (
+            "from repro.obs.profile import clock\n"
+            "t0 = clock()\n"
+        )
+        assert self.check(src) == []
+
+    def test_other_time_attrs_not_flagged(self):
+        # time.time() for timestamps stays legal outside REP006 scope.
+        src = "import time\ncreated = time.time()\n"
+        assert self.check(src) == []
+
+    def test_engine_scope_may_not_import_timer_home(self):
+        src = "from repro.obs.profile import clock\n"
+        findings = self.check(src, path="src/repro/simulator/engine.py")
+        assert rules_of(findings) == {"REP016"}
+        assert "attach_profiler" in findings[0].message
+
+    def test_engine_scope_clean_without_timer(self):
+        src = "x = 1\n"
+        assert self.check(src, path="src/repro/simulator/engine.py") == []
+
+
 class TestHarness:
     def test_catalog_is_documented(self):
         for rule_id, (scope, summary, impl) in RULES.items():
