@@ -21,11 +21,18 @@ merge step folds everything back into the campaign:
   :meth:`~repro.obs.telemetry.TelemetryRegistry.merge_digest` equals
   the sequential run's;
 * **manifest** — per-cell timings from every shard manifest are
-  replayed into one new segment of the campaign's ``events.jsonl``.
+  replayed into one new segment of the campaign's ``events.jsonl``;
+* **spans** — every cell records a trace span under the campaign's
+  deterministic trace id (``trace_id_from("campaign", spec.name)``),
+  shipped home through the shard manifests and re-merged with
+  :func:`~repro.obs.spans.merge_spans`.  Span ids are position-derived
+  (cell id keys a direct child of the campaign root), so the merged
+  :func:`~repro.obs.spans.spans_merge_digest` equals the sequential
+  run's — a fourth proof-of-equality value.
 
-That three-way equality is the subsystem's proof obligation, exercised
-by the shard-equality tests and summarized by :func:`merge_shards`'s
-return value.
+That equality is the subsystem's proof obligation, exercised by the
+shard-equality tests and summarized by :func:`merge_shards`'s return
+value.
 """
 
 from __future__ import annotations
@@ -37,6 +44,14 @@ from repro.campaigns.db import CampaignDB, store_digest
 from repro.campaigns.spec import CampaignSpec, cell_id, draw_cases, \
     execute_cell
 from repro.obs.profile import clock
+from repro.obs.spans import (
+    make_span,
+    make_span_id,
+    merge_spans,
+    spans_from_manifest,
+    spans_merge_digest,
+    trace_id_from,
+)
 from repro.store.backend import ResultStore
 
 __all__ = [
@@ -66,6 +81,7 @@ def run_shard(
     shard_root: Path | str,
     *,
     with_telemetry: bool = False,
+    trace_context: tuple[str, str | None] | None = None,
 ) -> dict:
     """Execute one shard's cells against its own store/registry/manifest.
 
@@ -74,6 +90,12 @@ def run_shard(
         store/          shard-local ResultStore (all fresh puts)
         events.jsonl    the shard's own manifest segment
         telemetry.json  registry snapshot (when *with_telemetry*)
+
+    *trace_context* is the campaign's ``(trace_id, root_span_id)``; when
+    set, every cell records a ``cell`` span (keyed by cell id, a direct
+    child of the campaign root — no shard-level parent, so ids do not
+    depend on the sharding) into the shard manifest for the merge step
+    to replay.
 
     Returns a JSON-safe summary (shard root, per-cell timings, counts)
     — the contract a remote host would ship home alongside the
@@ -103,16 +125,31 @@ def run_shard(
             events.cell_start(cid)
             t0 = clock()
             row = execute_cell(evaluator, cases, key)
+            t1 = clock()
             cells.append(
                 {
                     "id": cid,
-                    "seconds": clock() - t0,
+                    "seconds": t1 - t0,
                     "cycles": row["cycles"],
                 }
             )
             events.cell_finish(
                 cid, seconds=cells[-1]["seconds"], cycles=row["cycles"]
             )
+            if trace_context is not None:
+                trace_id, root_id = trace_context
+                events.span(
+                    make_span(
+                        "cell",
+                        trace_id=trace_id,
+                        parent_id=root_id,
+                        kind="clock",
+                        start=t0,
+                        end=t1,
+                        key=cid,
+                        attrs={"id": cid, "cycles": row["cycles"]},
+                    )
+                )
         events.run_finish(
             status="ok",
             telemetry_digest=(
@@ -131,14 +168,19 @@ def run_shard(
     }
 
 
-def _shard_worker(args: tuple[dict, list[dict], str, bool]) -> dict:
+def _shard_worker(
+    args: tuple[dict, list[dict], str, bool, tuple | None]
+) -> dict:
     """Picklable pool entry point around :func:`run_shard`."""
-    spec_payload, coords, shard_root, with_telemetry = args
+    spec_payload, coords, shard_root, with_telemetry, trace_context = args
     return run_shard(
         CampaignSpec.from_dict(spec_payload),
         coords,
         shard_root,
         with_telemetry=with_telemetry,
+        trace_context=(
+            tuple(trace_context) if trace_context is not None else None
+        ),
     )
 
 
@@ -147,20 +189,26 @@ def merge_shards(
     shard_roots: list[Path | str],
     *,
     registry=None,
+    spans=None,
 ) -> dict:
     """Fold shard stores/telemetry/manifests back into the campaign.
 
     *registry* (a :class:`~repro.obs.telemetry.TelemetryRegistry`)
     receives every shard's ``telemetry.json`` snapshot, merged in shard
-    order; pass ``None`` to skip telemetry.  Returns a summary with the
-    merged row count, the campaign :func:`~repro.campaigns.db.
-    store_digest`, and the merged telemetry digest — the values a
-    proof-of-equality check compares against a sequential run.
+    order; pass ``None`` to skip telemetry.  Trace spans recorded in
+    the shard manifests are re-merged (dedup by deterministic id) with
+    any extra *spans* from the caller — typically the campaign root
+    span — and replayed into the campaign manifest.  Returns a summary
+    with the merged row count, the campaign
+    :func:`~repro.campaigns.db.store_digest`, the merged telemetry
+    digest, and the merged span digest — the values a proof-of-equality
+    check compares against a sequential run.
     """
     from repro.obs.manifest import ManifestWriter, read_manifest
 
     merged_rows = 0
     cell_events: list[dict] = []
+    shard_spans: list[dict] = []
     for shard_root in [Path(p) for p in shard_roots]:
         shard_store = ResultStore(shard_root / "store")
         for row in shard_store.rows():
@@ -175,10 +223,13 @@ def merge_shards(
             registry.merge(json.loads(snapshot_path.read_text()))
         events_path = shard_root / "events.jsonl"
         if events_path.exists():
+            shard_events = read_manifest(events_path)
             cell_events.extend(
-                ev for ev in read_manifest(events_path)
+                ev for ev in shard_events
                 if ev.get("event") == "cell" and ev.get("phase") == "finish"
             )
+            shard_spans.extend(spans_from_manifest(shard_events))
+    merged_spans = merge_spans(shard_spans, list(spans) if spans else [])
     with ManifestWriter(db.events_path) as events:
         events.run_start(
             db.spec.name,
@@ -194,6 +245,8 @@ def merge_shards(
                 worker=ev.get("worker", i % max(len(shard_roots), 1)),
                 cycles=ev.get("cycles", 0),
             )
+        for span in merged_spans:
+            events.span(span)
         events.run_finish(
             status="ok",
             telemetry_digest=(
@@ -207,6 +260,9 @@ def merge_shards(
         "store_digest": store_digest(db.store),
         "telemetry_digest": (
             registry.merge_digest() if registry is not None else None
+        ),
+        "span_digest": (
+            spans_merge_digest(merged_spans) if merged_spans else None
         ),
     }
 
@@ -227,6 +283,11 @@ def run_campaign(
     ``shards > 1`` partitions the missing cells round-robin, runs each
     shard under ``shards/shard-NN/`` (in a process pool of *workers*,
     default one process per shard), then :func:`merge_shards`.
+
+    Both paths record one trace under the campaign's deterministic
+    trace id: a ``campaign`` root span plus one ``cell`` child per
+    executed cell, written into the campaign manifest.  The summary's
+    ``span_digest`` is identical for any shard count.
 
     Returns a JSON-safe summary including the campaign store digest
     and, when *telemetry* is on, the merged registry digest.
@@ -249,6 +310,9 @@ def run_campaign(
         "executed": len(missing),
         "shards": shards,
     }
+    trace_id = trace_id_from("campaign", db.spec.name)
+    root_id = make_span_id(trace_id, None, "campaign")
+    t_campaign0 = clock()
     if shards <= 1:
         registry, instrument = _worker_registry(telemetry)
         from repro.store.cache import make_evaluator
@@ -258,6 +322,7 @@ def run_campaign(
             instrument=instrument,
         )
         cases = draw_cases(evaluator, db.spec)
+        spans: list[dict] = []
         with ManifestWriter(db.events_path) as events:
             events.run_start(
                 db.spec.name, kind="campaign", workers=1,
@@ -269,12 +334,27 @@ def run_campaign(
                 events.cell_start(cid)
                 t0 = clock()
                 row = execute_cell(evaluator, cases, key)
+                t1 = clock()
                 events.cell_finish(
-                    cid, seconds=clock() - t0,
+                    cid, seconds=t1 - t0,
                     cycles=row["cycles"],
+                )
+                spans.append(
+                    make_span(
+                        "cell", trace_id=trace_id, parent_id=root_id,
+                        kind="clock", start=t0, end=t1, key=cid,
+                        attrs={"id": cid, "cycles": row["cycles"]},
+                    )
                 )
                 if progress:
                     progress(f"[{db.spec.name}] {cid}")
+            spans.append(
+                _campaign_root_span(
+                    db, trace_id, root_id, t_campaign0, shards=1,
+                )
+            )
+            for span in merge_spans(spans):
+                events.span(span)
             events.run_finish(
                 status="ok",
                 telemetry_digest=(
@@ -285,6 +365,7 @@ def run_campaign(
             registry.merge_digest() if registry is not None else None
         )
         summary["store_digest"] = store_digest(db.store)
+        summary["span_digest"] = spans_merge_digest(spans)
         return summary
 
     parts = partition_cells(missing, shards)
@@ -293,7 +374,7 @@ def run_campaign(
         db.shards_root / f"shard-{i:02d}" for i in range(shards)
     ]
     jobs = [
-        (spec_payload, part, str(root), telemetry)
+        (spec_payload, part, str(root), telemetry, (trace_id, root_id))
         for part, root in zip(parts, shard_roots)
     ]
     n_workers = workers if workers is not None else shards
@@ -306,7 +387,12 @@ def run_campaign(
         from repro.obs.telemetry import TelemetryRegistry
 
         registry = TelemetryRegistry()
-    merge = merge_shards(db, shard_roots, registry=registry)
+    root_span = _campaign_root_span(
+        db, trace_id, root_id, t_campaign0, shards=shards,
+    )
+    merge = merge_shards(
+        db, shard_roots, registry=registry, spans=[root_span]
+    )
     summary.update(
         shard_results=[
             {"root": r["root"], "executed": r["executed"]}
@@ -315,5 +401,22 @@ def run_campaign(
         merged_rows=merge["merged_rows"],
         store_digest=merge["store_digest"],
         telemetry_digest=merge["telemetry_digest"],
+        span_digest=merge["span_digest"],
     )
     return summary
+
+
+def _campaign_root_span(
+    db: CampaignDB, trace_id: str, root_id: str, t0: float, *, shards: int
+) -> dict:
+    """The campaign-level root span (parent of every cell span)."""
+    return make_span(
+        "campaign",
+        trace_id=trace_id,
+        parent_id=None,
+        span_id=root_id,
+        kind="clock",
+        start=t0,
+        end=clock(),
+        attrs={"name": db.spec.name, "shards": shards},
+    )

@@ -35,6 +35,31 @@ EXPERIMENTS = ("budgets", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6")
 ABLATION_COMMANDS = tuple(f"ablation-{name}" for name in sorted(ABLATIONS))
 
 
+def _span_scope(trace, name: str):
+    """A driver-phase span published as the ambient trace context.
+
+    With *trace* ``None`` (no manifest, hence no tracing) this is a
+    no-op context.  Otherwise the block runs inside a clock span under
+    *trace*, and the span is the ambient parent for the duration — so
+    both pool workers (which inherit the environment) and the drivers'
+    sequential paths hang their ``cell.*`` spans off it, with identical
+    deterministic ids either way.
+    """
+    from contextlib import contextmanager, nullcontext
+
+    if trace is None:
+        return nullcontext()
+
+    @contextmanager
+    def scope():
+        from repro.obs.spans import ambient_scope
+
+        with trace.span(name) as child, ambient_scope(child.context()):
+            yield child
+
+    return scope()
+
+
 def _dump(out_dir: Path | None, name: str, payload: dict) -> None:
     if out_dir is None:
         return
@@ -70,7 +95,7 @@ def main(argv: list[str] | None = None) -> int:
         # phase profiler, perf ledger):
         # python -m repro.experiments obs
         #   {bench,compare,smoke,report,heatmap,timeline,converge,
-        #    profile,history}
+        #    profile,history,spans,blame}
         from repro.obs.cli import main as obs_main
 
         return obs_main(argv[1:])
@@ -270,6 +295,21 @@ def main(argv: list[str] | None = None) -> int:
             store=str(store.root) if store is not None else None,
             profile=profile_name,
         )
+    spans_rec = trace = None
+    if manifest is not None:
+        from repro.obs.profile import clock
+        from repro.obs.spans import (
+            SpanRecorder, Trace, make_span_id, trace_id_from,
+        )
+
+        spans_rec = SpanRecorder()
+        trace_id = trace_id_from(
+            "figure", args.experiment, profile_name, args.seed
+        )
+        trace = Trace(
+            spans_rec, trace_id, make_span_id(trace_id, None, args.experiment)
+        )
+        t_trace0 = clock()
     if args.experiment == "all":
         wanted: tuple[str, ...] = EXPERIMENTS
     elif args.experiment == "ablations":
@@ -293,11 +333,12 @@ def main(argv: list[str] | None = None) -> int:
         print(print_budgets(profile.config.width, profile.config.vcs_per_channel))
         print()
     if "fig1" in wanted or "fig2" in wanted:
-        sweep = run_sweep(
-            profile, algorithms, seed=args.seed, progress=progress,
-            workers=args.workers, store=store, instrument=instrument,
-            manifest=manifest,
-        )
+        with _span_scope(trace, "fig1-fig2"):
+            sweep = run_sweep(
+                profile, algorithms, seed=args.seed, progress=progress,
+                workers=args.workers, store=store, instrument=instrument,
+                manifest=manifest, spans=spans_rec,
+            )
         _dump(args.out, f"sweep_{profile.name}", sweep.to_payload())
         if "fig1" in wanted:
             print(print_fig1(sweep))
@@ -306,20 +347,22 @@ def main(argv: list[str] | None = None) -> int:
             print(print_fig2(sweep))
             print()
     if "fig3" in wanted:
-        usage = run_vc_usage(
-            profile, algorithms, seed=args.seed, progress=progress,
-            workers=args.workers, store=store, instrument=instrument,
-            manifest=manifest,
-        )
+        with _span_scope(trace, "fig3"):
+            usage = run_vc_usage(
+                profile, algorithms, seed=args.seed, progress=progress,
+                workers=args.workers, store=store, instrument=instrument,
+                manifest=manifest, spans=spans_rec,
+            )
         _dump(args.out, f"fig3_{profile.name}", usage.to_payload())
         print(print_fig3(usage))
         print()
     if "fig4" in wanted or "fig5" in wanted:
-        study = run_fault_study(
-            profile, algorithms, seed=args.seed, progress=progress,
-            workers=args.workers, store=store, instrument=instrument,
-            manifest=manifest,
-        )
+        with _span_scope(trace, "fig4-fig5"):
+            study = run_fault_study(
+                profile, algorithms, seed=args.seed, progress=progress,
+                workers=args.workers, store=store, instrument=instrument,
+                manifest=manifest, spans=spans_rec,
+            )
         _dump(args.out, f"faults_{profile.name}", study.to_payload())
         if "fig4" in wanted:
             print(print_fig4(study))
@@ -328,18 +371,33 @@ def main(argv: list[str] | None = None) -> int:
             print(print_fig5(study))
             print()
     if "fig6" in wanted:
-        fring = run_fring_study(
-            profile, algorithms, seed=args.seed, progress=progress,
-            workers=args.workers, store=store, instrument=instrument,
-            manifest=manifest,
-        )
+        with _span_scope(trace, "fig6"):
+            fring = run_fring_study(
+                profile, algorithms, seed=args.seed, progress=progress,
+                workers=args.workers, store=store, instrument=instrument,
+                manifest=manifest, spans=spans_rec,
+            )
         _dump(args.out, f"fig6_{profile.name}", fring.to_payload())
         print(print_fig6(fring))
         print()
 
     if manifest is not None:
+        from repro.obs.spans import make_span, merge_spans
         from repro.obs.telemetry import series_snapshot
 
+        spans_rec.add(make_span(
+            args.experiment,
+            trace_id=trace.trace_id,
+            parent_id=None,
+            span_id=trace.span_id,
+            kind="clock",
+            start=t_trace0,
+            end=clock(),
+            attrs={"profile": profile_name, "workers": args.workers},
+        ))
+        merged_spans = merge_spans(spans_rec.spans)
+        for span in merged_spans:
+            manifest.span(span)
         series = (
             series_snapshot(telemetry) if telemetry is not None else None
         )
@@ -351,7 +409,8 @@ def main(argv: list[str] | None = None) -> int:
             telemetry_series=series or None,
         )
         manifest.close()
-        print(f"[manifest: {manifest.events_written} events -> "
+        print(f"[manifest: {manifest.events_written} events "
+              f"({len(merged_spans)} spans, trace {trace.trace_id}) -> "
               f"{manifest.path}]")
     if telemetry is not None:
         print(telemetry.render(prefix="engine."))

@@ -55,6 +55,7 @@ def run_fault_study(
     store=None,
     instrument=None,
     manifest=None,
+    spans=None,
 ) -> FaultStudyResult:
     """Run the full-load fault sweep behind Figures 4 and 5.
 
@@ -65,12 +66,15 @@ def run_fault_study(
     instruments are pool-safe (worker snapshots merge in the parent,
     as in ``run_sweep``), tracers keep the study in process.
     *manifest* receives one ``cell`` event per algorithm.
+    *spans* collects one ``cell.<algorithm>`` trace span per algorithm
+    under the ambient trace context (as in ``run_sweep``).
     """
     import time
 
     from repro.experiments.parallel import (
         cache_delta,
         evaluator_cache_dict,
+        job_span,
         merge_worker_output,
         pool_safe_instrument,
     )
@@ -111,7 +115,7 @@ def run_fault_study(
             _fault_worker, jobs, workers, progress, label="fig4/5"
         ):
             result.points[alg] = data["points"]
-            merge_worker_output(instrument, data)
+            merge_worker_output(instrument, data, spans)
             if manifest is not None:
                 manifest.cell_finish(
                     alg, seconds=data["seconds"], worker=data["pid"],
@@ -132,6 +136,10 @@ def run_fault_study(
             evaluator.run_case(alg, case, injection_rate=rate) for case in cases
         ]
         result.points[alg] = pts
+        if spans is not None:
+            span = job_span(f"cell.{alg}", t0)
+            if span is not None:
+                spans.add(span)
         if manifest is not None:
             manifest.cell_finish(
                 alg,

@@ -65,6 +65,7 @@ def run_fring_study(
     store=None,
     instrument=None,
     manifest=None,
+    spans=None,
 ) -> FRingResult:
     """Run the Figure 6 traffic-load study.
 
@@ -78,13 +79,16 @@ def run_fring_study(
     ``engine.node_flit_hops`` labeled counter carries the spatial load
     surface (see :mod:`repro.obs.heatmap`); telemetry-only instruments
     are pool-safe, tracers stay in process.  *manifest* receives one
-    ``cell`` event per algorithm.
+    ``cell`` event per algorithm.  *spans* collects one
+    ``cell.<algorithm>`` trace span per algorithm under the ambient
+    trace context (as in ``run_sweep``).
     """
     import time
 
     from repro.experiments.parallel import (
         cache_delta,
         evaluator_cache_dict,
+        job_span,
         merge_worker_output,
         pool_safe_instrument,
     )
@@ -122,7 +126,7 @@ def run_fring_study(
         ):
             result.splits[alg] = data["splits"]
             result.corner_ratios[alg] = data["corner_ratio"]
-            merge_worker_output(instrument, data)
+            merge_worker_output(instrument, data, spans)
             if manifest is not None:
                 manifest.cell_finish(
                     alg, seconds=data["seconds"], worker=data["pid"],
@@ -157,6 +161,10 @@ def run_fring_study(
                     run, faulty
                 ).corner_ratio
         result.splits[alg] = cases
+        if spans is not None:
+            span = job_span(f"cell.{alg}", t0)
+            if span is not None:
+                spans.add(span)
         if manifest is not None:
             manifest.cell_finish(
                 alg,

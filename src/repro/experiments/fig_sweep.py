@@ -61,6 +61,7 @@ def run_sweep(
     store=None,
     instrument=None,
     manifest=None,
+    spans=None,
 ) -> SweepResult:
     """Run the fault-free rate sweep behind Figures 1 and 2.
 
@@ -85,12 +86,18 @@ def run_sweep(
     *manifest* (a :class:`~repro.obs.manifest.ManifestWriter`) receives
     one ``cell`` event per algorithm with its wall seconds, simulated
     cycles and cache counters.
+
+    *spans* (a :class:`~repro.obs.spans.SpanRecorder`) collects one
+    ``cell.<algorithm>`` trace span per algorithm under the ambient
+    trace context — identical ids whether the cells ran pooled or in
+    process.
     """
     import time
 
     from repro.experiments.parallel import (
         cache_delta,
         evaluator_cache_dict,
+        job_span,
         merge_worker_output,
         pool_safe_instrument,
     )
@@ -125,7 +132,7 @@ def run_sweep(
         ):
             result.throughput[alg] = data["throughput"]
             result.latency[alg] = data["latency"]
-            merge_worker_output(instrument, data)
+            merge_worker_output(instrument, data, spans)
             if manifest is not None:
                 manifest.cell_finish(
                     alg, seconds=data["seconds"], worker=data["pid"],
@@ -143,6 +150,10 @@ def run_sweep(
         points = evaluator.rate_sweep(alg, profile.sweep_rates)
         result.throughput[alg] = [p.throughput for p in points]
         result.latency[alg] = [p.network_latency for p in points]
+        if spans is not None:
+            span = job_span(f"cell.{alg}", t0)
+            if span is not None:
+                spans.add(span)
         if manifest is not None:
             manifest.cell_finish(
                 alg,

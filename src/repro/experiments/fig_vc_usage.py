@@ -54,6 +54,7 @@ def run_vc_usage(
     store=None,
     instrument=None,
     manifest=None,
+    spans=None,
 ) -> VcUsageResult:
     """Run the VC-utilization study behind Figure 3.
 
@@ -67,12 +68,15 @@ def run_vc_usage(
     exactly; see :func:`repro.metrics.vc_usage.reconcile_vc_usage`);
     telemetry-only instruments are pool-safe, tracers stay in process.
     *manifest* receives one ``cell`` event per algorithm.
+    *spans* collects one ``cell.<algorithm>`` trace span per algorithm
+    under the ambient trace context (as in ``run_sweep``).
     """
     import time
 
     from repro.experiments.parallel import (
         cache_delta,
         evaluator_cache_dict,
+        job_span,
         merge_worker_output,
         pool_safe_instrument,
     )
@@ -104,7 +108,7 @@ def run_vc_usage(
             _vc_usage_worker, jobs, workers, progress, label="fig3"
         ):
             result.usage[alg] = data["usage"]
-            merge_worker_output(instrument, data)
+            merge_worker_output(instrument, data, spans)
             if manifest is not None:
                 manifest.cell_finish(
                     alg, seconds=data["seconds"], worker=data["pid"],
@@ -128,6 +132,10 @@ def run_vc_usage(
             collect_vc_stats=True,
         )
         result.usage[alg] = vc_usage_percent(run)
+        if spans is not None:
+            span = job_span(f"cell.{alg}", t0)
+            if span is not None:
+                spans.add(span)
         if manifest is not None:
             manifest.cell_finish(
                 alg,

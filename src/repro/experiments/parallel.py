@@ -27,6 +27,14 @@ driver-specific series plus the bookkeeping the parent's run manifest
 wants: wall ``seconds``, the worker ``pid``, simulated ``cycles``, the
 telemetry ``snapshot`` (or ``None``) and the worker evaluator's cache
 counters (``cache``, or ``None`` without a store).
+
+Trace spans distribute the same way (snapshot + merge): when the parent
+published an ambient trace context (:func:`repro.obs.spans.
+ambient_scope` — pool workers inherit the environment at spawn/fork),
+each worker records one ``cell.<algorithm>`` span under the ambient
+parent and ships it home in ``data["spans"]``.  Deterministic span ids
+make the merged set identical to a sequential run's (REP013-style
+partition independence).
 """
 
 from __future__ import annotations
@@ -54,8 +62,12 @@ def pool_safe_instrument(instrument) -> bool:
     return isinstance(instrument, Instrument) and instrument.pool_safe
 
 
-def merge_worker_output(instrument, data: dict) -> None:
-    """Fold one worker's telemetry snapshot into the parent registry."""
+def merge_worker_output(instrument, data: dict, spans=None) -> None:
+    """Fold one worker's telemetry snapshot into the parent registry.
+
+    *spans* (a :class:`~repro.obs.spans.SpanRecorder` or list) collects
+    any trace spans the worker recorded under the ambient context.
+    """
     snapshot = data.get("snapshot")
     if (
         snapshot
@@ -63,6 +75,34 @@ def merge_worker_output(instrument, data: dict) -> None:
         and getattr(instrument, "telemetry", None) is not None
     ):
         instrument.telemetry.merge(snapshot)
+    if spans is not None and data.get("spans"):
+        spans.extend(data["spans"])
+
+
+def job_span(name: str, t0: float) -> dict | None:
+    """One clock span for a finished job, under the ambient trace context.
+
+    Returns ``None`` when no context is published — tracing stays fully
+    opt-in and jobs outside a traced run record nothing.  Used by both
+    the pool workers and the drivers' sequential paths, so the span ids
+    (derived from the ambient parent and *name*) come out identical
+    either way.
+    """
+    from repro.obs.spans import ambient, make_span
+
+    context = ambient()
+    if context is None:
+        return None
+    trace_id, parent_id = context
+    return make_span(
+        name,
+        trace_id=trace_id,
+        parent_id=parent_id,
+        kind="clock",
+        start=t0,
+        end=clock(),
+        attrs={"pid": os.getpid()},
+    )
 
 
 def evaluator_cache_dict(evaluator) -> dict | None:
@@ -102,11 +142,15 @@ def _make_evaluator(profile_config, seed: int, store_dir: str | None,
     )
 
 
-def _finish_data(data: dict, registry, evaluator, t0: float) -> dict:
+def _finish_data(
+    data: dict, registry, evaluator, t0: float, span_name: str | None = None
+) -> dict:
     data["seconds"] = clock() - t0
     data["pid"] = os.getpid()
     data["snapshot"] = None if registry is None else registry.snapshot()
     data["cache"] = evaluator_cache_dict(evaluator)
+    span = job_span(span_name, t0) if span_name else None
+    data["spans"] = [span] if span else []
     return data
 
 
@@ -126,7 +170,9 @@ def _sweep_worker(
         "latency": [p.network_latency for p in points],
         "cycles": sum(p.simulated_cycles for p in points),
     }
-    return algorithm, _finish_data(data, registry, evaluator, t0)
+    return algorithm, _finish_data(
+        data, registry, evaluator, t0, span_name=f"cell.{algorithm}"
+    )
 
 
 def _fault_worker(
@@ -150,7 +196,9 @@ def _fault_worker(
         "points": points,
         "cycles": sum(p.simulated_cycles for p in points),
     }
-    return algorithm, _finish_data(data, registry, evaluator, t0)
+    return algorithm, _finish_data(
+        data, registry, evaluator, t0, span_name=f"cell.{algorithm}"
+    )
 
 
 def _vc_usage_worker(
@@ -175,7 +223,9 @@ def _vc_usage_worker(
         "usage": vc_usage_percent(run),
         "cycles": run.measured_cycles + run.config.warmup,
     }
-    return algorithm, _finish_data(data, registry, evaluator, t0)
+    return algorithm, _finish_data(
+        data, registry, evaluator, t0, span_name=f"cell.{algorithm}"
+    )
 
 
 def _fring_worker(
@@ -211,7 +261,9 @@ def _fring_worker(
         "corner_ratio": corner_ratio,
         "cycles": cycles,
     }
-    return algorithm, _finish_data(data, registry, evaluator, t0)
+    return algorithm, _finish_data(
+        data, registry, evaluator, t0, span_name=f"cell.{algorithm}"
+    )
 
 
 def _progress_label(result, index: int) -> str:

@@ -23,10 +23,31 @@ Three layers, all opt-in and all zero-cost when unused:
   (``tools/perf_ledger.jsonl``; ``python -m repro.obs history``):
   committed ``BENCH_*.json`` files as a per-workload time series with
   a phase-attributing regression gate.
+* :mod:`repro.obs.spans` — cross-layer trace spans (``python -m
+  repro.obs spans``): clock-stamped outside the simulator,
+  cycle-stamped inside, deterministic ids, ambient context
+  propagation, partition-independent merge + digest.
+* :mod:`repro.obs.blame` — per-message latency blame
+  (``Simulation.attach_blame``; ``python -m repro.obs blame``):
+  decomposes each delivered message's latency into source-queue /
+  header-blocked / route-compute / f-ring-detour / data-pipeline
+  cycles, reconciled exactly against telemetry.
 
 See ``docs/observability.md`` for the counter catalog and workflows.
 """
 
+from repro.obs.blame import (
+    COMPONENTS,
+    BlameRecorder,
+    aggregate_blame,
+    blame_cell,
+    blame_csv,
+    blame_payload,
+    reconcile_blame,
+    render_blame_report,
+    top_slow,
+    write_blame_json,
+)
 from repro.obs.bench import (
     WORKLOADS,
     Workload,
@@ -74,16 +95,35 @@ from repro.obs.telemetry import (
     make_instrument,
     series_snapshot,
 )
+from repro.obs.spans import (
+    SpanRecorder,
+    Trace,
+    ambient,
+    ambient_scope,
+    make_span,
+    make_span_id,
+    merge_spans,
+    read_spans_jsonl,
+    render_waterfall,
+    spans_from_manifest,
+    spans_merge_digest,
+    trace_id_from,
+    write_spans_jsonl,
+)
 from repro.obs.trace_export import (
     chrome_trace,
     jsonl_lines,
     lifecycle_tracer,
+    spans_chrome_trace,
     write_chrome_trace,
     write_jsonl,
+    write_spans_trace,
     write_trace,
 )
 
 __all__ = [
+    "BlameRecorder",
+    "COMPONENTS",
     "Counter",
     "Gauge",
     "Histogram",
@@ -93,10 +133,18 @@ __all__ = [
     "PHASE_NAMES",
     "PhaseProfiler",
     "Series",
+    "SpanRecorder",
     "TelemetryRegistry",
+    "Trace",
     "WORKLOADS",
     "Workload",
+    "aggregate_blame",
+    "ambient",
+    "ambient_scope",
     "bench_key",
+    "blame_cell",
+    "blame_csv",
+    "blame_payload",
     "chrome_trace",
     "clock",
     "compare_payloads",
@@ -108,21 +156,36 @@ __all__ = [
     "ledger_entry",
     "lifecycle_tracer",
     "make_instrument",
+    "make_span",
+    "make_span_id",
+    "merge_spans",
     "node_surface",
     "parse_regress",
     "read_ledger",
     "read_manifest",
+    "read_spans_jsonl",
+    "reconcile_blame",
+    "render_blame_report",
     "render_history",
     "render_node_heatmap",
     "render_profile",
     "render_report",
+    "render_waterfall",
     "run_suite",
     "series_snapshot",
+    "spans_chrome_trace",
+    "spans_from_manifest",
+    "spans_merge_digest",
     "summarize_manifest",
     "surface_split",
+    "top_slow",
+    "trace_id_from",
     "write_bench_file",
+    "write_blame_json",
     "write_chrome_trace",
     "write_jsonl",
     "write_ledger",
+    "write_spans_jsonl",
+    "write_spans_trace",
     "write_trace",
 ]

@@ -1,5 +1,6 @@
 """Observability verbs: ``python -m repro.obs
-{bench,compare,smoke,report,heatmap,timeline,converge}``.
+{bench,compare,smoke,report,heatmap,timeline,converge,profile,history,
+spans,blame}``.
 
 * ``bench --label pr4`` runs the pinned perf suite and writes
   ``BENCH_pr4.json`` (see :mod:`repro.obs.bench`).
@@ -45,6 +46,21 @@
   CANDIDATE.json`` gates a fresh bench file against the ledger
   baseline, naming the regressed workload, metric, and phase (see
   :mod:`repro.obs.history`).
+* ``spans <file>...`` renders cross-layer trace spans — from span JSONL
+  files (``serve query --trace-out``), run manifests carrying ``span``
+  events, or a campaign directory's ``events.jsonl`` — as an ASCII
+  waterfall per trace, after a partition-independent merge.
+  ``--digest`` prints the structural merge digest (equal across any
+  sharding of the same run); ``--out FILE`` re-exports the merged spans
+  (``.jsonl`` or Chrome-trace JSON); ``--trace ID`` filters to one
+  trace (see :mod:`repro.obs.spans`).
+* ``blame`` runs pinned bench workloads (default
+  ``engine_faulty_rings``) with a :class:`~repro.obs.blame.
+  BlameRecorder` attached and renders per-algorithm, per-fault-case
+  latency blame shares plus the top-K slow messages with their
+  per-component cycles.  Reconciliation against telemetry is checked
+  on every run; a detached twin self-checks bit-identical results by
+  default.  ``--csv`` / ``--json`` export (see :mod:`repro.obs.blame`).
 """
 
 from __future__ import annotations
@@ -789,6 +805,165 @@ def history_main(argv: list[str]) -> int:
     return 0
 
 
+def spans_main(argv: list[str]) -> int:
+    from repro.obs.spans import (
+        merge_spans, read_spans_jsonl, render_waterfall,
+        spans_from_manifest, spans_merge_digest,
+    )
+    from repro.obs.trace_export import write_spans_trace
+
+    parser = argparse.ArgumentParser(
+        prog="repro-obs spans",
+        description="Merge and render cross-layer trace spans from span "
+        "JSONL files, run manifests, or campaign directories.",
+    )
+    parser.add_argument(
+        "sources", nargs="+", type=Path, metavar="FILE",
+        help="span JSONL file, manifest with span events, or a campaign "
+        "directory containing events.jsonl",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="ID",
+        help="render only the trace with this id",
+    )
+    parser.add_argument(
+        "--digest", action="store_true",
+        help="print the structural merge digest (partition-independent)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, metavar="FILE",
+        help="re-export merged spans (.jsonl, or Chrome-trace JSON)",
+    )
+    parser.add_argument("--width", type=int, default=40,
+                        help="waterfall bar width (default 40)")
+    args = parser.parse_args(argv)
+
+    collected: list[list[dict]] = []
+    for source in args.sources:
+        path = source / "events.jsonl" if source.is_dir() else source
+        try:
+            records = read_spans_jsonl(path)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if any("event" in record for record in records):
+            collected.append(spans_from_manifest(records))
+        else:
+            collected.append(records)
+    spans = merge_spans(*collected)
+    if args.trace is not None:
+        spans = [s for s in spans if s["trace_id"] == args.trace]
+    if not spans:
+        print("error: no spans found", file=sys.stderr)
+        return 2
+    print(render_waterfall(spans, width=args.width))
+    if args.digest:
+        print(f"\nmerge digest: {spans_merge_digest(spans)}")
+    if args.out is not None:
+        n = write_spans_trace(args.out, spans, label="repro spans")
+        print(f"[spans] wrote {n} records to {args.out}")
+    return 0
+
+
+def blame_main(argv: list[str]) -> int:
+    from repro.obs.bench import WORKLOADS, _build_engine_sim
+    from repro.obs.blame import (
+        BlameRecorder, blame_cell, blame_csv, reconcile_blame,
+        render_blame_report, write_blame_json,
+    )
+    from repro.obs.telemetry import TelemetryRegistry
+    from repro.simulator.engine import ENGINE_VERSION
+
+    engine_workloads = [w.name for w in WORKLOADS if w.kind == "engine"]
+    parser = argparse.ArgumentParser(
+        prog="repro-obs blame",
+        description="Run pinned workloads with per-message latency blame "
+        "attached; render blame shares and the top-K slow messages.",
+    )
+    parser.add_argument(
+        "--workload", nargs="+", choices=engine_workloads, default=None,
+        metavar="NAME",
+        help="pinned engine workload(s), one report cell each "
+        "(default: engine_faulty_rings); choices: "
+        + ", ".join(engine_workloads),
+    )
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override each workload's pinned seed")
+    parser.add_argument("--top", type=int, default=10,
+                        help="slow messages per cell (default 10)")
+    parser.add_argument(
+        "--csv", type=Path, default=None, metavar="FILE",
+        help="write per-cell, per-component shares as CSV",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=None, metavar="FILE",
+        help="write the blame report payload as JSON",
+    )
+    parser.add_argument(
+        "--no-selfcheck", action="store_true",
+        help="skip the detached twin run proving bit-identical results",
+    )
+    args = parser.parse_args(argv)
+
+    by_name = {w.name: w for w in WORKLOADS}
+    names = args.workload or ["engine_faulty_rings"]
+    cells = []
+    failures: list[str] = []
+    for name in names:
+        params = dict(by_name[name].params)
+        if args.seed is not None:
+            params["seed"] = args.seed
+        cycles = params["warm"] + params["cycles"]
+        print(f"[blame] {name}: {cycles} cycles "
+              f"(engine v{ENGINE_VERSION})", file=sys.stderr)
+        registry = TelemetryRegistry()
+        recorder = BlameRecorder()
+        sim = _build_engine_sim(params, telemetry=registry)
+        sim.attach_blame(recorder)
+        sim.step(cycles)
+        for problem in reconcile_blame(recorder, registry):
+            failures.append(f"{name}: {problem}")
+        cells.append(
+            blame_cell(name, params["algorithm"], params["faults"], recorder)
+        )
+        if not args.no_selfcheck:
+            twin = _build_engine_sim(params)
+            twin.step(cycles)
+
+            def state(s):
+                return (
+                    s.result.generated, s.result.delivered,
+                    s.result.delivered_flits, s.result.latency_sum,
+                    s.result.hops_sum, s.total_generated,
+                    s.total_delivered, s.total_dropped, s.rng.getstate(),
+                    str(s._perm_rng.bit_generator.state),
+                )
+
+            if state(sim) != state(twin):
+                failures.append(
+                    f"{name}: attached run diverged from detached twin "
+                    "(blame hook is not neutral)"
+                )
+
+    print(render_blame_report(cells, top=args.top))
+    if args.csv is not None:
+        args.csv.parent.mkdir(parents=True, exist_ok=True)
+        args.csv.write_text(blame_csv(cells))
+        print(f"[blame] wrote CSV to {args.csv}")
+    if args.json is not None:
+        write_blame_json(args.json, cells, top=args.top)
+        print(f"[blame] wrote {args.json}")
+    if failures:
+        for line in failures:
+            print(f"[blame] FAIL: {line}", file=sys.stderr)
+        return 1
+    checks = "reconciliation"
+    if not args.no_selfcheck:
+        checks += " + detached-twin self-check"
+    print(f"[blame] ok: {checks} passed for {', '.join(names)}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -802,6 +977,8 @@ def main(argv: list[str] | None = None) -> int:
         "converge": converge_main,
         "profile": profile_main,
         "history": history_main,
+        "spans": spans_main,
+        "blame": blame_main,
     }
     if not argv or argv[0] in ("-h", "--help"):
         print(__doc__)

@@ -115,6 +115,15 @@ class ManifestWriter:
             fields["cache"] = cache
         return self.event("cell", **fields)
 
+    def span(self, span: dict) -> dict:
+        """Append one trace span (see :mod:`repro.obs.spans`).
+
+        Spans ride in the manifest as ``span`` events so a run's trace
+        survives next to its cells; :func:`repro.obs.spans.
+        spans_from_manifest` recovers them for merging and rendering.
+        """
+        return self.event("span", **span)
+
     def run_finish(
         self,
         *,

@@ -28,8 +28,10 @@ __all__ = [
     "chrome_trace",
     "jsonl_lines",
     "lifecycle_tracer",
+    "spans_chrome_trace",
     "write_chrome_trace",
     "write_jsonl",
+    "write_spans_trace",
     "write_trace",
 ]
 
@@ -199,3 +201,74 @@ def write_trace(
         path, tracer_or_events, label=label,
         telemetry_snapshot=telemetry_snapshot,
     )
+
+
+# ----------------------------------------------------------------------
+# Cross-layer spans (repro.obs.spans) -> Chrome trace
+# ----------------------------------------------------------------------
+def spans_chrome_trace(spans: Iterable[dict], *, label: str = "repro") -> dict:
+    """Convert :mod:`repro.obs.spans` spans to a Chrome-trace object.
+
+    Each trace becomes one process row; within it, wall-clock spans
+    (seconds -> microseconds, zeroed at the trace's earliest clock
+    start) and cycle spans (1 cycle = 1 us, raw cycle stamps) land on
+    separate threads because the two time bases cannot share an axis.
+    """
+    from repro.obs.spans import merge_spans
+
+    merged = merge_spans(list(spans))
+    out: list[dict] = []
+    trace_ids = sorted({s["trace_id"] for s in merged})
+    for pid, trace_id in enumerate(trace_ids, start=1):
+        trace_spans = [s for s in merged if s["trace_id"] == trace_id]
+        out.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": f"{label} trace {trace_id}"},
+        })
+        clock_zero = min(
+            (s["start"] for s in trace_spans if s["kind"] == "clock"),
+            default=0.0,
+        )
+        for span in trace_spans:
+            if span["kind"] == "clock":
+                tid, ts = 0, (span["start"] - clock_zero) * 1e6
+                dur = (span["end"] - span["start"]) * 1e6
+            else:
+                tid, ts = 1, span["start"]
+                dur = span["end"] - span["start"]
+            out.append({
+                "name": span["name"],
+                "cat": span["kind"],
+                "ph": "X",
+                "ts": ts,
+                "dur": dur,
+                "pid": pid,
+                "tid": tid,
+                "args": {
+                    "span_id": span["span_id"],
+                    "parent_id": span["parent_id"],
+                    **span.get("attrs", {}),
+                },
+            })
+    return {
+        "traceEvents": out,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro.obs.spans", "label": label},
+    }
+
+
+def write_spans_trace(
+    path: Path | str, spans: Iterable[dict], *, label: str = "repro"
+) -> int:
+    """Write spans to *path*: ``.jsonl`` -> span JSONL, else Chrome JSON."""
+    from repro.obs.spans import write_spans_jsonl
+
+    spans = list(spans)
+    if str(path).endswith(".jsonl"):
+        return write_spans_jsonl(path, spans)
+    trace = spans_chrome_trace(spans, label=label)
+    Path(path).write_text(json.dumps(trace))
+    return len(trace["traceEvents"])

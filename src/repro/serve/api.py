@@ -19,6 +19,11 @@
     JSON body ``{width, failure_rate, trials?, seed?, height?,
     workers?}`` answered with a
     :meth:`~repro.serve.reliability.ReliabilityEstimate.to_dict`.
+``GET /trace``
+    The recorded trace spans for one request: ``?request=REQUEST_ID``
+    (recomputes the trace id from the ``x-request-id`` — deterministic,
+    no lookup table) or ``?trace=TRACE_ID`` directly.  Returns the
+    spans plus their :func:`~repro.obs.spans.spans_merge_digest`.
 
 The transport is deliberately minimal: ``asyncio.start_server`` plus a
 hand-rolled HTTP/1.1 exchange (one request per connection,
@@ -30,7 +35,14 @@ and health checks while answers are computed in order.
 
 Every response carries an ``x-request-id`` header: the client's own id
 echoed back when it sent one (sanitized to ``[A-Za-z0-9._-]{1,64}``),
-else a server-assigned ``req-<seq>``.  The HTTP layer additionally
+else a server-assigned ``req-<seq>``.  That id doubles as the trace
+identity: each exchange opens an ``http.request`` span under
+``trace_id_from("serve", request_id)``, the resolver hangs its
+``tier.<name>`` cascade beneath it, and a bounded-simulation fallback
+nests an ``engine.run`` span deeper still — so ``GET
+/trace?request=ID`` shows one merged timeline from socket to simulator
+(spans live in a bounded in-process :class:`~repro.obs.spans.
+SpanRecorder`; oldest drop first).  The HTTP layer additionally
 publishes per-request counters next to the resolver's tier metrics —
 ``serve.http.requests``, ``serve.http.status.<code>``,
 ``serve.http.latency_us``, and ``serve.http.query.tier.<tier>`` for
@@ -49,6 +61,9 @@ from urllib.parse import parse_qsl, urlsplit
 from repro.campaigns.db import CampaignDB
 from repro.core.evaluator import ENGINE_VERSION
 from repro.obs.profile import clock
+from repro.obs.spans import (
+    SpanRecorder, Trace, spans_merge_digest, trace_id_from,
+)
 from repro.obs.telemetry import TelemetryRegistry
 from repro.serve import reliability
 from repro.serve.resolver import (
@@ -153,6 +168,8 @@ class QueryServer:
         # and the stamp on the serve.http.* instruments (the serving
         # registry's cycle axis, matching the resolver's convention).
         self._http_requests = 0
+        # Bounded span store behind /trace; one trace per request id.
+        self.spans = SpanRecorder(limit=2048)
 
     # ------------------------------------------------------------------
     async def start(self) -> None:
@@ -279,11 +296,18 @@ class QueryServer:
             if not isinstance(decoded, dict):
                 raise _BadRequest("request body must be a JSON object")
             params.update(decoded)
-        status, payload = await self._route(method, url.path, params)
+        trace = Trace(self.spans, trace_id_from("serve", request_id))
+        with trace.span(
+            "http.request", method=method, path=url.path
+        ) as req_trace:
+            status, payload = await self._route(
+                method, url.path, params, req_trace
+            )
+            req_trace.attrs["status"] = status
         return status, payload, request_id
 
     async def _route(
-        self, method: str, path: str, params: dict
+        self, method: str, path: str, params: dict, trace: Trace
     ) -> tuple[int, dict]:
         if path == "/healthz":
             return 200, {
@@ -300,7 +324,8 @@ class QueryServer:
             loop = asyncio.get_running_loop()
             try:
                 answer = await loop.run_in_executor(
-                    self._executor, self.resolver.resolve, q
+                    self._executor,
+                    lambda: self.resolver.resolve(q, trace=trace),
                 )
             except UnresolvedQueryError as exc:
                 return 422, {
@@ -323,4 +348,18 @@ class QueryServer:
                 ),
             )
             return 200, est.to_dict()
+        if path == "/trace":
+            if method != "GET":
+                return 405, {"error": f"{method} not allowed on /trace"}
+            trace_id = params.get("trace")
+            if not trace_id and params.get("request"):
+                trace_id = trace_id_from("serve", str(params["request"]))
+            if not trace_id:
+                raise _BadRequest("pass ?request=REQUEST_ID or ?trace=ID")
+            spans = self.spans.of_trace(str(trace_id))
+            return 200, {
+                "trace_id": trace_id,
+                "spans": spans,
+                "merge_digest": spans_merge_digest(spans),
+            }
         return 404, {"error": f"unknown path {path!r}"}

@@ -17,7 +17,10 @@
     python -m repro.serve api runs/c1 --port 8707
 
 ``query`` exits 0 with an answer, 3 when no tier can serve the query
-(printing the per-tier refusals), 2 on bad input.
+(printing the per-tier refusals), 2 on bad input.  ``query
+--trace-out FILE`` records the tier-cascade trace spans (including any
+``engine.run`` fallback span) to a span JSONL readable by
+``python -m repro.obs spans``.
 """
 
 from __future__ import annotations
@@ -48,11 +51,22 @@ def _cmd_query(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    trace = recorder = None
+    if args.trace_out is not None:
+        from repro.obs.spans import SpanRecorder, Trace, trace_id_from
+
+        recorder = SpanRecorder()
+        trace = Trace(
+            recorder, trace_id_from("serve-cli", q.to_dict())
+        )
     try:
-        answer = resolver.resolve(q)
+        with _query_span(trace, q) as child:
+            answer = resolver.resolve(q, trace=child)
     except UnresolvedQueryError as exc:
+        _write_trace(args, recorder)
         print(f"unresolved: {exc}", file=sys.stderr)
         return 3
+    _write_trace(args, recorder)
     if args.json:
         print(json.dumps(
             {"query": q.to_dict(), "answer": answer.to_dict()}, indent=2
@@ -65,6 +79,26 @@ def _cmd_query(args: argparse.Namespace) -> int:
         f"engine=v{answer.engine_version}]"
     )
     return 0
+
+
+def _query_span(trace, q):
+    """Root ``serve.query`` span around resolution, or a no-op scope."""
+    from contextlib import nullcontext
+
+    if trace is None:
+        return nullcontext()
+    return trace.span(
+        "serve.query", algorithm=q.algorithm, rate=q.rate, metric=q.metric
+    )
+
+
+def _write_trace(args: argparse.Namespace, recorder) -> None:
+    if recorder is None:
+        return
+    from repro.obs.spans import write_spans_jsonl
+
+    count = write_spans_jsonl(args.trace_out, recorder.spans)
+    print(f"[trace: {count} spans -> {args.trace_out}]", file=sys.stderr)
 
 
 def _cmd_reliability(args: argparse.Namespace) -> int:
@@ -141,6 +175,10 @@ def main(argv: list[str] | None = None) -> int:
                          help="enable the bounded-simulation fallback tier")
     p_query.add_argument("--json", action="store_true",
                          help="machine-readable answer")
+    p_query.add_argument("--trace-out", type=Path, default=None,
+                         help="write the tier-cascade trace spans to this "
+                              "JSONL (render with `python -m repro.obs "
+                              "spans FILE`)")
     p_query.set_defaults(fn=_cmd_query)
 
     p_rel = sub.add_parser(

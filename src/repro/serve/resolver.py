@@ -31,12 +31,18 @@ The resolver is observable with the engine's own tooling: pass a
 :class:`~repro.obs.telemetry.TelemetryRegistry` and it maintains
 per-tier hit counters (``serve.tier.<tier>``) and wall-latency
 histograms (``serve.latency_us`` overall plus per tier), stamped with
-the request index as the "cycle".
+the request index as the "cycle".  Pass a :class:`~repro.obs.spans.
+Trace` to :meth:`Resolver.resolve` and the cascade additionally records
+one ``tier.<name>`` span per attempted tier (attr ``outcome`` says
+``answered`` or ``refused``) with an ``engine.run`` child span around
+any bounded-simulation fallback — the serve half of the cross-layer
+trace (:mod:`repro.obs.spans`).
 """
 
 from __future__ import annotations
 
 import math
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from repro.campaigns.db import CampaignDB
@@ -272,7 +278,7 @@ class Resolver:
             detail=detail,
         )
 
-    def _try_simulation(self, q: Query) -> Answer:
+    def _try_simulation(self, q: Query, trace=None) -> Answer:
         if not self.simulate:
             raise TierRefusal(
                 "simulation fallback disabled (pass simulate=True)"
@@ -282,16 +288,25 @@ class Resolver:
         n_sets = spec.fault_sets if q.n_faults else 1
         case = evaluator.fault_case(q.n_faults, n_sets)
         samples = []
-        for fault_set, faults in enumerate(case.patterns):
-            for repeat in range(spec.repeats):
-                result = evaluator.run_single(
-                    q.algorithm,
-                    faults,
-                    injection_rate=q.rate,
-                    set_index=fault_set * 1000 + repeat,
-                    cycles_mode="auto",
-                )
-                samples.append(extract_metric(result, q.metric))
+        cycles = 0
+        span = (
+            trace.span("engine.run") if trace is not None else nullcontext()
+        )
+        with span as engine_span:
+            for fault_set, faults in enumerate(case.patterns):
+                for repeat in range(spec.repeats):
+                    result = evaluator.run_single(
+                        q.algorithm,
+                        faults,
+                        injection_rate=q.rate,
+                        set_index=fault_set * 1000 + repeat,
+                        cycles_mode="auto",
+                    )
+                    cycles += result.measured_cycles + result.config.warmup
+                    samples.append(extract_metric(result, q.metric))
+            if engine_span is not None:
+                engine_span.attrs["n_runs"] = len(samples)
+                engine_span.attrs["cycles"] = cycles
         mean, ci = batch_means_ci(samples)
         stats = evaluator.stats
         return Answer(
@@ -308,8 +323,13 @@ class Resolver:
         )
 
     # ------------------------------------------------------------------
-    def resolve(self, q: Query) -> Answer:
-        """Serve *q* from the cheapest tier able to answer it."""
+    def resolve(self, q: Query, *, trace=None) -> Answer:
+        """Serve *q* from the cheapest tier able to answer it.
+
+        With *trace* (a :class:`~repro.obs.spans.Trace`), every
+        attempted tier records a ``tier.<name>`` span under it; the
+        simulation tier nests an ``engine.run`` span inside its own.
+        """
         self._requests += 1
         request = self._requests
         started = clock()
@@ -323,13 +343,26 @@ class Resolver:
             ("simulation", self._try_simulation),
         )
         for tier, attempt in tiers:
-            try:
-                answer = attempt(q)
-            except (
-                SurrogateError, calibrate.CalibrationError, TierRefusal
-            ) as exc:
-                refusals[tier] = str(exc)
-                continue
+            span = (
+                trace.span(f"tier.{tier}")
+                if trace is not None
+                else nullcontext()
+            )
+            with span as tier_trace:
+                try:
+                    if tier == "simulation":
+                        answer = self._try_simulation(q, trace=tier_trace)
+                    else:
+                        answer = attempt(q)
+                except (
+                    SurrogateError, calibrate.CalibrationError, TierRefusal
+                ) as exc:
+                    refusals[tier] = str(exc)
+                    if tier_trace is not None:
+                        tier_trace.attrs["outcome"] = "refused"
+                    continue
+                if tier_trace is not None:
+                    tier_trace.attrs["outcome"] = "answered"
             self._observe(request, tier, started)
             return answer
         if self.telemetry is not None:

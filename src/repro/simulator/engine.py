@@ -223,6 +223,8 @@ class Simulation:
         "_t_latency", "_g_inflight", "_t_node_hops", "_t_node_blocked",
         "_s_ejected", "_s_delivered", "_s_latency", "_s_blocked",
         "_s_busy_role", "_t_fring",
+        "blame", "_b_blocked", "_b_grant", "_b_ring", "_b_finalize",
+        "_b_drop", "_b_role_of", "_b_ring_role",
     )
 
     def __init__(
@@ -302,6 +304,11 @@ class Simulation:
         #: ``None`` keeps the per-cycle loop hook-free: one ``is not
         #: None`` check per phase, no clock reads (REP006).
         self.profiler = None
+
+        #: Optional latency-blame recorder (see :mod:`repro.obs.blame`).
+        #: ``None`` keeps every publish site a no-op attribute check,
+        #: like telemetry.
+        self.blame = None
 
         self.result = SimulationResult(
             algorithm=algorithm.name,
@@ -425,6 +432,31 @@ class Simulation:
         """
         self.profiler = profiler
         profiler.bind(self)
+
+    def attach_blame(self, recorder) -> None:
+        """Bind a :class:`repro.obs.blame.BlameRecorder` to this run.
+
+        The engine then reports per-message blame events: one per
+        blocked-header cycle, one per VC grant (classified ring vs
+        productive with the same condition as the f-ring telemetry),
+        a finalize at tail ejection and a discard on recovery drains.
+        The recorder only *receives* counts and draws no RNG, so an
+        attached run is bit-identical to a detached one — the same
+        contract (and A/B twin test) as telemetry.  Methods are bound
+        once here; detached runs pay one ``is not None`` check per site.
+        """
+        from repro.routing.budgets import ROLE_RING
+
+        self.blame = recorder
+        recorder.bind_mesh(self.mesh)
+        budget = self.algorithm.budget
+        self._b_role_of = budget.role_of if budget is not None else ()
+        self._b_ring_role = ROLE_RING
+        self._b_blocked = recorder.header_blocked
+        self._b_grant = recorder.route_granted
+        self._b_ring = recorder.ring_granted
+        self._b_finalize = recorder.message_delivered
+        self._b_drop = recorder.message_dropped
 
     def _fring_counter(self, ring):
         """The per-f-ring traversal counter (lazy, keyed by identity)."""
@@ -672,6 +704,8 @@ class Simulation:
                     self._t_blocked.inc(cycle)
                     self._t_node_blocked.inc(cycle, node)
                     self._s_blocked.add(cycle)
+                if self.blame is not None:
+                    self._b_blocked(msg)
                 continue
             granted.owner = invc
             invc.out_ovc = granted
@@ -687,6 +721,17 @@ class Simulation:
                 self._t_alloc_role[role].inc(cycle)
                 if role == self._ring_role and msg.ring is not None:
                     self._fring_counter(msg.ring).inc(cycle)
+            if self.blame is not None and not granted.is_ejection:
+                # Ring classification matches the f-ring telemetry above.
+                role_of = self._b_role_of
+                if (
+                    role_of
+                    and role_of[granted.vc] == self._b_ring_role
+                    and msg.ring is not None
+                ):
+                    self._b_ring(msg)
+                else:
+                    self._b_grant(msg)
             if not granted.is_ejection:
                 alg.on_vc_allocated(msg, node, granted.port, granted.vc)
 
@@ -753,6 +798,8 @@ class Simulation:
                         self._t_latency.observe(cycle, cycle - msg.created)
                         self._s_delivered.add(cycle)
                         self._s_latency.add(cycle, cycle - msg.created)
+                    if self.blame is not None:
+                        self._b_finalize(msg, cycle)
                     if measuring:
                         result.delivered += 1
                         lat = msg.delivered - msg.created
@@ -896,6 +943,8 @@ class Simulation:
                 self._t_drain_livelock.inc(self.cycle)
             else:
                 self._t_drain_deadlock.inc(self.cycle)
+        if self.blame is not None:
+            self._b_drop(msg)
         if self.cycle >= self.config.warmup:
             if livelock:
                 self.result.dropped_livelock += 1

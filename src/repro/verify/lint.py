@@ -19,6 +19,8 @@ import ast
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.obs.spans import CYCLE_SAFE_NAMES
+
 #: Modules (path fragments, "/"-separated) where stdlib ``random``
 #: module-level functions are tolerated: nowhere.  Seeded
 #: ``random.Random`` instances are fine everywhere; *unseeded* draws are
@@ -1118,6 +1120,158 @@ def _rule_sanctioned_timer(mod: _Module) -> list[Finding]:
 
 
 # ----------------------------------------------------------------------
+# REP017 — trace spans and blame hooks respect engine time discipline
+# ----------------------------------------------------------------------
+#: The span module whose clock-reading surface must stay out of the
+#: cycle-driven scope; only :data:`repro.obs.spans.CYCLE_SAFE_NAMES`
+#: (pure id/constructor helpers) may cross the boundary.
+_SPANS_MODULE = "repro.obs.spans"
+
+#: Attribute prefix of bound blame-hook methods on the engine
+#: (``self._b_blocked``, ``self._b_finalize``, ...) — the blame
+#: counterpart of REP009's ``_t_``/``_s_``/``_g_`` instruments.
+_BLAME_PREFIX = "_b_"
+
+
+def _is_blame_expr(expr: ast.expr) -> bool:
+    """Whether *expr* reads the nullable blame hook itself."""
+    return (isinstance(expr, ast.Attribute) and expr.attr == "blame") or (
+        isinstance(expr, ast.Name) and expr.id == "blame"
+    )
+
+
+def _blame_compare(test: ast.expr, op: type) -> bool:
+    """``<blame> is [not] None`` (possibly inside an ``and`` chain)."""
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        return any(_blame_compare(v, op) for v in test.values)
+    return (
+        isinstance(test, ast.Compare)
+        and len(test.ops) == 1
+        and isinstance(test.ops[0], op)
+        and isinstance(test.comparators[0], ast.Constant)
+        and test.comparators[0].value is None
+        and _is_blame_expr(test.left)
+    )
+
+
+def _rule_span_blame_discipline(mod: _Module) -> list[Finding]:
+    """REP017: spans stay cycle-safe in the engine; blame is a nullable
+    hook.
+
+    Two halves of one invariant — cross-layer observability must not
+    leak wall-clock reads or unconditional overhead into the simulator:
+
+    * a no-wall-clock module (REP006 scope) may import from
+      ``repro.obs.spans`` only the cycle-safe constructor names in
+      ``CYCLE_SAFE_NAMES`` — everything else (``Trace.span``, ambient
+      helpers, file IO) reads the sanctioned clock or does IO;
+    * blame-hook publishes (``self._b_*`` calls) follow the REP009
+      idiom: bound once in ``attach_blame``, and every call site guarded
+      by ``if self.blame is not None:`` so a detached engine pays one
+      pointer test per site and stays bit-identical.
+    """
+    if not any(p in mod.path for p in _WALLCLOCK_FORBIDDEN_PREFIXES):
+        return []
+    found = []
+    for node in _iter_code_nodes(mod.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == _SPANS_MODULE or alias.name.startswith(
+                    _SPANS_MODULE + "."
+                ):
+                    found.append(Finding(
+                        "REP017", mod.path, node.lineno, node.col_offset,
+                        f"'import {alias.name}' in a cycle-driven module "
+                        "exposes the whole span API (clock-stamped "
+                        "Trace.span, file IO); import only the cycle-safe "
+                        f"names {', '.join(CYCLE_SAFE_NAMES)}",
+                    ))
+        elif isinstance(node, ast.ImportFrom) and node.module == _SPANS_MODULE:
+            for alias in node.names:
+                if alias.name not in CYCLE_SAFE_NAMES:
+                    found.append(Finding(
+                        "REP017", mod.path, node.lineno, node.col_offset,
+                        f"'from {_SPANS_MODULE} import {alias.name}' in a "
+                        "cycle-driven module; only the cycle-safe "
+                        f"constructors ({', '.join(CYCLE_SAFE_NAMES)}) may "
+                        "cross this boundary — wall-clock spans are "
+                        "recorded outside the engine (REP006/REP016)",
+                    ))
+
+    parents: dict[ast.AST, ast.AST] = {}
+    for parent in ast.walk(mod.tree):
+        for child in ast.iter_child_nodes(parent):
+            parents[child] = parent
+
+    def enclosing_function(node: ast.AST):
+        cur = parents.get(node)
+        while cur is not None and not isinstance(
+            cur, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            cur = parents.get(cur)
+        return cur
+
+    def guarded(node: ast.AST) -> bool:
+        """The publish sits under ``if <blame> is not None:`` or after
+        a ``if <blame> is None: ... return`` early exit."""
+        cur: ast.AST = node
+        while True:
+            parent = parents.get(cur)
+            if parent is None:
+                return False
+            if (
+                isinstance(parent, ast.If)
+                and cur in parent.body
+                and _blame_compare(parent.test, ast.IsNot)
+            ):
+                return True
+            if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for stmt in parent.body:
+                    if stmt is cur:
+                        return False
+                    if (
+                        isinstance(stmt, ast.If)
+                        and _blame_compare(stmt.test, ast.Is)
+                        and stmt.body
+                        and isinstance(stmt.body[-1], (ast.Return, ast.Raise))
+                    ):
+                        return True
+                return False
+            cur = parent
+
+    for node in ast.walk(mod.tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr.startswith(_BLAME_PREFIX)
+                ):
+                    func = enclosing_function(node)
+                    if func is None or func.name != "attach_blame":
+                        found.append(Finding(
+                            "REP017", mod.path, node.lineno, node.col_offset,
+                            f"blame hook {target.attr!r} bound outside "
+                            "attach_blame: bind every _b_* method once in "
+                            "attach_blame so the detached engine never "
+                            "carries stale recorder state",
+                        ))
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr.startswith(_BLAME_PREFIX)
+            and not guarded(node)
+        ):
+            found.append(Finding(
+                "REP017", mod.path, node.lineno, node.col_offset,
+                f"unguarded blame publish {node.func.attr}(...): wrap in "
+                "'if self.blame is not None:' (or return early when it "
+                "is None) — the engine must run blame-free with one "
+                "pointer test per site",
+            ))
+    return found
+
+
+# ----------------------------------------------------------------------
 # Catalog
 # ----------------------------------------------------------------------
 #: rule id -> (scope, summary, implementation).
@@ -1211,6 +1365,13 @@ RULES: dict[str, tuple[str, str, object]] = {
         "imports its clock); no-wall-clock modules may not import the "
         "timer home at all",
         _rule_sanctioned_timer,
+    ),
+    "REP017": (
+        "module",
+        "cycle-driven modules import only cycle-safe span constructors "
+        "from repro.obs.spans; blame hooks bind in attach_blame and "
+        "guard every publish (nullable-hook idiom)",
+        _rule_span_blame_discipline,
     ),
 }
 

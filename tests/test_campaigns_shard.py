@@ -16,6 +16,8 @@ from repro.campaigns.shard import (
     run_shard,
 )
 from repro.campaigns.spec import CampaignSpec
+from repro.obs.manifest import read_manifest
+from repro.obs.spans import merge_spans, spans_from_manifest, spans_merge_digest
 from repro.obs.telemetry import TelemetryRegistry
 from repro.simulator.config import SimConfig
 
@@ -97,6 +99,20 @@ class TestShardEquality:
         _, _, seq, _, sharded = runs
         assert seq["telemetry_digest"] is not None
         assert seq["telemetry_digest"] == sharded["telemetry_digest"]
+
+    def test_merged_span_digest_matches_sequential(self, runs):
+        """Cell spans land in shard manifests, merge back into the
+        campaign manifest, and digest identically to a sequential run
+        (span ids are position-derived, so sharding cannot move them)."""
+        _, seq_db, seq, sharded_db, sharded = runs
+        assert seq["span_digest"] is not None
+        assert seq["span_digest"] == sharded["span_digest"]
+        for db in (seq_db, sharded_db):
+            spans = spans_from_manifest(list(read_manifest(db.events_path)))
+            assert spans_merge_digest(merge_spans(spans)) == seq["span_digest"]
+            names = {s["name"] for s in spans}
+            assert names == {"campaign", "cell"}
+            assert sum(1 for s in spans if s["name"] == "cell") == 12
 
     def test_shard_layout_on_disk(self, runs):
         _, _, _, sharded_db, _ = runs

@@ -8,6 +8,8 @@ from repro.experiments.fig_faults import run_fault_study
 from repro.experiments.fig_sweep import run_sweep
 from repro.experiments.parallel import parallel_map
 from repro.experiments.profiles import SMOKE_PROFILE
+from repro.obs.telemetry import Instrument
+from repro.simulator.trace import Tracer
 
 
 def double(job):
@@ -71,6 +73,37 @@ class TestParallelSweep:
         custom = replace(SMOKE_PROFILE, sweep_loads=(0.02,))
         res = run_sweep(custom, ("nhop",), workers=1)
         assert len(res.throughput["nhop"]) == 1
+
+
+class TestSampledTracerParallel:
+    """``Tracer(sample=N)`` determinism under ``--workers N``: a tracer
+    instrument is not pool-safe, so the drivers route traced sweeps
+    through the in-process path and the merged sampled lifecycle traces
+    must equal the sequential run's, event for event."""
+
+    def _traced_sweep(self, workers, sample):
+        tracer = Tracer(capacity=500_000, kinds={"inject", "deliver"},
+                        sample=sample)
+        run_sweep(SMOKE_PROFILE, ("nhop", "phop"), workers=workers,
+                  instrument=Instrument(tracer=tracer))
+        return tracer
+
+    def test_sampled_trace_is_worker_independent(self):
+        seq = self._traced_sweep(workers=1, sample=3)
+        par = self._traced_sweep(workers=2, sample=3)
+        assert seq.events, "sampled tracer captured nothing"
+        assert list(seq.events) == list(par.events)
+        assert seq.counts == par.counts
+        assert all(event[2] % 3 == 0 for event in seq.events)
+
+    def test_sampled_ids_are_the_divisible_slice_of_full(self):
+        full = self._traced_sweep(workers=1, sample=1)
+        sampled = self._traced_sweep(workers=1, sample=3)
+        delivered_full = {e[2] for e in full.events if e[1] == "deliver"}
+        delivered_sampled = {e[2] for e in sampled.events if e[1] == "deliver"}
+        assert delivered_sampled == {
+            mid for mid in delivered_full if mid % 3 == 0
+        }
 
 
 class TestParallelFaultStudy:

@@ -211,3 +211,88 @@ class TestHttpMetrics:
         _request_raw(server, "/nope")
         _, snapshot, _ = _request_raw(server, "/metrics")
         assert snapshot["serve.http.status.404"]["value"] >= 1
+
+
+@pytest.fixture(scope="module")
+def sim_server(serve_campaign):
+    """A second server with the bounded-simulation fallback enabled."""
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+    srv = QueryServer(serve_campaign, simulate=True)
+    asyncio.run_coroutine_threadsafe(srv.start(), loop).result(timeout=30)
+    yield srv
+    asyncio.run_coroutine_threadsafe(srv.stop(), loop).result(timeout=30)
+    loop.call_soon_threadsafe(loop.stop)
+    thread.join(timeout=30)
+    loop.close()
+
+
+class TestTraces:
+    """PR 10 acceptance: a /query that falls through to the bounded-
+    simulation tier yields ONE merged trace — HTTP request -> tier
+    cascade -> engine run — retrievable by request id."""
+
+    def test_simulation_fallback_produces_one_merged_trace(self, sim_server):
+        # n_faults=1 is off the campaign grid (0 and 2 only), so the
+        # store/surrogate/model tiers refuse and simulation answers.
+        status, payload, _ = _request_raw(
+            sim_server,
+            "/query?algorithm=nhop&rate=0.01&n_faults=1",
+            headers={"x-request-id": "trace-e2e-1"},
+        )
+        assert status == 200
+        assert payload["answer"]["tier"] == "simulation"
+
+        status, trace, _ = _request_raw(
+            sim_server, "/trace?request=trace-e2e-1"
+        )
+        assert status == 200
+        assert trace["merge_digest"]
+        spans = trace["spans"]
+        assert all(s["trace_id"] == trace["trace_id"] for s in spans)
+        by_name = {s["name"]: s for s in spans}
+
+        root = by_name["http.request"]
+        assert root["parent_id"] is None
+        assert root["attrs"]["status"] == 200
+
+        sim_tier = by_name["tier.simulation"]
+        assert sim_tier["parent_id"] == root["span_id"]
+        assert sim_tier["attrs"]["outcome"] == "answered"
+        for tier in ("tier.store", "tier.surrogate", "tier.model"):
+            assert by_name[tier]["parent_id"] == root["span_id"]
+            assert by_name[tier]["attrs"]["outcome"] == "refused"
+
+        engine = by_name["engine.run"]
+        assert engine["parent_id"] == sim_tier["span_id"]
+        assert engine["attrs"]["n_runs"] >= 1
+        assert engine["attrs"]["cycles"] > 0
+
+    def test_trace_id_is_recomputable_from_request_id(self, sim_server):
+        from repro.obs.spans import trace_id_from
+
+        _, trace, _ = _request_raw(sim_server, "/trace?request=trace-e2e-1")
+        assert trace["trace_id"] == trace_id_from("serve", "trace-e2e-1")
+        _, same, _ = _request_raw(
+            sim_server, f"/trace?trace={trace['trace_id']}"
+        )
+        assert same["spans"] == trace["spans"]
+
+    def test_trace_without_selector_is_400(self, sim_server):
+        status, payload, _ = _request_raw(sim_server, "/trace")
+        assert status == 400
+        assert "request" in payload["error"]
+
+    def test_trace_rejects_post(self, sim_server):
+        status, _, _ = _request_raw(
+            sim_server, "/trace?request=x", body={}, method="POST"
+        )
+        assert status == 405
+
+    def test_unknown_request_yields_empty_trace(self, sim_server):
+        status, trace, _ = _request_raw(
+            sim_server, "/trace?request=never-seen"
+        )
+        assert status == 200
+        assert trace["spans"] == []

@@ -749,6 +749,98 @@ class TestSanctionedTimer:
         assert self.check(src, path="src/repro/simulator/engine.py") == []
 
 
+class TestSpanBlameDiscipline:
+    """REP017: cycle-driven modules import only cycle-safe span
+    constructors; blame hooks bind in attach_blame and guard every
+    publish behind ``is not None``."""
+
+    PATH = "src/repro/simulator/x.py"
+
+    def check(self, src, path=PATH):
+        return lint_source(src, path=path, select={"REP017"})
+
+    def test_flags_whole_module_spans_import(self):
+        src = "import repro.obs.spans\n"
+        assert rules_of(self.check(src)) == {"REP017"}
+
+    def test_flags_clock_coupled_from_import(self):
+        src = "from repro.obs.spans import Trace\n"
+        findings = self.check(src)
+        assert rules_of(findings) == {"REP017"}
+        assert "cycle-safe" in findings[0].message
+
+    def test_accepts_cycle_safe_constructors(self):
+        src = (
+            "from repro.obs.spans import make_span, make_span_id, "
+            "trace_id_from\n"
+        )
+        assert self.check(src) == []
+
+    def test_flags_blame_binding_outside_attach(self):
+        src = (
+            "class Simulation:\n"
+            "    def __init__(self, recorder):\n"
+            "        self._b_grant = recorder.grant\n"
+        )
+        findings = self.check(src)
+        assert rules_of(findings) == {"REP017"}
+        assert "attach_blame" in findings[0].message
+
+    def test_accepts_binding_inside_attach_blame(self):
+        src = (
+            "class Simulation:\n"
+            "    def attach_blame(self, recorder):\n"
+            "        self.blame = recorder\n"
+            "        self._b_grant = recorder.grant\n"
+        )
+        assert self.check(src) == []
+
+    def test_flags_unguarded_blame_call(self):
+        src = (
+            "class Simulation:\n"
+            "    def step(self):\n"
+            "        self._b_grant(1, 2)\n"
+        )
+        findings = self.check(src)
+        assert rules_of(findings) == {"REP017"}
+        assert "is not None" in findings[0].message
+
+    def test_accepts_guarded_blame_call(self):
+        src = (
+            "class Simulation:\n"
+            "    def step(self):\n"
+            "        if self.blame is not None:\n"
+            "            self._b_grant(1, 2)\n"
+        )
+        assert self.check(src) == []
+
+    def test_accepts_guard_with_extra_conjuncts(self):
+        src = (
+            "class Simulation:\n"
+            "    def step(self, msg):\n"
+            "        if self.blame is not None and msg.ring is not None:\n"
+            "            self._b_ring(msg)\n"
+        )
+        assert self.check(src) == []
+
+    def test_accepts_early_exit_guard(self):
+        src = (
+            "class Simulation:\n"
+            "    def _publish(self, msg):\n"
+            "        if self.blame is None:\n"
+            "            return\n"
+            "        self._b_finalize(msg)\n"
+        )
+        assert self.check(src) == []
+
+    def test_other_layers_are_out_of_scope(self):
+        src = (
+            "from repro.obs.spans import Trace\n"
+            "self._b_grant = f\n"
+        )
+        assert self.check(src, path="src/repro/experiments/x.py") == []
+
+
 class TestHarness:
     def test_catalog_is_documented(self):
         for rule_id, (scope, summary, impl) in RULES.items():
